@@ -1,0 +1,314 @@
+// E1 (Fig. 1 + Fig. 2): the run-time awareness loop, validated
+// model-to-model.
+//
+// Paper §5: "Our Linux-based awareness framework has been validated by
+// means of model-to-model experiments. That is, we have compared a
+// specification model with code generated from models of the SUO."
+//
+// We run the full loop (TV SUO -> observers across the simulated process
+// boundary -> model executor -> comparator -> error) against a matrix of
+// injected faults, reporting detection and latency per fault class, and
+// confirm zero false errors on a long fault-free soak.
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "core/model_impl.hpp"
+#include "core/monitor.hpp"
+#include "faults/injector.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/spec_model.hpp"
+#include "tv/tv_system.hpp"
+
+namespace core = trader::core;
+namespace rt = trader::runtime;
+namespace tv = trader::tv;
+namespace flt = trader::faults;
+namespace sm = trader::statemachine;
+using trader::bench::Table;
+using trader::bench::banner;
+using trader::bench::fmt;
+using trader::bench::fmt_int;
+
+namespace {
+
+struct Harness {
+  Harness(bool compiled_model, std::uint64_t seed)
+      : injector(rt::Rng(seed)), set(sched, bus, injector, make_tv_config(seed)) {
+    core::AwarenessMonitor::Params params;
+    params.config.comparison_period = rt::msec(20);
+    params.config.startup_grace = rt::msec(100);
+    params.config.input_channel.base_latency = rt::usec(300);
+    params.config.output_channel.base_latency = rt::usec(300);
+    for (const char* name : {"sound_level", "screen_state", "channel", "powered", "source"}) {
+      core::ObservableConfig oc;
+      oc.name = name;
+      oc.max_consecutive = 3;
+      params.config.observables.push_back(oc);
+    }
+    std::unique_ptr<core::IModelImpl> model;
+    if (compiled_model) {
+      model = std::make_unique<core::CompiledModel>(tv::build_tv_spec_model());
+    } else {
+      model = std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model());
+    }
+    monitor = std::make_unique<core::AwarenessMonitor>(sched, bus, std::move(model),
+                                                       std::move(params));
+    set.start();
+    monitor->start();
+    set.press(tv::Key::kPower);
+    sched.run_for(rt::msec(400));
+  }
+
+  static tv::TvConfig make_tv_config(std::uint64_t seed) {
+    tv::TvConfig config;
+    config.seed = seed;
+    return config;
+  }
+
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector;
+  tv::TvSystem set;
+  std::unique_ptr<core::AwarenessMonitor> monitor;
+};
+
+struct FaultCase {
+  const char* label;
+  flt::FaultKind kind;
+  const char* target;
+  tv::Key trigger;  ///< Key pressed after injection to surface the error.
+};
+
+void report() {
+  banner("E1", "the run-time awareness loop, model-to-model (paper Fig. 1/2, §5)");
+
+  const std::vector<FaultCase> cases = {
+      {"volume command lost", flt::FaultKind::kMessageLoss, "cmd.audio", tv::Key::kVolumeUp},
+      {"mute command lost", flt::FaultKind::kMessageLoss, "cmd.audio", tv::Key::kMute},
+      {"audio stuck", flt::FaultKind::kStuckComponent, "audio", tv::Key::kVolumeDown},
+      {"teletext show lost", flt::FaultKind::kMessageLoss, "cmd.teletext", tv::Key::kTeletext},
+      {"teletext crashed", flt::FaultKind::kCrash, "teletext", tv::Key::kTeletext},
+      {"osd stuck (menu)", flt::FaultKind::kStuckComponent, "osd", tv::Key::kMenu},
+      {"source select lost", flt::FaultKind::kMessageLoss, "cmd.avswitch", tv::Key::kSource},
+      {"volume memory corruption", flt::FaultKind::kMemoryCorruption, "control.volume",
+       tv::Key::kVolumeUp},
+  };
+
+  Table t({"injected fault", "detected", "observable", "detection latency ms"});
+  for (const auto& fc : cases) {
+    Harness h(false, 77);
+    h.injector.schedule(flt::FaultSpec{fc.kind, fc.target, h.sched.now(), 0, 1.0, {}});
+    h.sched.run_for(rt::msec(50));  // let crash-class faults latch
+    h.set.press(fc.trigger);
+    const rt::SimTime manifest = h.sched.now();
+    h.sched.run_for(rt::sec(2));
+    if (h.monitor->errors().empty()) {
+      t.row({fc.label, "NO", "-", "-"});
+    } else {
+      const auto& err = h.monitor->errors().front();
+      t.row({fc.label, "yes", err.observable, fmt(rt::to_ms(err.detected_at - manifest), 1)});
+    }
+  }
+  t.print();
+
+  // Fault-free soak: extensive zapping with no injected faults.
+  Table soak({"model executor", "soak key presses", "false errors", "comparisons"});
+  for (bool compiled : {false, true}) {
+    Harness h(compiled, 99);
+    rt::Rng rng(4242);
+    const std::vector<tv::Key> keys = {
+        tv::Key::kVolumeUp,  tv::Key::kVolumeDown, tv::Key::kMute,      tv::Key::kChannelUp,
+        tv::Key::kChannelDown, tv::Key::kTeletext, tv::Key::kDualScreen, tv::Key::kMenu,
+        tv::Key::kBack,      tv::Key::kDigit1,     tv::Key::kDigit2,    tv::Key::kChildLock,
+    };
+    const int presses = 150;
+    for (int i = 0; i < presses; ++i) {
+      h.set.press(keys[static_cast<std::size_t>(rng.uniform_int(0, 11))]);
+      h.sched.run_for(rt::msec(1700));  // let digit timeouts settle
+    }
+    soak.row({compiled ? "compiled (flat tables)" : "interpreted", fmt_int(presses),
+              fmt_int(static_cast<std::int64_t>(h.monitor->errors().size())),
+              fmt_int(static_cast<std::int64_t>(h.monitor->stats().comparisons))});
+  }
+  soak.print();
+  std::printf("paper claim: the loop detects customer-perceived errors the open-loop system\n"
+              "is unaware of, while partial models plus comparator tolerance keep the\n"
+              "false-error rate at zero during normal use.\n");
+
+  // ---- E1b: the project's stated goal, quantified -----------------------
+  // "The main goal of the Trader project is to improve the user-perceived
+  // dependability of high-volume products." A 10-minute session with an
+  // intermittently lossy audio-command path: without awareness, a lost
+  // command leaves the sound wrong until the user's next (successful)
+  // volume action; with awareness + recovery, the divergence lasts only
+  // the detection latency.
+  banner("E1b", "user-perceived dependability with vs without the awareness loop");
+  Table dep({"configuration", "incorrect-output time (s / 10 min)", "failure episodes",
+             "longest episode (s)"});
+  for (bool with_awareness : {false, true}) {
+    rt::Scheduler sched;
+    rt::EventBus bus;
+    flt::FaultInjector injector{rt::Rng(1111)};
+    tv::TvSystem set(sched, bus, injector);
+
+    std::unique_ptr<core::AwarenessMonitor> monitor;
+    if (with_awareness) {
+      core::AwarenessMonitor::Params params;
+      params.config.comparison_period = rt::msec(20);
+      params.config.startup_grace = rt::msec(100);
+      core::ObservableConfig oc;
+      oc.name = "sound_level";
+      oc.max_consecutive = 3;
+      params.config.observables.push_back(oc);
+      monitor = std::make_unique<core::AwarenessMonitor>(
+          sched, bus, std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
+          std::move(params));
+      monitor->set_recovery_handler(
+          [&set](const core::ErrorReport&) { set.restart_component("audio"); });
+    }
+
+    // Incorrect-output accounting, sampled every 20 ms.
+    double incorrect_ms = 0.0;
+    int episodes = 0;
+    double longest_ms = 0.0;
+    double current_ms = 0.0;
+    sched.schedule_every(rt::msec(20), [&] {
+      const bool wrong = set.sound_output() != set.control().expected_sound_level();
+      if (wrong) {
+        if (current_ms == 0.0) ++episodes;
+        current_ms += 20.0;
+        incorrect_ms += 20.0;
+        longest_ms = std::max(longest_ms, current_ms);
+      } else {
+        current_ms = 0.0;
+      }
+    });
+
+    set.start();
+    if (monitor) monitor->start();
+    set.press(tv::Key::kPower);
+    // The command path drops 80% of messages in recurring 8s windows.
+    for (int w = 0; w < 10; ++w) {
+      injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio",
+                                       rt::sec(25 + w * 55), rt::sec(8), 0.8, {}});
+    }
+    // The user adjusts volume every ~20 s.
+    rt::Rng rng(77);
+    sched.schedule_every(rt::sec(20), [&] {
+      set.press(rng.bernoulli(0.5) ? tv::Key::kVolumeUp : tv::Key::kVolumeDown);
+    });
+    sched.run_until(rt::sec(600));
+
+    dep.row({with_awareness ? "awareness + recovery" : "open loop (no awareness)",
+             fmt(incorrect_ms / 1000.0, 1), fmt_int(episodes), fmt(longest_ms / 1000.0, 1)});
+  }
+  dep.print();
+  std::printf("the closed loop turns multi-second, user-visible divergences into sub-100ms\n"
+              "blips -- the 'paradigm switch from open-loop to closed-loop' of §5.\n");
+
+  // ---- E1c: partial-model coverage ablation ------------------------------
+  // §3: "the approach allows the use of partial models, concentrating on
+  // what is most relevant for the user." Fewer monitored observables =
+  // cheaper monitor but blind spots; the fault matrix quantifies the cut.
+  banner("E1c", "ablation: observables monitored vs fault classes detected");
+  const std::vector<std::vector<const char*>> coverages = {
+      {"sound_level"},
+      {"sound_level", "screen_state"},
+      {"sound_level", "screen_state", "channel", "powered", "source"},
+  };
+  Table cov({"observables monitored", "fault classes detected (of 8)", "comparisons"});
+  for (const auto& observables : coverages) {
+    int detected = 0;
+    std::uint64_t comparisons = 0;
+    for (const auto& fc : cases) {
+      rt::Scheduler sched;
+      rt::EventBus bus;
+      flt::FaultInjector injector{rt::Rng(77)};
+      tv::TvSystem set(sched, bus, injector, Harness::make_tv_config(77));
+      core::AwarenessMonitor::Params params;
+      params.config.comparison_period = rt::msec(20);
+      params.config.startup_grace = rt::msec(100);
+      for (const char* name : observables) {
+        core::ObservableConfig oc;
+        oc.name = name;
+        oc.max_consecutive = 3;
+        params.config.observables.push_back(oc);
+      }
+      core::AwarenessMonitor monitor(sched, bus,
+                                     std::make_unique<core::InterpretedModel>(
+                                         tv::build_tv_spec_model()),
+                                     std::move(params));
+      set.start();
+      monitor.start();
+      set.press(tv::Key::kPower);
+      sched.run_for(rt::msec(400));
+      injector.schedule(flt::FaultSpec{fc.kind, fc.target, sched.now(), 0, 1.0, {}});
+      sched.run_for(rt::msec(50));
+      set.press(fc.trigger);
+      sched.run_for(rt::sec(2));
+      if (!monitor.errors().empty()) ++detected;
+      comparisons = monitor.stats().comparisons;
+    }
+    std::string label;
+    for (const char* name : observables) label += std::string(label.empty() ? "" : ", ") + name;
+    cov.row({label, fmt_int(detected), fmt_int(static_cast<std::int64_t>(comparisons))});
+  }
+  cov.print();
+  std::printf("partial models trade blind spots for monitor cost; incremental deployment\n"
+              "(one aspect at a time) is exactly what §3 prescribes.\n");
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_AwarenessEventPath(benchmark::State& state) {
+  Harness h(state.range(0) != 0, 7);
+  bool up = true;
+  for (auto _ : state) {
+    h.set.press(up ? tv::Key::kVolumeUp : tv::Key::kVolumeDown);
+    up = !up;
+    h.sched.run_for(rt::msec(40));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) ? "compiled" : "interpreted");
+}
+BENCHMARK(BM_AwarenessEventPath)->Arg(0)->Arg(1);
+
+void BM_SpecModelDispatch(benchmark::State& state) {
+  auto def = tv::build_tv_spec_model();
+  sm::StateMachine m(def);
+  m.start(0);
+  m.dispatch(sm::SmEvent::named("power"), 0);
+  rt::SimTime t = 0;
+  bool up = true;
+  for (auto _ : state) {
+    t += 1000;
+    m.dispatch(sm::SmEvent::named(up ? "volume_up" : "volume_down"), t);
+    up = !up;
+    benchmark::DoNotOptimize(m.drain_outputs().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecModelDispatch);
+
+void BM_SpecModelDispatchCompiled(benchmark::State& state) {
+  auto def = tv::build_tv_spec_model();
+  sm::CompiledMachine m(def);
+  m.start(0);
+  m.dispatch(sm::SmEvent::named("power"), 0);
+  rt::SimTime t = 0;
+  bool up = true;
+  for (auto _ : state) {
+    t += 1000;
+    m.dispatch(sm::SmEvent::named(up ? "volume_up" : "volume_down"), t);
+    up = !up;
+    benchmark::DoNotOptimize(m.drain_outputs().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecModelDispatchCompiled);
+
+}  // namespace
+
+TRADER_BENCH_MAIN(report)

@@ -1,0 +1,82 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary reproduces one experiment from DESIGN.md §4: it
+// first prints the experiment's table(s) — the rows EXPERIMENTS.md
+// records against the paper's claims — and then runs google-benchmark
+// microbenchmarks for the mechanisms involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace trader::bench {
+
+/// Fixed-width table printer for experiment reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
+}
+
+}  // namespace trader::bench
+
+/// Each bench defines `report()` printing its experiment tables, then
+/// registers microbenchmarks; this main runs both.
+#define TRADER_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                        \
+    report_fn();                                           \
+    benchmark::Initialize(&argc, argv);                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                   \
+    benchmark::Shutdown();                                 \
+    return 0;                                              \
+  }

@@ -1,0 +1,184 @@
+// E6 + E7 (§4.5): recovery by resource reconfiguration.
+//
+// E6 — task migration (IMEC): "migrate an image processing task from one
+// processor to another, which leads to improved image quality in case of
+// overload situations (e.g., due to intensive error correction on a bad
+// input signal)". We inject a bad-signal fault, which inflates the
+// decoder's error-correction load past CPU-0's capacity, and compare
+// image quality with and without the load balancer.
+//
+// E7 — adaptive memory arbitration (NXP Research): a competing
+// high-priority port starves the video port; the adaptive controller
+// boosts the video port at run time.
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "devtime/eaters.hpp"
+#include "faults/injector.hpp"
+#include "recovery/adaptive_arbiter.hpp"
+#include "recovery/load_balancer.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+#include "tv/tv_system.hpp"
+
+namespace rec = trader::recovery;
+namespace rt = trader::runtime;
+namespace tv = trader::tv;
+namespace flt = trader::faults;
+namespace dev = trader::devtime;
+using trader::bench::Table;
+using trader::bench::banner;
+using trader::bench::fmt;
+using trader::bench::fmt_int;
+
+namespace {
+
+struct MigrationResult {
+  double quality_before = 0.0;  // before the signal degrades
+  double quality_during = 0.0;  // after degradation (+ recovery if any)
+  double drop_rate = 0.0;
+  int migrations = 0;
+};
+
+MigrationResult run_migration(bool with_balancer, double signal_penalty) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector{rt::Rng(21)};
+  tv::TvConfig config;
+  config.cpu1_capacity = 140.0;  // second media-capable processor
+  tv::TvSystem set(sched, bus, injector, config);
+
+  std::unique_ptr<rec::LoadBalancer> balancer;
+  if (with_balancer) {
+    rec::LoadBalancerConfig lb;
+    lb.sustain_ticks = 5;
+    balancer = std::make_unique<rec::LoadBalancer>(
+        lb, 0, 2, [&set](int cpu) { return set.cpu(cpu).load(); },
+        [&set](int cpu) {
+          return set.cpu(set.decoder_cpu()).task_cost("decoder") / set.cpu(cpu).capacity();
+        },
+        [&set](int cpu) { set.set_decoder_cpu(cpu); });
+    sched.schedule_every(config.frame_period, [&] { balancer->tick(sched.now()); });
+  }
+
+  rt::StatAccumulator before;
+  rt::StatAccumulator during;
+  const rt::SimTime degrade_at = rt::sec(4);
+  sched.schedule_every(config.frame_period, [&] {
+    if (sched.now() < degrade_at) {
+      before.add(set.last_frame_quality());
+    } else if (sched.now() > degrade_at + rt::sec(1)) {  // skip transition
+      during.add(set.last_frame_quality());
+    }
+  });
+
+  set.start();
+  set.press(tv::Key::kPower);
+  injector.schedule(flt::FaultSpec{flt::FaultKind::kBadSignal, "tuner", degrade_at, 0,
+                                   signal_penalty, {}});
+  sched.run_until(rt::sec(16));
+
+  MigrationResult result;
+  result.quality_before = before.mean();
+  result.quality_during = during.mean();
+  result.drop_rate = set.stats().drop_rate();
+  result.migrations = balancer ? static_cast<int>(balancer->migrations().size()) : 0;
+  return result;
+}
+
+void report() {
+  banner("E6", "task migration improves image quality under overload (paper §4.5, IMEC)");
+
+  Table t({"signal penalty", "balancer", "quality before", "quality during overload",
+           "drop rate", "migrations"});
+  for (double penalty : {0.4, 0.55, 0.7}) {
+    for (bool lb : {false, true}) {
+      const auto r = run_migration(lb, penalty);
+      t.row({fmt(penalty, 2), lb ? "on" : "off", fmt(r.quality_before, 3),
+             fmt(r.quality_during, 3), fmt(r.drop_rate, 3), fmt_int(r.migrations)});
+    }
+  }
+  t.print();
+  std::printf("paper claim: migration of the image-processing (decoder) task improves\n"
+              "image quality in overload; the balancer-on rows must dominate the\n"
+              "balancer-off rows in 'quality during overload'.\n");
+
+  banner("E7", "adaptive memory arbitration resolves video starvation (paper §4.5, NXP)");
+  Table t7({"arbitration", "video service fraction (mean)", "starvation episodes resolved"});
+  for (bool adaptive : {false, true}) {
+    rt::Scheduler sched;
+    rt::EventBus bus;
+    flt::FaultInjector injector{rt::Rng(31)};
+    tv::TvSystem set(sched, bus, injector);
+    // A rogue high-priority port (e.g. a misbehaving downloadable
+    // component doing bulk DMA) outranks the video port.
+    dev::MemoryEater eater(set.arbiter(), /*priority=*/5);
+    std::unique_ptr<rec::AdaptiveArbiterController> ctrl;
+    if (adaptive) {
+      ctrl = std::make_unique<rec::AdaptiveArbiterController>(set.arbiter(), "video");
+    }
+    rt::StatAccumulator video_fraction;
+    sched.schedule_every(rt::msec(20), [&] {
+      eater.tick();
+      if (ctrl) ctrl->tick(sched.now());
+      if (sched.now() > rt::sec(4)) video_fraction.add(set.arbiter().last_fraction("video"));
+    });
+    set.start();
+    set.press(tv::Key::kPower);
+    sched.schedule_at(rt::sec(4), [&] { eater.activate(120.0); });
+    sched.run_until(rt::sec(12));
+    t7.row({adaptive ? "adaptive (run-time boost)" : "static priorities",
+            fmt(video_fraction.mean(), 3),
+            ctrl ? fmt_int(static_cast<std::int64_t>(ctrl->boosts())) : "-"});
+  }
+  t7.print();
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_LoadBalancerTick(benchmark::State& state) {
+  rec::LoadBalancerConfig cfg;
+  double load0 = 0.8;
+  rec::LoadBalancer lb(
+      cfg, 0, 2, [&load0](int cpu) { return cpu == 0 ? load0 : 0.3; },
+      [](int) { return 0.4; }, [](int) {});
+  rt::SimTime t = 0;
+  for (auto _ : state) {
+    lb.tick(t += 1000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadBalancerTick);
+
+void BM_ArbiterService(benchmark::State& state) {
+  tv::MemoryArbiter arb(150.0);
+  arb.add_port("video", 3);
+  arb.add_port("gfx", 2);
+  arb.add_port("sys", 1);
+  for (auto _ : state) {
+    arb.request("video", 90.0);
+    arb.request("gfx", 40.0);
+    arb.request("sys", 30.0);
+    benchmark::DoNotOptimize(arb.service());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_ArbiterService);
+
+void BM_ProcessorService(benchmark::State& state) {
+  tv::Processor cpu("p", 100.0);
+  for (int i = 0; i < state.range(0); ++i) {
+    cpu.add_task("t" + std::to_string(i), 10.0, i % 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.service());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProcessorService)->Arg(4)->Arg(16);
+
+}  // namespace
+
+TRADER_BENCH_MAIN(report)

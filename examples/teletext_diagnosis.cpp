@@ -1,0 +1,77 @@
+// Walkthrough of the §4.4 diagnosis case study (experiment E2).
+//
+// Prints, step by step, what the paper describes: instrumenting 60 000
+// blocks, recording spectra over a 27-key-press scenario, building the
+// error vector, computing similarities, and ranking — ending with the
+// faulty block on rank 1.
+//
+//   build/examples/teletext_diagnosis
+#include <cstdio>
+
+#include "diagnosis/spectrum.hpp"
+#include "diagnosis/synthetic_program.hpp"
+#include "observation/coverage.hpp"
+
+namespace diag = trader::diagnosis;
+namespace obs = trader::observation;
+
+int main() {
+  std::printf("Step 1: instrument the TV software into executable blocks.\n");
+  diag::SyntheticProgramConfig cfg;
+  cfg.total_blocks = 60000;
+  cfg.feature_count = 24;
+  cfg.common_fraction = 0.03;
+  cfg.shared_fraction = 0.08;
+  cfg.shared_cover = 0.05;
+  cfg.seed = 1234;
+  diag::SyntheticProgram program(cfg);
+  std::printf("        %zu blocks across %zu key-handler features\n", program.block_count(),
+              program.feature_count());
+
+  std::printf("Step 2: inject a fault into the teletext handler (feature 2).\n");
+  const std::size_t per_feature = program.feature_end(0) - program.feature_begin(0);
+  program.set_fault_in_feature(2, static_cast<std::size_t>(per_feature * 0.8));
+  std::printf("        faulty block id = %zu (depth 80%% of the handler)\n",
+              program.fault_block());
+
+  std::printf("Step 3: run a scenario of 27 key presses, recording per-press spectra.\n");
+  obs::BlockCoverageRecorder coverage(program.block_count());
+  const std::vector<std::size_t> scenario = {0, 2, 1, 2, 3, 2, 0, 2, 1, 2, 3, 2, 0, 2,
+                                             1, 2, 3, 2, 0, 2, 1, 2, 3, 2, 0, 2, 1};
+  const auto errors = program.run_scenario(scenario, coverage);
+  std::printf("        blocks executed at least once: %zu (paper: 13 796)\n",
+              coverage.blocks_touched());
+
+  std::printf("Step 4: the error vector (x = key press showed an error):\n        ");
+  int error_count = 0;
+  for (bool e : errors) {
+    std::printf("%c", e ? 'x' : '.');
+    error_count += e ? 1 : 0;
+  }
+  std::printf("  (%d of %zu)\n", error_count, errors.size());
+
+  std::printf("Step 5: similarity between each block's spectrum and the error vector.\n");
+  diag::SflRanker ranker;
+  const auto report = ranker.rank(coverage, errors, diag::Coefficient::kOchiai);
+  std::printf("        %zu executed blocks ranked by Ochiai similarity\n",
+              report.blocks_considered);
+
+  std::printf("Step 6: the ranking (top 5):\n");
+  for (std::size_t i = 0; i < 5 && i < report.ranking.size(); ++i) {
+    const auto& bs = report.ranking[i];
+    const std::size_t feature = program.feature_of(bs.block);
+    std::printf("        #%zu block %6zu score %.4f %s%s\n", i + 1, bs.block, bs.score,
+                feature == static_cast<std::size_t>(-1)
+                    ? "(infrastructure)"
+                    : ("(feature " + std::to_string(feature) + ")").c_str(),
+                bs.block == program.fault_block() ? "  <-- the injected fault" : "");
+  }
+
+  const std::size_t rank = report.rank_of(program.fault_block());
+  std::printf("\nResult: the faulty block is on rank %zu", rank);
+  std::printf(" -- %s the paper's finding that it \"appeared on the first place\".\n",
+              rank == 1 ? "reproducing" : "NOT reproducing");
+  std::printf("Wasted inspection effort: %.3f%% of the executed blocks.\n",
+              report.wasted_effort(program.fault_block()) * 100.0);
+  return rank == 1 ? 0 : 1;
+}

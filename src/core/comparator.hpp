@@ -1,0 +1,77 @@
+// Comparator (Fig. 2): compares model expectations with system
+// observations, applying the §4.3 tolerance machinery.
+//
+// "the Comparator should not be too eager to report errors; small delays
+// in system-internal communication might easily lead to differences
+// during a short time interval."  Per observable it therefore applies:
+//   1. a deviation threshold,
+//   2. a maximum number of consecutive deviations before reporting,
+//   3. event-based and/or time-based comparison, and
+//   4. model-driven enable/disable windows (IEnableCompare).
+// An error is reported once per deviating episode; the episode resets
+// when a comparison agrees again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/model_executor.hpp"
+#include "core/observers.hpp"
+
+namespace trader::core {
+
+/// Aggregate comparator statistics (for the E3 trade-off bench).
+struct ComparatorStats {
+  std::uint64_t comparisons = 0;
+  std::uint64_t deviations = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t suppressed = 0;  ///< Skipped via IEnableCompare windows.
+  std::uint64_t skipped = 0;     ///< Missing expectation or observation.
+};
+
+class Comparator : public IControl {
+ public:
+  Comparator(const Configuration& config, const ModelExecutor& executor,
+             const OutputObserver& observer)
+      : config_(config), executor_(executor), observer_(observer) {}
+
+  void start(runtime::SimTime now) override { grace_until_ = now + config_.awareness().startup_grace; }
+
+  /// Attach the error sink (IErrorNotify).
+  void set_notify(IErrorNotify* notify) { notify_ = notify; }
+
+  /// Event-based comparison: a fresh observation of `observable` arrived.
+  void on_fresh_observation(const std::string& observable, runtime::SimTime now);
+
+  /// Time-based comparison of every monitored observable.
+  void compare_all(runtime::SimTime now);
+
+  const ComparatorStats& stats() const { return stats_; }
+  const std::vector<ErrorReport>& errors() const { return errors_; }
+
+  /// Is the observable currently inside a deviating episode?
+  bool in_deviation(const std::string& observable) const;
+
+ private:
+  struct EpisodeState {
+    int consecutive = 0;
+    bool reported = false;
+    runtime::SimTime first_deviation = -1;
+  };
+
+  void compare_one(const ObservableConfig& oc, runtime::SimTime now);
+
+  const Configuration& config_;
+  const ModelExecutor& executor_;
+  const OutputObserver& observer_;
+  IErrorNotify* notify_ = nullptr;
+  runtime::SimTime grace_until_ = 0;
+  std::map<std::string, EpisodeState> episodes_;
+  ComparatorStats stats_;
+  std::vector<ErrorReport> errors_;
+};
+
+}  // namespace trader::core

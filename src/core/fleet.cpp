@@ -1,0 +1,45 @@
+#include "core/fleet.hpp"
+
+#include <stdexcept>
+
+namespace trader::core {
+
+AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect,
+                                            std::unique_ptr<IModelImpl> model,
+                                            AwarenessMonitor::Params params) {
+  auto monitor = std::make_unique<AwarenessMonitor>(sched_, bus_, std::move(model),
+                                                    std::move(params));
+  AwarenessMonitor& ref = *monitor;
+  const std::string name = aspect;
+  ref.set_recovery_handler([this, name](const ErrorReport& report) {
+    errors_.push_back(AspectError{name, report});
+    if (handler_) handler_(errors_.back());
+  });
+  entries_.push_back(Entry{aspect, std::move(monitor)});
+  return ref;
+}
+
+void MonitorFleet::start() {
+  for (auto& e : entries_) e.monitor->start();
+}
+
+void MonitorFleet::stop() {
+  for (auto& e : entries_) e.monitor->stop();
+}
+
+AwarenessMonitor& MonitorFleet::monitor(const std::string& aspect) {
+  for (auto& e : entries_) {
+    if (e.aspect == aspect) return *e.monitor;
+  }
+  throw std::out_of_range("no monitor for aspect: " + aspect);
+}
+
+std::size_t MonitorFleet::error_count(const std::string& aspect) const {
+  std::size_t n = 0;
+  for (const auto& e : errors_) {
+    if (e.aspect == aspect) ++n;
+  }
+  return n;
+}
+
+}  // namespace trader::core

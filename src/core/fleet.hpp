@@ -1,0 +1,63 @@
+// Multiple awareness monitors per system (§3).
+//
+// "Typically, there will be several awareness monitors in a complex
+// system, for different components, different aspects, and different
+// kinds of faults." MonitorFleet owns a set of named monitors, fans a
+// single recovery handler out with the originating aspect attached, and
+// aggregates error/statistics views — the hierarchical and incremental
+// deployment the paper sketches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace trader::core {
+
+/// An error annotated with the monitor (aspect) that raised it.
+struct AspectError {
+  std::string aspect;
+  ErrorReport report;
+};
+
+class MonitorFleet {
+ public:
+  using AspectRecoveryHandler = std::function<void(const AspectError&)>;
+
+  MonitorFleet(runtime::Scheduler& sched, runtime::EventBus& bus)
+      : sched_(sched), bus_(bus) {}
+
+  /// Add a monitor watching one aspect. Returns a reference usable for
+  /// per-aspect configuration before start().
+  AwarenessMonitor& add_monitor(const std::string& aspect, std::unique_ptr<IModelImpl> model,
+                                AwarenessMonitor::Params params);
+
+  void set_recovery_handler(AspectRecoveryHandler handler) { handler_ = std::move(handler); }
+
+  /// Start / stop every monitor.
+  void start();
+  void stop();
+
+  std::size_t size() const { return entries_.size(); }
+  AwarenessMonitor& monitor(const std::string& aspect);
+
+  /// All errors across monitors, in report order per aspect.
+  const std::vector<AspectError>& errors() const { return errors_; }
+  std::size_t error_count(const std::string& aspect) const;
+
+ private:
+  struct Entry {
+    std::string aspect;
+    std::unique_ptr<AwarenessMonitor> monitor;
+  };
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  std::vector<Entry> entries_;
+  std::vector<AspectError> errors_;
+  AspectRecoveryHandler handler_;
+};
+
+}  // namespace trader::core

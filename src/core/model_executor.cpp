@@ -1,0 +1,38 @@
+#include "core/model_executor.hpp"
+
+namespace trader::core {
+
+void ModelExecutor::start(runtime::SimTime now) {
+  model_->start(now);
+  drain(now);
+}
+
+void ModelExecutor::on_input(const statemachine::SmEvent& ev, runtime::SimTime now) {
+  ++inputs_;
+  // Fire timers that were due before this event (e.g. digit timeouts),
+  // then the event itself.
+  model_->advance_time(now);
+  model_->dispatch(ev, now);
+  drain(now);
+}
+
+void ModelExecutor::advance(runtime::SimTime now) {
+  model_->advance_time(now);
+  drain(now);
+}
+
+void ModelExecutor::drain(runtime::SimTime now) {
+  for (const auto& out : model_->drain_outputs()) {
+    auto it = out.fields.find("value");
+    if (it == out.fields.end()) continue;
+    table_[out.name] = Expectation{it->second, now};
+  }
+}
+
+std::optional<Expectation> ModelExecutor::expected(const std::string& observable) const {
+  auto it = table_.find(observable);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace trader::core

@@ -1,0 +1,54 @@
+// Model Executor (Fig. 2): drives the executable specification model
+// with input-event notifications from the Input Observer and maintains
+// the expected-value table the Comparator reads (ISpecInfo).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/interfaces.hpp"
+
+namespace trader::core {
+
+/// Expected value of one observable according to the model.
+struct Expectation {
+  runtime::Value value;
+  runtime::SimTime at = -1;
+};
+
+class ModelExecutor : public IControl {
+ public:
+  explicit ModelExecutor(std::unique_ptr<IModelImpl> model) : model_(std::move(model)) {}
+
+  void start(runtime::SimTime now) override;
+
+  /// Input-event notification (from the Input Observer).
+  void on_input(const statemachine::SmEvent& ev, runtime::SimTime now);
+
+  /// Let model timers fire (called from the periodic awareness tick).
+  void advance(runtime::SimTime now);
+
+  /// ISpecInfo: the model's expected value for an observable.
+  std::optional<Expectation> expected(const std::string& observable) const;
+
+  /// IEnableCompare pass-through.
+  bool comparison_enabled(const std::string& observable) const {
+    return model_->comparison_enabled(observable);
+  }
+
+  std::string model_state() const { return model_->state_name(); }
+  IModelImpl& model() { return *model_; }
+
+  std::uint64_t inputs_processed() const { return inputs_; }
+
+ private:
+  void drain(runtime::SimTime now);
+
+  std::unique_ptr<IModelImpl> model_;
+  std::map<std::string, Expectation> table_;
+  std::uint64_t inputs_ = 0;
+};
+
+}  // namespace trader::core

@@ -1,0 +1,27 @@
+#include "core/model_impl.hpp"
+
+#include <sstream>
+
+namespace trader::core {
+
+bool ParallelModel::comparison_enabled(const std::string& observable) const {
+  for (const auto& name : set_.region_names()) {
+    const auto& vars = set_.region(name).vars();
+    if (vars.get_bool("nocompare", false)) return false;
+    if (vars.get_bool("nocompare:" + observable, false)) return false;
+  }
+  return true;
+}
+
+std::string ParallelModel::state_name() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& part : set_.configuration()) {
+    if (!first) os << " | ";
+    first = false;
+    os << part;
+  }
+  return os.str();
+}
+
+}  // namespace trader::core

@@ -1,0 +1,88 @@
+#include "core/monitor.hpp"
+
+namespace trader::core {
+
+// ----------------------------------------------------------------- Controller
+
+Controller::Controller(runtime::Scheduler& sched, Configuration& config,
+                       ModelExecutor& executor, InputObserver& input, OutputObserver& output,
+                       Comparator& comparator)
+    : sched_(sched),
+      config_(config),
+      executor_(executor),
+      input_(input),
+      output_(output),
+      comparator_(comparator) {}
+
+void Controller::initialize() {
+  config_.initialize();
+  executor_.initialize();
+  input_.initialize();
+  output_.initialize();
+  comparator_.initialize();
+  comparator_.set_notify(this);
+}
+
+void Controller::start(runtime::SimTime now) {
+  executor_.start(now);
+  input_.start(now);
+  output_.start(now);
+  comparator_.start(now);
+  running_ = true;
+  tick_handle_ = sched_.schedule_every(config_.awareness().comparison_period, [this] { tick(); });
+  if (trace_ != nullptr) {
+    trace_->log(now, runtime::TraceLevel::kInfo, "controller", "awareness monitor started");
+  }
+}
+
+void Controller::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(tick_handle_);
+  input_.stop();
+  output_.stop();
+}
+
+void Controller::tick() {
+  const runtime::SimTime now = sched_.now();
+  executor_.advance(now);
+  comparator_.compare_all(now);
+}
+
+void Controller::on_error(const ErrorReport& report) {
+  errors_.push_back(report);
+  if (trace_ != nullptr) {
+    trace_->log(report.detected_at, runtime::TraceLevel::kError, "comparator", report.describe());
+  }
+  if (recovery_) recovery_(report);
+}
+
+// ----------------------------------------------------------- AwarenessMonitor
+
+AwarenessMonitor::AwarenessMonitor(runtime::Scheduler& sched, runtime::EventBus& bus,
+                                   std::unique_ptr<IModelImpl> model, Params params)
+    : sched_(sched),
+      configuration_(params.config),
+      executor_(std::move(model)),
+      input_(sched, bus, params.input_topic, params.config.input_channel,
+             std::move(params.input_mapper),
+             [this](const statemachine::SmEvent& ev, runtime::SimTime now) {
+               executor_.on_input(ev, now);
+             }),
+      output_(sched, bus, params.output_topics, params.config.output_channel,
+              std::move(params.output_mapper)),
+      comparator_(configuration_, executor_, output_),
+      controller_(sched, configuration_, executor_, input_, output_, comparator_) {
+  output_.on_fresh([this](const std::string& observable, runtime::SimTime now) {
+    comparator_.on_fresh_observation(observable, now);
+  });
+}
+
+void AwarenessMonitor::start() {
+  controller_.initialize();
+  controller_.start(sched_.now());
+}
+
+void AwarenessMonitor::stop() { controller_.stop(); }
+
+}  // namespace trader::core

@@ -1,0 +1,99 @@
+// Controller and AwarenessMonitor facade (Fig. 2).
+//
+// "The Controller initiates and controls all components, except for the
+// Configuration component which is controlled by the Model Executor."
+// AwarenessMonitor assembles one complete monitor: observers, model
+// executor, comparator, controller, configuration — the unit of which a
+// complex system will typically run several, "for different components,
+// different aspects, and different kinds of faults" (§3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/comparator.hpp"
+#include "core/configuration.hpp"
+#include "core/model_executor.hpp"
+#include "core/observers.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace trader::core {
+
+/// Recovery hook invoked on every reported error (the link from error
+/// detection to the diagnosis/recovery stages of Fig. 1).
+using RecoveryHandler = std::function<void(const ErrorReport&)>;
+
+/// The Controller box: lifecycle + error routing.
+class Controller : public IControl, public IErrorNotify {
+ public:
+  Controller(runtime::Scheduler& sched, Configuration& config, ModelExecutor& executor,
+             InputObserver& input, OutputObserver& output, Comparator& comparator);
+
+  void initialize() override;
+  void start(runtime::SimTime now) override;
+  void stop() override;
+
+  void on_error(const ErrorReport& report) override;
+
+  void set_recovery_handler(RecoveryHandler h) { recovery_ = std::move(h); }
+  void set_trace(runtime::TraceLog* trace) { trace_ = trace; }
+
+  const std::vector<ErrorReport>& errors() const { return errors_; }
+
+ private:
+  void tick();
+
+  runtime::Scheduler& sched_;
+  Configuration& config_;
+  ModelExecutor& executor_;
+  InputObserver& input_;
+  OutputObserver& output_;
+  Comparator& comparator_;
+  RecoveryHandler recovery_;
+  runtime::TraceLog* trace_ = nullptr;
+  runtime::TaskHandle tick_handle_;
+  std::vector<ErrorReport> errors_;
+  bool running_ = false;
+};
+
+/// One fully wired awareness monitor.
+class AwarenessMonitor {
+ public:
+  struct Params {
+    AwarenessConfig config;
+    std::string input_topic = "tv.input";
+    std::vector<std::string> output_topics = {"tv.output"};
+    InputMapper input_mapper;    ///< Default mapper when empty.
+    OutputMapper output_mapper;  ///< Default mapper when empty.
+  };
+
+  AwarenessMonitor(runtime::Scheduler& sched, runtime::EventBus& bus,
+                   std::unique_ptr<IModelImpl> model, Params params);
+
+  /// Initialize and start every component (Controller included).
+  void start();
+  void stop();
+
+  void set_recovery_handler(RecoveryHandler h) { controller_.set_recovery_handler(std::move(h)); }
+  void set_trace(runtime::TraceLog* trace) { controller_.set_trace(trace); }
+
+  const std::vector<ErrorReport>& errors() const { return controller_.errors(); }
+  const ComparatorStats& stats() const { return comparator_.stats(); }
+  Configuration& configuration() { return configuration_; }
+  ModelExecutor& executor() { return executor_; }
+  const OutputObserver& output_observer() const { return output_; }
+  Comparator& comparator() { return comparator_; }
+
+ private:
+  runtime::Scheduler& sched_;
+  Configuration configuration_;
+  ModelExecutor executor_;
+  InputObserver input_;
+  OutputObserver output_;
+  Comparator comparator_;
+  Controller controller_;
+};
+
+}  // namespace trader::core

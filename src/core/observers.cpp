@@ -1,0 +1,87 @@
+#include "core/observers.hpp"
+
+namespace trader::core {
+
+std::optional<statemachine::SmEvent> default_input_mapper(const runtime::Event& ev) {
+  statemachine::SmEvent sm;
+  const std::string key = ev.str_field("key");
+  if (!key.empty()) {
+    sm.name = key;
+  } else {
+    sm.name = ev.name;
+    sm.params = ev.fields;
+  }
+  return sm;
+}
+
+std::optional<std::pair<std::string, runtime::Value>> default_output_mapper(
+    const runtime::Event& ev) {
+  auto v = ev.field("value");
+  if (!v) return std::nullopt;
+  return std::make_pair(ev.name, *v);
+}
+
+// ------------------------------------------------------------- InputObserver
+
+InputObserver::InputObserver(runtime::Scheduler& sched, runtime::EventBus& bus,
+                             std::string topic, runtime::ChannelConfig channel,
+                             InputMapper mapper, Sink sink)
+    : sched_(sched),
+      bus_(bus),
+      topic_(std::move(topic)),
+      mapper_(mapper ? std::move(mapper) : default_input_mapper),
+      sink_(std::move(sink)),
+      channel_(sched, runtime::Rng(0x1111), channel, [this](const runtime::Event& ev) {
+        auto sm = mapper_(ev);
+        if (sm && sink_) sink_(*sm, sched_.now());
+      }) {}
+
+void InputObserver::start(runtime::SimTime) {
+  sub_ = bus_.subscribe(topic_, [this](const runtime::Event& ev) {
+    ++observed_;
+    channel_.send(ev);
+  });
+}
+
+void InputObserver::stop() { bus_.unsubscribe(sub_); }
+
+// ------------------------------------------------------------ OutputObserver
+
+OutputObserver::OutputObserver(runtime::Scheduler& sched, runtime::EventBus& bus,
+                               std::vector<std::string> topics, runtime::ChannelConfig channel,
+                               OutputMapper mapper)
+    : sched_(sched),
+      bus_(bus),
+      topics_(std::move(topics)),
+      mapper_(mapper ? std::move(mapper) : default_output_mapper),
+      channel_(sched, runtime::Rng(0x2222), channel,
+               [this](const runtime::Event& ev) { deliver(ev); }) {}
+
+void OutputObserver::start(runtime::SimTime) {
+  for (const auto& topic : topics_) {
+    subs_.push_back(bus_.subscribe(topic, [this](const runtime::Event& ev) {
+      ++observed_;
+      channel_.send(ev);
+    }));
+  }
+}
+
+void OutputObserver::stop() {
+  for (auto& s : subs_) bus_.unsubscribe(s);
+  subs_.clear();
+}
+
+void OutputObserver::deliver(const runtime::Event& ev) {
+  auto mapped = mapper_(ev);
+  if (!mapped) return;
+  table_[mapped->first] = Observation{mapped->second, sched_.now()};
+  if (fresh_) fresh_(mapped->first, sched_.now());
+}
+
+std::optional<Observation> OutputObserver::observed(const std::string& observable) const {
+  auto it = table_.find(observable);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace trader::core

@@ -1,0 +1,259 @@
+#include "detection/detectors.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace trader::detection {
+
+// -------------------------------------------------------------- DetectionLog
+
+std::size_t DetectionLog::count(const std::string& detector) const {
+  return static_cast<std::size_t>(std::count_if(
+      entries_.begin(), entries_.end(),
+      [&](const Detection& d) { return d.detector == detector; }));
+}
+
+runtime::SimTime DetectionLog::first(const std::string& detector,
+                                     const std::string& subject) const {
+  runtime::SimTime best = -1;
+  for (const auto& d : entries_) {
+    if (d.detector != detector || d.subject != subject) continue;
+    if (best < 0 || d.at < best) best = d.at;
+  }
+  return best;
+}
+
+// --------------------------------------------------------------- RangeChecker
+
+std::size_t RangeChecker::poll(DetectionLog& log) {
+  const auto& violations = probes_.violations();
+  std::size_t fresh = 0;
+  for (std::size_t i = consumed_; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    std::ostringstream os;
+    os << "value " << v.value << " outside [" << v.lo << ", " << v.hi << "]";
+    log.add(Detection{"range", v.probe, os.str(), v.time});
+    ++fresh;
+  }
+  consumed_ = violations.size();
+  return fresh;
+}
+
+// ------------------------------------------------------------------- Watchdog
+
+void Watchdog::register_component(const std::string& name, runtime::SimDuration deadline) {
+  entries_[name] = Entry{deadline, 0, false};
+}
+
+void Watchdog::kick(const std::string& name, runtime::SimTime now) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  it->second.last_kick = now;
+  it->second.flagged = false;
+}
+
+std::size_t Watchdog::check(runtime::SimTime now, DetectionLog& log) {
+  std::size_t fresh = 0;
+  for (auto& [name, e] : entries_) {
+    if (e.flagged) continue;
+    if (now - e.last_kick > e.deadline) {
+      e.flagged = true;
+      std::ostringstream os;
+      os << "no heartbeat for " << runtime::to_ms(now - e.last_kick) << " ms (deadline "
+         << runtime::to_ms(e.deadline) << " ms)";
+      log.add(Detection{"watchdog", name, os.str(), now});
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+bool Watchdog::expired(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.flagged;
+}
+
+// ------------------------------------------------------------ DeadlockDetector
+
+std::size_t DeadlockDetector::check(
+    const std::vector<std::pair<std::string, std::string>>& edges, runtime::SimTime now,
+    DetectionLog& log) {
+  // Build adjacency and run DFS cycle detection over the small graph.
+  std::map<std::string, std::vector<std::string>> adj;
+  std::set<std::string> nodes;
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    nodes.insert(a);
+    nodes.insert(b);
+  }
+  std::map<std::string, int> mark;  // 0 unseen, 1 active, 2 done
+  std::vector<std::string> path;
+  std::string cycle;
+
+  std::function<bool(const std::string&)> dfs = [&](const std::string& n) -> bool {
+    mark[n] = 1;
+    path.push_back(n);
+    for (const auto& m : adj[n]) {
+      if (mark[m] == 1) {
+        // Reconstruct the cycle from the path.
+        std::ostringstream os;
+        auto it = std::find(path.begin(), path.end(), m);
+        for (; it != path.end(); ++it) os << *it << " -> ";
+        os << m;
+        cycle = os.str();
+        return true;
+      }
+      if (mark[m] == 0 && dfs(m)) return true;
+    }
+    path.pop_back();
+    mark[n] = 2;
+    return false;
+  };
+
+  for (const auto& n : nodes) {
+    if (mark[n] == 0 && dfs(n)) break;
+  }
+
+  if (cycle.empty()) {
+    last_cycle_.clear();  // re-arm once the deadlock is gone
+    return 0;
+  }
+  if (cycle == last_cycle_) return 0;  // already reported
+  last_cycle_ = cycle;
+  log.add(Detection{"deadlock", cycle, "circular wait detected", now});
+  return 1;
+}
+
+// ------------------------------------------------------ ModeConsistencyChecker
+
+void ModeConsistencyChecker::add_rule(ModeRule rule) { rules_.push_back(std::move(rule)); }
+
+std::size_t ModeConsistencyChecker::check(const std::map<std::string, runtime::Value>& snapshot,
+                                          runtime::SimTime now, DetectionLog& log) {
+  std::size_t fresh = 0;
+  for (const auto& rule : rules_) {
+    auto& st = state_[rule.name];
+    if (rule.holds(snapshot)) {
+      st.failing = 0;
+      st.reported = false;
+      continue;
+    }
+    ++st.failing;
+    if (st.failing >= rule.max_consecutive && !st.reported) {
+      st.reported = true;
+      log.add(Detection{"mode", rule.name, rule.description, now});
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+// ---------------------------------------------------------------- tv rules
+
+namespace {
+
+std::int64_t get_int(const std::map<std::string, runtime::Value>& m, const std::string& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return 0;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+  return 0;
+}
+
+std::string get_str(const std::map<std::string, runtime::Value>& m, const std::string& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return {};
+  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  return {};
+}
+
+bool get_bool(const std::map<std::string, runtime::Value>& m, const std::string& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return false;
+  if (const auto* b = std::get_if<bool>(&it->second)) return *b;
+  return false;
+}
+
+}  // namespace
+
+std::vector<ModeRule> tv_mode_rules() {
+  std::vector<ModeRule> rules;
+
+  // The paper's teletext case: the teletext engine must be synchronized
+  // to the tuned channel whenever it is presenting or acquiring pages.
+  rules.push_back(ModeRule{
+      "ttx-channel-sync",
+      "teletext engine serves a different channel than the tuner is on",
+      [](const std::map<std::string, runtime::Value>& m) {
+        const std::string mode = get_str(m, "teletext.mode");
+        if (mode == "off") return true;
+        return get_int(m, "teletext.synced_channel") == get_int(m, "tuner.channel");
+      },
+      2});
+
+  // Control's channel belief must match the tuner.
+  rules.push_back(ModeRule{
+      "control-tuner-channel",
+      "control unit believes a different channel than the tuner is tuned to",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        return get_int(m, "control.channel") == get_int(m, "tuner.channel");
+      },
+      2});
+
+  // Volume/mute beliefs vs the audio pipeline.
+  rules.push_back(ModeRule{
+      "control-audio-volume",
+      "control unit's volume belief differs from the audio pipeline",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        return get_int(m, "control.volume") == get_int(m, "audio.volume");
+      },
+      2});
+  rules.push_back(ModeRule{
+      "control-audio-mute",
+      "control unit's mute belief differs from the audio pipeline",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        return get_bool(m, "control.muted") == get_bool(m, "audio.muted");
+      },
+      2});
+
+  // Screen-state belief vs component reality (teletext visibility).
+  rules.push_back(ModeRule{
+      "screen-teletext-consistency",
+      "control believes teletext screen but engine is not visible (or vice versa)",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        const bool believes = get_str(m, "control.screen") == "teletext";
+        const bool visible = get_str(m, "teletext.mode") == "visible";
+        return believes == visible;
+      },
+      2});
+
+  // The selected AV input must match the control unit's belief.
+  rules.push_back(ModeRule{
+      "control-avswitch-source",
+      "control unit believes a different AV source than the switch selects",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        return get_str(m, "control.source") == get_str(m, "avswitch.source");
+      },
+      2});
+
+  // Menu screen requires the OSD plane to show the menu.
+  rules.push_back(ModeRule{
+      "screen-menu-consistency",
+      "control believes menu screen but OSD shows no menu (or vice versa)",
+      [](const std::map<std::string, runtime::Value>& m) {
+        if (!get_bool(m, "control.powered")) return true;
+        const bool believes = get_str(m, "control.screen") == "menu";
+        const bool shown = get_str(m, "osd.active") == "menu";
+        return believes == shown;
+      },
+      2});
+
+  return rules;
+}
+
+}  // namespace trader::detection

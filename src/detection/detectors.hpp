@@ -1,0 +1,132 @@
+// Error detectors beyond model comparison (§4.3).
+//
+// "Various techniques for error detection are investigated such as
+// hardware-based deadlock detection and range checking. An approach
+// which checks the consistency of internal modes of components turned
+// out to be successful to detect teletext problems due to a loss of
+// synchronization between components."
+//
+// Four detectors, one common report type:
+//   RangeChecker           — drains probe range violations
+//   Watchdog               — per-component heartbeat deadlines
+//   DeadlockDetector       — cycle search in a wait-for graph
+//   ModeConsistencyChecker — cross-component mode invariants, debounced
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "observation/probes.hpp"
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::detection {
+
+/// A detector finding.
+struct Detection {
+  std::string detector;  ///< "range", "watchdog", "deadlock", "mode".
+  std::string subject;   ///< Probe / component / rule name.
+  std::string message;
+  runtime::SimTime at = 0;
+};
+
+/// Append-only log shared by detectors.
+class DetectionLog {
+ public:
+  void add(Detection d) { entries_.push_back(std::move(d)); }
+  const std::vector<Detection>& all() const { return entries_; }
+  std::size_t count(const std::string& detector) const;
+  /// Earliest detection by `detector` for `subject` (-1 when none).
+  runtime::SimTime first(const std::string& detector, const std::string& subject) const;
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Detection> entries_;
+};
+
+/// Converts probe range violations into detections (idempotent polling).
+class RangeChecker {
+ public:
+  explicit RangeChecker(observation::ProbeRegistry& probes) : probes_(probes) {}
+
+  /// Drain new violations into `log`; returns how many were new.
+  std::size_t poll(DetectionLog& log);
+
+ private:
+  observation::ProbeRegistry& probes_;
+  std::size_t consumed_ = 0;
+};
+
+/// Heartbeat watchdog: components must kick within their deadline.
+class Watchdog {
+ public:
+  void register_component(const std::string& name, runtime::SimDuration deadline);
+  void kick(const std::string& name, runtime::SimTime now);
+
+  /// Emit a detection per newly expired component (once per expiry).
+  std::size_t check(runtime::SimTime now, DetectionLog& log);
+
+  bool expired(const std::string& name) const;
+
+ private:
+  struct Entry {
+    runtime::SimDuration deadline = 0;
+    runtime::SimTime last_kick = 0;
+    bool flagged = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Wait-for-graph deadlock detector (the hardware deadlock-detection
+/// mechanism of §4.3, fed by software-visible wait edges here).
+class DeadlockDetector {
+ public:
+  /// Check the edge set; reports each distinct cycle once until it
+  /// disappears, then re-arms.
+  std::size_t check(const std::vector<std::pair<std::string, std::string>>& edges,
+                    runtime::SimTime now, DetectionLog& log);
+
+ private:
+  std::string last_cycle_;
+};
+
+/// A cross-component mode invariant.
+struct ModeRule {
+  std::string name;
+  std::string description;
+  /// Returns true when the snapshot is consistent.
+  std::function<bool(const std::map<std::string, runtime::Value>&)> holds;
+  /// Consecutive failing checks tolerated before reporting (debounce —
+  /// same trade-off as the comparator's max_consecutive, §4.3).
+  int max_consecutive = 2;
+};
+
+/// Checks mode snapshots against rules, debounced per rule.
+class ModeConsistencyChecker {
+ public:
+  void add_rule(ModeRule rule);
+
+  /// Evaluate all rules on a snapshot; report once per violation episode.
+  std::size_t check(const std::map<std::string, runtime::Value>& snapshot, runtime::SimTime now,
+                    DetectionLog& log);
+
+  const std::vector<ModeRule>& rules() const { return rules_; }
+
+ private:
+  struct RuleState {
+    int failing = 0;
+    bool reported = false;
+  };
+  std::vector<ModeRule> rules_;
+  std::map<std::string, RuleState> state_;
+};
+
+/// The standard TV mode-consistency rules, phrased over the key names of
+/// TvSystem::mode_snapshot(). Includes the teletext-synchronization rule
+/// that detects the paper's teletext failure.
+std::vector<ModeRule> tv_mode_rules();
+
+}  // namespace trader::detection

@@ -1,0 +1,109 @@
+#include "detection/response_time.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace trader::detection {
+
+void ResponseTimeMonitor::add_rule(ResponseTimeRule rule) {
+  rules_.push_back(RuleState{std::move(rule), {}, {}});
+}
+
+void ResponseTimeMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  sub_ = bus_.subscribe("", [this](const runtime::Event& ev) { on_event(ev); });
+}
+
+void ResponseTimeMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  bus_.unsubscribe(sub_);
+}
+
+void ResponseTimeMonitor::on_event(const runtime::Event& ev) {
+  const runtime::SimTime now = sched_.now();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    auto& rs = rules_[i];
+    // Responses are matched before new triggers so an event that is both
+    // (rare, but possible with broad predicates) closes the older window.
+    if (!rs.pending.empty() && rs.rule.response(ev)) {
+      const runtime::SimTime trigger_time = rs.pending.front();
+      rs.pending.erase(rs.pending.begin());
+      ++rs.stats.responses;
+      response_times_.add(runtime::to_ms(now - trigger_time));
+    }
+    if (rs.rule.trigger(ev)) {
+      rs.pending.push_back(now);
+      ++rs.stats.triggers;
+      sched_.schedule_after(rs.rule.deadline + 1,
+                            [this, i, now] { check_deadline(i, now); });
+    }
+  }
+}
+
+void ResponseTimeMonitor::check_deadline(std::size_t rule_index, runtime::SimTime trigger_time) {
+  if (!running_) return;
+  auto& rs = rules_[rule_index];
+  auto it = std::find(rs.pending.begin(), rs.pending.end(), trigger_time);
+  if (it == rs.pending.end()) return;  // answered in time
+  rs.pending.erase(it);
+  ++rs.stats.violations;
+  std::ostringstream os;
+  os << "no response within " << runtime::to_ms(rs.rule.deadline) << " ms of trigger at "
+     << trigger_time << "us";
+  log_.add(Detection{"timeliness", rs.rule.name, os.str(), sched_.now()});
+}
+
+const ResponseTimeStats& ResponseTimeMonitor::stats(const std::string& rule) const {
+  for (const auto& rs : rules_) {
+    if (rs.rule.name == rule) return rs.stats;
+  }
+  throw std::out_of_range("no such response-time rule: " + rule);
+}
+
+std::vector<ResponseTimeRule> tv_response_rules(runtime::SimDuration deadline) {
+  std::vector<ResponseTimeRule> rules;
+
+  // Volume keys must be answered by a sound-level output. (The unmute
+  // side effect guarantees a level change for every volume key press in
+  // a healthy set: step away from the rail is tested separately.)
+  rules.push_back(ResponseTimeRule{
+      "volume-key-response",
+      [](const runtime::Event& ev) {
+        if (ev.topic != "tv.input") return false;
+        const std::string key = ev.str_field("key");
+        return key == "volume_up" || key == "volume_down" || key == "mute";
+      },
+      [](const runtime::Event& ev) {
+        return ev.topic == "tv.output" && ev.name == "sound_level";
+      },
+      deadline});
+
+  // A power key press must change the powered output.
+  rules.push_back(ResponseTimeRule{
+      "power-key-response",
+      [](const runtime::Event& ev) {
+        return ev.topic == "tv.input" && ev.str_field("key") == "power";
+      },
+      [](const runtime::Event& ev) {
+        return ev.topic == "tv.output" && ev.name == "powered";
+      },
+      deadline});
+
+  // Teletext key: the screen state must react.
+  rules.push_back(ResponseTimeRule{
+      "teletext-key-response",
+      [](const runtime::Event& ev) {
+        return ev.topic == "tv.input" && ev.str_field("key") == "teletext";
+      },
+      [](const runtime::Event& ev) {
+        return ev.topic == "tv.output" && ev.name == "screen_state";
+      },
+      deadline});
+
+  return rules;
+}
+
+}  // namespace trader::detection

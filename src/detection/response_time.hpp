@@ -1,0 +1,91 @@
+// Real-time (timeliness) property monitoring.
+//
+// §4.3: "we also monitor real-time properties, which are not addressed
+// by the techniques cited above. Closely related in this respect is the
+// MaC-RT system [15] which also detects timeliness violations."
+//
+// A ResponseTimeRule states: whenever a *trigger* event occurs, a
+// *response* event must follow within a deadline. The monitor watches
+// the event bus, arms a virtual-time timer per trigger, and reports a
+// timeliness violation when the deadline passes unanswered. Because
+// deadlines are checked in virtual time, the monitor also catches
+// *silent* failures — a stuck component that simply never produces the
+// response — which value-comparison alone cannot see until the next
+// state change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detection/detectors.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+
+namespace trader::detection {
+
+/// One trigger→response deadline requirement.
+struct ResponseTimeRule {
+  std::string name;
+  /// Recognizes the stimulus (e.g. a volume key press).
+  std::function<bool(const runtime::Event&)> trigger;
+  /// Recognizes a satisfying reaction (e.g. a sound_level output).
+  std::function<bool(const runtime::Event&)> response;
+  runtime::SimDuration deadline = runtime::msec(100);
+};
+
+/// Per-rule statistics.
+struct ResponseTimeStats {
+  std::uint64_t triggers = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t violations = 0;
+};
+
+class ResponseTimeMonitor {
+ public:
+  ResponseTimeMonitor(runtime::Scheduler& sched, runtime::EventBus& bus, DetectionLog& log)
+      : sched_(sched), bus_(bus), log_(log) {}
+
+  ~ResponseTimeMonitor() { stop(); }
+
+  void add_rule(ResponseTimeRule rule);
+
+  /// Subscribe to the bus (wildcard) and begin monitoring.
+  void start();
+  void stop();
+
+  const ResponseTimeStats& stats(const std::string& rule) const;
+
+  /// Response-time distribution of satisfied rules (milliseconds).
+  runtime::PercentileAccumulator& response_times() { return response_times_; }
+
+ private:
+  struct RuleState {
+    ResponseTimeRule rule;
+    ResponseTimeStats stats;
+    // Outstanding trigger timestamps, oldest first. A response satisfies
+    // the oldest outstanding trigger (FIFO semantics).
+    std::vector<runtime::SimTime> pending;
+  };
+
+  void on_event(const runtime::Event& ev);
+  void check_deadline(std::size_t rule_index, runtime::SimTime trigger_time);
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  DetectionLog& log_;
+  std::vector<RuleState> rules_;
+  runtime::Subscription sub_;
+  bool running_ = false;
+  runtime::PercentileAccumulator response_times_;
+};
+
+/// Standard TV timeliness rules: every key press must produce *some*
+/// output reaction, and volume keys must update the sound level, within
+/// the given deadline.
+std::vector<ResponseTimeRule> tv_response_rules(runtime::SimDuration deadline =
+                                                    runtime::msec(150));
+
+}  // namespace trader::detection

@@ -1,0 +1,31 @@
+#include "devtime/eaters.hpp"
+
+namespace trader::devtime {
+
+void CpuEater::activate(double units) {
+  active_ = true;
+  level_ = units;
+  cpu_.add_task(task_name_, units, /*priority=*/4);
+}
+
+void CpuEater::deactivate() {
+  if (!active_) return;
+  active_ = false;
+  level_ = 0.0;
+  cpu_.remove_task(task_name_);
+}
+
+void BusEater::tick() {
+  if (active_) bus_.request(client_, level_);
+}
+
+MemoryEater::MemoryEater(tv::MemoryArbiter& arbiter, int priority, std::string port)
+    : arbiter_(arbiter), port_(std::move(port)) {
+  arbiter_.add_port(port_, priority);
+}
+
+void MemoryEater::tick() {
+  if (active_) arbiter_.request(port_, level_);
+}
+
+}  // namespace trader::devtime

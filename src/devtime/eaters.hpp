@@ -1,0 +1,101 @@
+// Resource eaters for stress testing (§4.7, TASS).
+//
+// "The stress testing approach of TASS artificially takes away shared
+// resources, such as CPU or bus bandwidth, to simulate the occurrence of
+// errors or the addition of an additional resource user. … A so-called
+// CPU eater, which consumes CPU cycles at the application level in
+// software, is already included in the current development software and
+// can be activated by system testers."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sim_time.hpp"
+#include "tv/soc.hpp"
+
+namespace trader::devtime {
+
+/// Consumes processor capacity as an application-level task.
+class CpuEater {
+ public:
+  explicit CpuEater(tv::Processor& cpu, std::string task_name = "cpu_eater")
+      : cpu_(cpu), task_name_(std::move(task_name)) {}
+
+  ~CpuEater() { deactivate(); }
+
+  /// Start (or retune) the eater to `units` of work per tick. The eater
+  /// runs at application priority (above the decoder) so it genuinely
+  /// steals cycles, as the TASS tool does.
+  void activate(double units);
+  void deactivate();
+
+  bool active() const { return active_; }
+  double level() const { return level_; }
+
+ private:
+  tv::Processor& cpu_;
+  std::string task_name_;
+  bool active_ = false;
+  double level_ = 0.0;
+};
+
+/// Consumes bus bandwidth; must be ticked every service period because
+/// bus demands are cleared on service.
+class BusEater {
+ public:
+  explicit BusEater(tv::Bus& bus, std::string client = "bus_eater")
+      : bus_(bus), client_(std::move(client)) {}
+
+  void activate(double units_per_tick) {
+    active_ = true;
+    level_ = units_per_tick;
+  }
+  void deactivate() {
+    active_ = false;
+    level_ = 0.0;
+  }
+
+  /// Inject this tick's demand (call before the bus is serviced).
+  void tick();
+
+  bool active() const { return active_; }
+  double level() const { return level_; }
+
+ private:
+  tv::Bus& bus_;
+  std::string client_;
+  bool active_ = false;
+  double level_ = 0.0;
+};
+
+/// Consumes memory-arbiter bandwidth through its own port.
+class MemoryEater {
+ public:
+  /// Registers an "eater" port at the given priority.
+  MemoryEater(tv::MemoryArbiter& arbiter, int priority, std::string port = "eater");
+
+  void activate(double units_per_tick) {
+    active_ = true;
+    level_ = units_per_tick;
+  }
+  void deactivate() {
+    active_ = false;
+    level_ = 0.0;
+  }
+
+  /// Inject this tick's demand (call before the arbiter is serviced).
+  void tick();
+
+  bool active() const { return active_; }
+  double level() const { return level_; }
+  const std::string& port() const { return port_; }
+
+ private:
+  tv::MemoryArbiter& arbiter_;
+  std::string port_;
+  bool active_ = false;
+  double level_ = 0.0;
+};
+
+}  // namespace trader::devtime

@@ -1,0 +1,68 @@
+#include "devtime/fmea.hpp"
+
+#include <algorithm>
+
+namespace trader::devtime {
+
+void FmeaAnalyzer::add(FailureMode fm) { modes_.push_back(std::move(fm)); }
+
+std::vector<FailureMode> FmeaAnalyzer::ranked() const {
+  std::vector<FailureMode> out = modes_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FailureMode& a, const FailureMode& b) { return a.rpn() > b.rpn(); });
+  return out;
+}
+
+std::vector<FailureMode> FmeaAnalyzer::top(std::size_t n) const {
+  auto out = ranked();
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::map<std::string, int> FmeaAnalyzer::component_risk() const {
+  std::map<std::string, int> out;
+  for (const auto& fm : modes_) out[fm.component] += fm.rpn();
+  return out;
+}
+
+std::size_t FmeaAnalyzer::apply_detection_improvement(const std::string& component,
+                                                      int new_detection) {
+  std::size_t updated = 0;
+  for (auto& fm : modes_) {
+    if (fm.component == component && fm.detection > new_detection) {
+      fm.detection = new_detection;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+double FmeaAnalyzer::system_failure_rate(const std::map<std::string, double>& component_rates,
+                                         const std::map<std::string, double>& usage_weights) {
+  double rate = 0.0;
+  for (const auto& [component, lambda] : component_rates) {
+    auto it = usage_weights.find(component);
+    const double weight = it != usage_weights.end() ? it->second : 1.0;
+    rate += lambda * weight;
+  }
+  return rate;
+}
+
+std::vector<FailureMode> tv_failure_modes() {
+  return {
+      {"decoder", "overload on bad signal", "frame drops, stutter", 7, 6, 4},
+      {"decoder", "coding-standard deviation crash", "picture freeze", 9, 3, 5},
+      {"teletext", "channel desync", "stale/wrong pages shown", 5, 5, 8},
+      {"teletext", "engine crash", "teletext unavailable", 4, 3, 3},
+      {"audio", "lost volume command", "volume differs from user intent", 6, 4, 7},
+      {"audio", "mute stuck", "no sound", 8, 2, 3},
+      {"osd", "banner never clears", "screen clutter", 3, 3, 4},
+      {"swivel", "motor stuck", "set does not turn", 6, 2, 2},
+      {"tuner", "lock lost", "black screen", 9, 2, 2},
+      {"control", "memory corruption of settings", "erratic behaviour", 8, 2, 9},
+      {"arbiter", "video port starvation", "quality collapse under load", 7, 4, 6},
+      {"scheduler", "task overrun", "missed frame deadlines", 7, 5, 5},
+  };
+}
+
+}  // namespace trader::devtime

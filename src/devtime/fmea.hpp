@@ -1,0 +1,62 @@
+// Architecture-level reliability analysis: software FMEA (§4.7, after
+// Sözer et al. [18] — "Extending failure modes and effects analysis …
+// for reliability analysis at the software architecture design level").
+//
+// Failure modes of architectural elements are scored on severity,
+// occurrence and detectability; the risk priority number (RPN = S×O×D)
+// ranks where dependability effort should go during development.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace trader::devtime {
+
+/// One failure mode of an architectural element. Scores use the
+/// conventional 1..10 scales (10 = worst).
+struct FailureMode {
+  std::string component;
+  std::string mode;
+  std::string effect;
+  int severity = 1;
+  int occurrence = 1;
+  int detection = 1;  ///< 10 = practically undetectable.
+
+  int rpn() const { return severity * occurrence * detection; }
+};
+
+class FmeaAnalyzer {
+ public:
+  void add(FailureMode fm);
+  std::size_t size() const { return modes_.size(); }
+  const std::vector<FailureMode>& modes() const { return modes_; }
+
+  /// Modes by descending RPN (ties: input order).
+  std::vector<FailureMode> ranked() const;
+
+  /// Top-n riskiest modes.
+  std::vector<FailureMode> top(std::size_t n) const;
+
+  /// Total RPN per component (the architecture-level risk profile).
+  std::map<std::string, int> component_risk() const;
+
+  /// Model the effect of adding a detection mechanism (e.g. an awareness
+  /// monitor) to a failure mode: detection score drops to
+  /// `new_detection`. Returns how many modes were updated.
+  std::size_t apply_detection_improvement(const std::string& component, int new_detection);
+
+  /// Series-system failure-rate estimate: sum over components of
+  /// rate × usage weight (per hour).
+  static double system_failure_rate(const std::map<std::string, double>& component_rates,
+                                    const std::map<std::string, double>& usage_weights);
+
+ private:
+  std::vector<FailureMode> modes_;
+};
+
+/// The TV architecture's failure-mode inventory used in E-series benches.
+std::vector<FailureMode> tv_failure_modes();
+
+}  // namespace trader::devtime

@@ -1,0 +1,132 @@
+#include "devtime/priowarn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace trader::devtime {
+
+const char* to_string(WarningOrder order) {
+  switch (order) {
+    case WarningOrder::kReportOrder:
+      return "report-order";
+    case WarningOrder::kSeverity:
+      return "severity";
+    case WarningOrder::kLikelihood:
+      return "likelihood";
+    case WarningOrder::kSeverityTimesLikelihood:
+      return "severity*likelihood";
+  }
+  return "?";
+}
+
+SyntheticCfg SyntheticCfg::generate(std::size_t nodes, std::uint64_t seed) {
+  SyntheticCfg cfg;
+  cfg.nodes_.resize(std::max<std::size_t>(nodes, 2));
+  runtime::Rng rng(seed);
+  const std::size_t n = cfg.nodes_.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    CfgNode& node = cfg.nodes_[i];
+    const bool branch = rng.bernoulli(0.45) && i + 2 < n;
+    if (!branch) {
+      node.succs = {i + 1};
+      node.probs = {1.0};
+      continue;
+    }
+    // If/else diamond: fall-through plus a forward skip edge; skewed
+    // branch probabilities give the likelihood spread real programs show.
+    const std::size_t max_skip = std::min<std::size_t>(i + 8, n - 1);
+    const auto target =
+        static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(i + 2),
+                                                 static_cast<std::int64_t>(max_skip)));
+    const double p_through = rng.uniform(0.05, 0.95);
+    node.succs = {i + 1, target};
+    node.probs = {p_through, 1.0 - p_through};
+  }
+  return cfg;
+}
+
+std::vector<double> SyntheticCfg::execution_likelihood() const {
+  std::vector<double> like(nodes_.size(), 0.0);
+  if (like.empty()) return like;
+  like[0] = 1.0;
+  // Successors always have larger indices, so index order is topological.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CfgNode& node = nodes_[i];
+    for (std::size_t k = 0; k < node.succs.size(); ++k) {
+      like[node.succs[k]] += like[i] * node.probs[k];
+    }
+  }
+  for (double& v : like) v = std::min(v, 1.0);  // numeric safety
+  return like;
+}
+
+std::vector<InspectionWarning> generate_warnings(const SyntheticCfg& cfg, std::size_t count,
+                                                 double base_tp_rate, std::uint64_t seed) {
+  runtime::Rng rng(seed);
+  const auto likelihood = cfg.execution_likelihood();
+  std::vector<InspectionWarning> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    InspectionWarning w;
+    w.id = i;
+    w.node = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg.size() - 1)));
+    w.severity = static_cast<int>(rng.uniform_int(1, 9));
+    // A warning only becomes a field failure when its code actually runs:
+    // P(true positive) grows with execution likelihood (premise of [2]).
+    const double p = base_tp_rate * (0.1 + 0.9 * likelihood[w.node]);
+    w.true_positive = rng.bernoulli(p);
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::size_t> WarningPrioritizer::prioritize(
+    const std::vector<InspectionWarning>& warnings, const std::vector<double>& likelihood,
+    WarningOrder order) const {
+  std::vector<std::size_t> idx(warnings.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  auto key = [&](std::size_t i) -> double {
+    const auto& w = warnings[i];
+    switch (order) {
+      case WarningOrder::kReportOrder:
+        return 0.0;
+      case WarningOrder::kSeverity:
+        return static_cast<double>(w.severity);
+      case WarningOrder::kLikelihood:
+        return likelihood[w.node];
+      case WarningOrder::kSeverityTimesLikelihood:
+        return static_cast<double>(w.severity) * likelihood[w.node];
+    }
+    return 0.0;
+  };
+  if (order != WarningOrder::kReportOrder) {
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) { return key(a) > key(b); });
+  }
+  return idx;
+}
+
+std::size_t WarningPrioritizer::effort_to_first_tp(const std::vector<std::size_t>& order,
+                                                   const std::vector<InspectionWarning>& warnings) {
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    if (warnings[order[pos]].true_positive) return pos + 1;
+  }
+  return order.size() + 1;
+}
+
+double WarningPrioritizer::tp_auc(const std::vector<std::size_t>& order,
+                                  const std::vector<InspectionWarning>& warnings) {
+  const std::size_t n = order.size();
+  std::size_t tp_total = 0;
+  double acc = 0.0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (warnings[order[pos]].true_positive) {
+      ++tp_total;
+      acc += (static_cast<double>(n) - static_cast<double>(pos) - 0.5) / static_cast<double>(n);
+    }
+  }
+  return tp_total > 0 ? acc / static_cast<double>(tp_total) : 0.0;
+}
+
+}  // namespace trader::devtime

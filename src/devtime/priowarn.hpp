@@ -1,0 +1,89 @@
+// Inspection-warning prioritization by static execution-likelihood
+// profiling (§4.7, after Boogerd & Moonen [2]).
+//
+// A static analyzer (QA-C in the paper) emits many warnings; inspecting
+// all of them is too expensive. The insight of [2]: warnings in code
+// that is *likely to execute* should come first. We reproduce the
+// pipeline on synthetic control-flow graphs: compute per-node execution
+// likelihood by probability propagation, order warnings by different
+// strategies, and measure inspection effort until the true positives are
+// found.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace trader::devtime {
+
+/// A node in a synthetic control-flow graph (DAG, entry = node 0).
+struct CfgNode {
+  std::vector<std::size_t> succs;
+  std::vector<double> probs;  ///< Branch probabilities (sum ≤ 1; rest exits).
+};
+
+/// Synthetic structured CFG generator + likelihood propagation.
+class SyntheticCfg {
+ public:
+  /// Generate a DAG of roughly `nodes` nodes built from sequences,
+  /// if/else diamonds and loops-unrolled-once, with seeded branch
+  /// probabilities.
+  static SyntheticCfg generate(std::size_t nodes, std::uint64_t seed);
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+
+  /// Execution likelihood per node: probability mass reaching the node
+  /// from the entry (entry = 1.0), propagated in topological order.
+  std::vector<double> execution_likelihood() const;
+
+ private:
+  std::vector<CfgNode> nodes_;
+};
+
+/// One static-analysis warning.
+struct InspectionWarning {
+  std::size_t id = 0;
+  std::size_t node = 0;   ///< CFG node carrying the warning.
+  int severity = 5;       ///< Analyzer severity 1..9 (9 = worst).
+  bool true_positive = false;  ///< Ground truth (would cause a failure).
+};
+
+/// Generate `count` warnings on a CFG. Ground-truth true positives are
+/// drawn with probability increasing in the node's execution likelihood
+/// (a latent fault in dead code never fails — the premise of [2]).
+std::vector<InspectionWarning> generate_warnings(const SyntheticCfg& cfg, std::size_t count,
+                                                 double base_tp_rate, std::uint64_t seed);
+
+/// Warning-ordering strategies compared in E10.
+enum class WarningOrder : std::uint8_t {
+  kReportOrder,          ///< As emitted (the status quo).
+  kSeverity,             ///< Analyzer severity only.
+  kLikelihood,           ///< Execution likelihood only.
+  kSeverityTimesLikelihood,  ///< The combined criterion of [2].
+};
+
+const char* to_string(WarningOrder order);
+
+class WarningPrioritizer {
+ public:
+  /// Indices of `warnings` in inspection order under `order`.
+  std::vector<std::size_t> prioritize(const std::vector<InspectionWarning>& warnings,
+                                      const std::vector<double>& likelihood,
+                                      WarningOrder order) const;
+
+  /// Number of inspections until the first true positive (warnings.size()
+  /// + 1 when none exists).
+  static std::size_t effort_to_first_tp(const std::vector<std::size_t>& order,
+                                        const std::vector<InspectionWarning>& warnings);
+
+  /// Mean recall of true positives as a function of inspection budget,
+  /// i.e. normalized area under the TP-vs-inspected curve (1.0 = all TPs
+  /// first, 0.0 = all TPs last).
+  static double tp_auc(const std::vector<std::size_t>& order,
+                       const std::vector<InspectionWarning>& warnings);
+};
+
+}  // namespace trader::devtime

@@ -1,0 +1,72 @@
+#include "devtime/stress.hpp"
+
+#include <memory>
+
+#include "devtime/eaters.hpp"
+#include "faults/injector.hpp"
+#include "recovery/load_balancer.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+#include "tv/tv_system.hpp"
+
+namespace trader::devtime {
+
+StressPoint run_stress_point(double eater_units, const StressConfig& config) {
+  runtime::Scheduler sched;
+  runtime::EventBus bus;
+  faults::FaultInjector injector{runtime::Rng(config.seed)};
+  tv::TvConfig tv_config;
+  tv_config.seed = config.seed;
+  tv::TvSystem set(sched, bus, injector, tv_config);
+
+  CpuEater eater(set.cpu(0));
+
+  std::unique_ptr<recovery::LoadBalancer> balancer;
+  if (config.with_load_balancer) {
+    recovery::LoadBalancerConfig lb_config;
+    lb_config.overload_threshold = 1.0;
+    lb_config.sustain_ticks = 5;
+    balancer = std::make_unique<recovery::LoadBalancer>(
+        lb_config, /*initial_location=*/0, /*location_count=*/2,
+        [&set](int cpu) { return set.cpu(cpu).load(); },
+        [&set](int cpu) {
+          const int cur = set.decoder_cpu();
+          return set.cpu(cur).task_cost("decoder") / set.cpu(cpu).capacity();
+        },
+        [&set](int cpu) { set.set_decoder_cpu(cpu); });
+    sched.schedule_every(tv_config.frame_period, [&] { balancer->tick(sched.now()); });
+  }
+
+  runtime::StatAccumulator cpu_load;
+  runtime::StatAccumulator tail_quality;
+  const runtime::SimTime tail_start = config.duration * 2 / 3;
+  sched.schedule_every(tv_config.frame_period, [&] {
+    cpu_load.add(set.cpu(0).load());
+    if (sched.now() >= tail_start) tail_quality.add(set.last_frame_quality());
+  });
+
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.schedule_at(config.eater_start, [&] { eater.activate(eater_units); });
+  sched.run_until(config.duration);
+
+  StressPoint point;
+  point.eater_units = eater_units;
+  point.cpu_load = cpu_load.mean();
+  point.drop_rate = set.stats().drop_rate();
+  point.avg_quality = set.stats().average_quality();
+  point.migrations = balancer ? static_cast<int>(balancer->migrations().size()) : 0;
+  point.quality_recovered = tail_quality.mean();
+  return point;
+}
+
+std::vector<StressPoint> stress_sweep(const std::vector<double>& levels,
+                                      const StressConfig& config) {
+  std::vector<StressPoint> out;
+  out.reserve(levels.size());
+  for (const double level : levels) out.push_back(run_stress_point(level, config));
+  return out;
+}
+
+}  // namespace trader::devtime

@@ -1,0 +1,37 @@
+// Stress-test harness: sweep eater levels against a fresh TV instance
+// and record how the system (and its fault-tolerance mechanisms) behave
+// under overload (§4.7 / experiment E9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::devtime {
+
+struct StressPoint {
+  double eater_units = 0.0;      ///< CPU eater demand (work units/tick).
+  double cpu_load = 0.0;         ///< Resulting mean CPU-0 demand/capacity.
+  double drop_rate = 0.0;        ///< Fraction of frames dropped.
+  double avg_quality = 0.0;      ///< Mean frame quality.
+  int migrations = 0;            ///< Load-balancer task migrations.
+  double quality_recovered = 0.0;///< Mean quality over the final third.
+};
+
+struct StressConfig {
+  runtime::SimDuration duration = runtime::sec(20);
+  runtime::SimDuration eater_start = runtime::sec(5);
+  bool with_load_balancer = false;  ///< The FT mechanism under study.
+  std::uint64_t seed = 99;
+};
+
+/// Run one stress point: boot the TV, watch a channel, switch the CPU
+/// eater on at `eater_start`, measure.
+StressPoint run_stress_point(double eater_units, const StressConfig& config = {});
+
+/// Sweep a list of eater levels.
+std::vector<StressPoint> stress_sweep(const std::vector<double>& levels,
+                                      const StressConfig& config = {});
+
+}  // namespace trader::devtime

@@ -1,0 +1,55 @@
+#include "diagnosis/component_ranker.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace trader::diagnosis {
+
+std::vector<ComponentScore> ComponentRanker::rank(
+    const DiagnosisReport& report,
+    const std::function<std::string(std::size_t block)>& component_of, int top_k) {
+  struct Acc {
+    std::vector<double> top;  // kept sorted descending, size <= top_k
+    std::size_t best_block = 0;
+    double best_score = -1.0;
+    std::size_t blocks = 0;
+  };
+  std::map<std::string, Acc> accs;
+  for (const auto& bs : report.ranking) {
+    const std::string component = component_of(bs.block);
+    if (component.empty()) continue;
+    Acc& acc = accs[component];
+    ++acc.blocks;
+    if (bs.score > acc.best_score) {
+      acc.best_score = bs.score;
+      acc.best_block = bs.block;
+    }
+    acc.top.push_back(bs.score);
+    std::sort(acc.top.begin(), acc.top.end(), std::greater<>());
+    if (acc.top.size() > static_cast<std::size_t>(top_k)) acc.top.resize(
+        static_cast<std::size_t>(top_k));
+  }
+
+  std::vector<ComponentScore> out;
+  out.reserve(accs.size());
+  for (const auto& [component, acc] : accs) {
+    double sum = 0.0;
+    for (double s : acc.top) sum += s;
+    out.push_back(ComponentScore{component, acc.top.empty() ? 0.0 : sum / acc.top.size(),
+                                 acc.best_block, acc.blocks});
+  }
+  std::stable_sort(out.begin(), out.end(), [](const ComponentScore& a, const ComponentScore& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+std::size_t ComponentRanker::rank_of(const std::vector<ComponentScore>& scores,
+                                     const std::string& component) {
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].component == component) return i + 1;
+  }
+  return scores.size() + 1;
+}
+
+}  // namespace trader::diagnosis

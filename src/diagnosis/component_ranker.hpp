@@ -1,0 +1,40 @@
+// Component-level diagnosis.
+//
+// Block-level rankings localize the fault for a developer; the *recovery
+// manager* needs a coarser answer — which recoverable unit to restart.
+// ComponentRanker folds a block ranking into component suspiciousness
+// using a block→component mapping (e.g. ControlBlock→feature, or
+// synthetic-program feature ownership).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diagnosis/spectrum.hpp"
+
+namespace trader::diagnosis {
+
+/// Component-level suspiciousness.
+struct ComponentScore {
+  std::string component;
+  double score = 0.0;        ///< Aggregated from the component's blocks.
+  std::size_t best_block = 0;
+  std::size_t blocks = 0;    ///< Blocks of this component in the ranking.
+};
+
+class ComponentRanker {
+ public:
+  /// Aggregate a block ranking: per component, the mean of its top-k
+  /// block scores (k small keeps one hot block decisive while damping
+  /// single-block noise). Components are returned most suspicious first.
+  static std::vector<ComponentScore> rank(
+      const DiagnosisReport& report,
+      const std::function<std::string(std::size_t block)>& component_of, int top_k = 3);
+
+  /// 1-based rank of `component` (size+1 when absent).
+  static std::size_t rank_of(const std::vector<ComponentScore>& scores,
+                             const std::string& component);
+};
+
+}  // namespace trader::diagnosis

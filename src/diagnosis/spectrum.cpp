@@ -1,0 +1,159 @@
+#include "diagnosis/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trader::diagnosis {
+
+const char* to_string(Coefficient c) {
+  switch (c) {
+    case Coefficient::kOchiai:
+      return "ochiai";
+    case Coefficient::kTarantula:
+      return "tarantula";
+    case Coefficient::kJaccard:
+      return "jaccard";
+    case Coefficient::kAmple:
+      return "ample";
+    case Coefficient::kSimpleMatching:
+      return "simple-matching";
+  }
+  return "?";
+}
+
+std::vector<Coefficient> all_coefficients() {
+  return {Coefficient::kOchiai, Coefficient::kTarantula, Coefficient::kJaccard,
+          Coefficient::kAmple, Coefficient::kSimpleMatching};
+}
+
+double similarity(Coefficient c, const SflCounts& k) {
+  const double a11 = k.a11;
+  const double a10 = k.a10;
+  const double a01 = k.a01;
+  const double a00 = k.a00;
+  switch (c) {
+    case Coefficient::kOchiai: {
+      const double denom = std::sqrt((a11 + a01) * (a11 + a10));
+      return denom > 0.0 ? a11 / denom : 0.0;
+    }
+    case Coefficient::kTarantula: {
+      const double fail = a11 + a01;
+      const double pass = a10 + a00;
+      const double f = fail > 0 ? a11 / fail : 0.0;
+      const double p = pass > 0 ? a10 / pass : 0.0;
+      return (f + p) > 0.0 ? f / (f + p) : 0.0;
+    }
+    case Coefficient::kJaccard: {
+      const double denom = a11 + a01 + a10;
+      return denom > 0.0 ? a11 / denom : 0.0;
+    }
+    case Coefficient::kAmple: {
+      const double fail = a11 + a01;
+      const double pass = a10 + a00;
+      const double f = fail > 0 ? a11 / fail : 0.0;
+      const double p = pass > 0 ? a10 / pass : 0.0;
+      return std::abs(f - p);
+    }
+    case Coefficient::kSimpleMatching: {
+      const double total = a11 + a10 + a01 + a00;
+      return total > 0.0 ? (a11 + a00) / total : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+SflCounts SflRanker::counts_for(const observation::BlockCoverageRecorder& coverage,
+                                const std::vector<bool>& errors, std::size_t block) {
+  SflCounts k;
+  const std::size_t steps = coverage.step_count();
+  for (std::size_t s = 0; s < steps; ++s) {
+    const bool exec = coverage.executed(s, block);
+    const bool err = errors[s];
+    if (exec && err) {
+      ++k.a11;
+    } else if (exec && !err) {
+      ++k.a10;
+    } else if (!exec && err) {
+      ++k.a01;
+    } else {
+      ++k.a00;
+    }
+  }
+  return k;
+}
+
+DiagnosisReport SflRanker::rank(const observation::BlockCoverageRecorder& coverage,
+                                const std::vector<bool>& errors, Coefficient coefficient) const {
+  if (errors.size() != coverage.step_count()) {
+    throw std::invalid_argument("error vector length (" + std::to_string(errors.size()) +
+                                ") != step count (" + std::to_string(coverage.step_count()) + ")");
+  }
+  DiagnosisReport report;
+  report.coefficient = coefficient;
+
+  const std::size_t blocks = coverage.block_count();
+  const std::size_t steps = coverage.step_count();
+  // Only blocks executed at least once carry information.
+  std::vector<bool> touched(blocks, false);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto& row = coverage.matrix()[s];
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (row[b]) touched[b] = true;
+    }
+  }
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (!touched[b]) continue;
+    const SflCounts k = counts_for(coverage, errors, b);
+    report.ranking.push_back(BlockScore{b, similarity(coefficient, k)});
+  }
+  report.blocks_considered = report.ranking.size();
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [](const BlockScore& a, const BlockScore& b) { return a.score > b.score; });
+  return report;
+}
+
+std::size_t DiagnosisReport::rank_of(std::size_t block) const {
+  double score = -1.0;
+  for (const auto& bs : ranking) {
+    if (bs.block == block) {
+      score = bs.score;
+      break;
+    }
+  }
+  if (score < 0.0) return ranking.size() + 1;  // not ranked
+  std::size_t better = 0;
+  for (const auto& bs : ranking) {
+    if (bs.score > score) ++better;
+  }
+  return better + 1;
+}
+
+std::size_t DiagnosisReport::worst_rank_of(std::size_t block) const {
+  double score = -1.0;
+  bool found = false;
+  for (const auto& bs : ranking) {
+    if (bs.block == block) {
+      score = bs.score;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return ranking.size() + 1;
+  std::size_t better_or_equal = 0;
+  for (const auto& bs : ranking) {
+    if (bs.score >= score) ++better_or_equal;
+  }
+  return better_or_equal;
+}
+
+double DiagnosisReport::wasted_effort(std::size_t block) const {
+  if (ranking.empty()) return 1.0;
+  const double best = static_cast<double>(rank_of(block));
+  const double worst = static_cast<double>(worst_rank_of(block));
+  const double mid = (best + worst) / 2.0;
+  return (mid - 1.0) / static_cast<double>(ranking.size());
+}
+
+}  // namespace trader::diagnosis

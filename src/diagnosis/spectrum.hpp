@@ -1,0 +1,87 @@
+// Spectrum-based fault localization (§4.4, after Zoeteweij et al. [20]).
+//
+// "for each sequence of key presses, a so-called scenario, for each
+// block it is recorded whether it has been executed or not between two
+// key presses. This leads to a vector, a so-called spectrum, for each
+// block. … it is recorded for each key press whether it leads to error
+// or not. … Next, the similarity between the error vector and the
+// spectra is computed. Finally, the blocks are ranked according to their
+// similarity."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "observation/coverage.hpp"
+
+namespace trader::diagnosis {
+
+/// Similarity coefficients between a block's spectrum and the error
+/// vector. Ochiai is the strongest performer in the embedded-software
+/// study the paper builds on; the others serve as comparison points.
+enum class Coefficient : std::uint8_t {
+  kOchiai,
+  kTarantula,
+  kJaccard,
+  kAmple,
+  kSimpleMatching,
+};
+
+const char* to_string(Coefficient c);
+
+/// All coefficients, for sweeps.
+std::vector<Coefficient> all_coefficients();
+
+/// Contingency counts of one block vs the error vector:
+///   a11: executed in erroneous step   a10: executed in passing step
+///   a01: not executed in erroneous    a00: not executed in passing
+struct SflCounts {
+  std::uint32_t a11 = 0;
+  std::uint32_t a10 = 0;
+  std::uint32_t a01 = 0;
+  std::uint32_t a00 = 0;
+};
+
+/// Coefficient value for one block's counts (higher = more suspicious).
+double similarity(Coefficient c, const SflCounts& k);
+
+/// A ranked block.
+struct BlockScore {
+  std::size_t block = 0;
+  double score = 0.0;
+};
+
+/// Result of a diagnosis run.
+struct DiagnosisReport {
+  Coefficient coefficient = Coefficient::kOchiai;
+  std::vector<BlockScore> ranking;  ///< Sorted by descending score.
+  std::size_t blocks_considered = 0;
+
+  /// 1-based rank of `block`, counting ties optimistically (number of
+  /// strictly better blocks + 1).
+  std::size_t rank_of(std::size_t block) const;
+  /// 1-based rank counting ties pessimistically (better-or-equal blocks).
+  std::size_t worst_rank_of(std::size_t block) const;
+  /// Fraction of considered blocks a developer inspects before reaching
+  /// `block` (mid-tie convention) — the standard wasted-effort metric.
+  double wasted_effort(std::size_t block) const;
+};
+
+/// The ranker: combines a coverage matrix with an error vector.
+class SflRanker {
+ public:
+  /// `errors[s]` says whether step s showed an error. Only blocks that
+  /// were executed in at least one step are ranked (unexecuted blocks
+  /// carry no information and are excluded, as in the paper's 13 796 of
+  /// 60 000).
+  DiagnosisReport rank(const observation::BlockCoverageRecorder& coverage,
+                       const std::vector<bool>& errors,
+                       Coefficient coefficient = Coefficient::kOchiai) const;
+
+  /// Counts for a single block (exposed for tests/property checks).
+  static SflCounts counts_for(const observation::BlockCoverageRecorder& coverage,
+                              const std::vector<bool>& errors, std::size_t block);
+};
+
+}  // namespace trader::diagnosis

@@ -1,0 +1,35 @@
+#include "faults/fault.hpp"
+
+namespace trader::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageLoss:
+      return "message-loss";
+    case FaultKind::kMessageCorruption:
+      return "message-corruption";
+    case FaultKind::kStuckComponent:
+      return "stuck-component";
+    case FaultKind::kModeDesync:
+      return "mode-desync";
+    case FaultKind::kTaskOverrun:
+      return "task-overrun";
+    case FaultKind::kDeadlock:
+      return "deadlock";
+    case FaultKind::kBadSignal:
+      return "bad-signal";
+    case FaultKind::kCodingDeviation:
+      return "coding-deviation";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kMemoryCorruption:
+      return "memory-corruption";
+  }
+  return "?";
+}
+
+bool is_external(FaultKind kind) {
+  return kind == FaultKind::kBadSignal || kind == FaultKind::kCodingDeviation;
+}
+
+}  // namespace trader::faults

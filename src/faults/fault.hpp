@@ -1,0 +1,65 @@
+// Fault taxonomy and injection specifications.
+//
+// The paper adopts the fault → error → failure terminology of Avizienis
+// et al. [1]: a *fault* (programming mistake, unexpected input) causes an
+// *error* (bad state: wrong memory value, wrong message) which may cause
+// a *failure* (externally visible spec violation). This module describes
+// *faults to inject*; the SUO turns them into errors; detectors in
+// src/core and src/detection are judged on catching the failures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::faults {
+
+/// Classes of injectable faults, matching the threats §2 lists for
+/// high-volume products.
+enum class FaultKind : std::uint8_t {
+  kMessageLoss,        ///< Inter-component message dropped (mode desync source).
+  kMessageCorruption,  ///< Message payload altered in transit.
+  kStuckComponent,     ///< Component stops reacting to input.
+  kModeDesync,         ///< Component's internal mode silently flipped.
+  kTaskOverrun,        ///< A task's execution time inflated.
+  kDeadlock,           ///< Circular wait introduced between components.
+  kBadSignal,          ///< Input signal degraded (external fault).
+  kCodingDeviation,    ///< Stream deviates from the coding standard (external).
+  kCrash,              ///< Component dies (divide-by-zero style).
+  kMemoryCorruption,   ///< A state variable overwritten with a wrong value.
+};
+
+const char* to_string(FaultKind kind);
+
+/// True for faults the user attributes to external causes (bad antenna,
+/// broken broadcast) rather than to the product — the attribution
+/// distinction driving the §4.6 perception results.
+bool is_external(FaultKind kind);
+
+/// A fault to inject.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kMessageLoss;
+  std::string target;                ///< Component / channel / variable name.
+  runtime::SimTime activate_at = 0;  ///< Virtual time of activation.
+  runtime::SimDuration duration = 0; ///< 0 = permanent once active.
+  double intensity = 1.0;            ///< Probability / magnitude knob in [0,1].
+  std::map<std::string, runtime::Value> params;  ///< Kind-specific extras.
+
+  bool active_at(runtime::SimTime now) const {
+    if (now < activate_at) return false;
+    return duration == 0 || now < activate_at + duration;
+  }
+};
+
+/// Ground-truth record of one fault manifestation (used to score
+/// detection latency and diagnosis accuracy).
+struct FaultActivation {
+  FaultSpec spec;
+  runtime::SimTime time = 0;
+  std::string detail;
+};
+
+}  // namespace trader::faults

@@ -1,0 +1,60 @@
+#include "faults/injector.hpp"
+
+namespace trader::faults {
+
+std::size_t FaultInjector::schedule(FaultSpec spec) {
+  plan_.push_back(std::move(spec));
+  return plan_.size() - 1;
+}
+
+bool FaultInjector::is_active(FaultKind kind, const std::string& target,
+                              runtime::SimTime now) const {
+  for (const auto& f : plan_) {
+    if (f.kind == kind && f.target == target && f.active_at(now)) return true;
+  }
+  return false;
+}
+
+std::optional<FaultSpec> FaultInjector::active_spec(FaultKind kind, const std::string& target,
+                                                    runtime::SimTime now) const {
+  for (const auto& f : plan_) {
+    if (f.kind == kind && f.target == target && f.active_at(now)) return f;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::fires(FaultKind kind, const std::string& target, runtime::SimTime now,
+                          const std::string& detail) {
+  for (const auto& f : plan_) {
+    if (f.kind != kind || f.target != target || !f.active_at(now)) continue;
+    if (f.intensity >= 1.0 || rng_.bernoulli(f.intensity)) {
+      log_.push_back(FaultActivation{f, now, detail});
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::record(const FaultSpec& spec, runtime::SimTime now,
+                           const std::string& detail) {
+  log_.push_back(FaultActivation{spec, now, detail});
+}
+
+runtime::SimTime FaultInjector::first_activation(const std::string& target) const {
+  runtime::SimTime best = -1;
+  for (const auto& a : log_) {
+    if (a.spec.target != target) continue;
+    if (best < 0 || a.time < best) best = a.time;
+  }
+  return best;
+}
+
+runtime::SimTime FaultInjector::first_planned() const {
+  runtime::SimTime best = -1;
+  for (const auto& f : plan_) {
+    if (best < 0 || f.activate_at < best) best = f.activate_at;
+  }
+  return best;
+}
+
+}  // namespace trader::faults

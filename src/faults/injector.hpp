@@ -1,0 +1,56 @@
+// Fault injector: a plan of FaultSpecs plus the query API that SUO code
+// paths consult, and a ground-truth log of what actually manifested.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "runtime/rng.hpp"
+
+namespace trader::faults {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(runtime::Rng rng = runtime::Rng(1)) : rng_(rng) {}
+
+  /// Add a fault to the plan. Returns its index.
+  std::size_t schedule(FaultSpec spec);
+
+  /// Remove all planned faults (ground truth log kept).
+  void clear_plan() { plan_.clear(); }
+
+  /// Is any fault of `kind` on `target` active at `now`?
+  /// (Deterministic — ignores intensity.)
+  bool is_active(FaultKind kind, const std::string& target, runtime::SimTime now) const;
+
+  /// The first active spec of `kind` on `target`, if any.
+  std::optional<FaultSpec> active_spec(FaultKind kind, const std::string& target,
+                                       runtime::SimTime now) const;
+
+  /// Stochastic query: true with probability `intensity` when a matching
+  /// fault is active. Records a ground-truth activation when it fires.
+  bool fires(FaultKind kind, const std::string& target, runtime::SimTime now,
+             const std::string& detail = {});
+
+  /// Record a manifestation decided by the caller (for faults whose
+  /// effect the component computes itself, e.g. a corrupted value).
+  void record(const FaultSpec& spec, runtime::SimTime now, const std::string& detail);
+
+  const std::vector<FaultSpec>& plan() const { return plan_; }
+  const std::vector<FaultActivation>& activations() const { return log_; }
+
+  /// Earliest ground-truth manifestation time of any fault on `target`
+  /// (-1 when none).
+  runtime::SimTime first_activation(const std::string& target) const;
+
+  /// Earliest planned activation time across the plan (-1 when empty).
+  runtime::SimTime first_planned() const;
+
+ private:
+  runtime::Rng rng_;
+  std::vector<FaultSpec> plan_;
+  std::vector<FaultActivation> log_;
+};
+
+}  // namespace trader::faults

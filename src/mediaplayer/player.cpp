@@ -1,0 +1,207 @@
+#include "mediaplayer/player.hpp"
+
+#include <algorithm>
+
+namespace trader::mediaplayer {
+
+using faults::FaultKind;
+
+const char* to_string(PlayerState s) {
+  switch (s) {
+    case PlayerState::kStopped:
+      return "stopped";
+    case PlayerState::kPlaying:
+      return "playing";
+    case PlayerState::kPaused:
+      return "paused";
+    case PlayerState::kBuffering:
+      return "buffering";
+  }
+  return "?";
+}
+
+MediaPlayer::MediaPlayer(runtime::Scheduler& sched, runtime::EventBus& bus,
+                         faults::FaultInjector& injector, PlayerConfig config)
+    : sched_(sched), bus_(bus), injector_(injector), config_(config) {
+  probes_.set_range("mp.av_offset_ms", -80.0, 80.0);
+  probes_.set_range("mp.video_queue", 0, config_.video_queue_capacity);
+}
+
+void MediaPlayer::start() {
+  sched_.schedule_every(config_.frame_period, [this] { tick(); });
+  publish_output("state", std::string(to_string(state_)));
+}
+
+void MediaPlayer::command(const std::string& name,
+                          std::map<std::string, runtime::Value> fields) {
+  runtime::Event ev;
+  ev.topic = "mp.input";
+  ev.name = "command";
+  ev.fields = std::move(fields);
+  ev.fields["cmd"] = name;
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void MediaPlayer::set_state(PlayerState s) {
+  if (state_ == s) return;
+  state_ = s;
+  publish_output("state", std::string(to_string(state_)));
+}
+
+void MediaPlayer::publish_output(const std::string& name, runtime::Value v) {
+  auto it = last_published_.find(name);
+  if (it != last_published_.end() && runtime::deviation(it->second, v) == 0.0) return;
+  last_published_[name] = v;
+  runtime::Event ev;
+  ev.topic = "mp.output";
+  ev.name = name;
+  ev.fields["value"] = std::move(v);
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void MediaPlayer::play() {
+  command("play");
+  if (state_ == PlayerState::kStopped || state_ == PlayerState::kPaused) {
+    set_state(PlayerState::kPlaying);
+  }
+}
+
+void MediaPlayer::pause() {
+  command("pause");
+  if (state_ == PlayerState::kPlaying || state_ == PlayerState::kBuffering) {
+    set_state(PlayerState::kPaused);
+  }
+}
+
+void MediaPlayer::stop() {
+  command("stop");
+  set_state(PlayerState::kStopped);
+  video_clock_ = audio_clock_ = 0.0;
+  video_queue_ = audio_queue_ = 0;
+  decode_credit_ = 0.0;
+}
+
+void MediaPlayer::seek(double seconds) {
+  command("seek", {{"pos", seconds}});
+  if (state_ == PlayerState::kStopped) return;
+  video_clock_ = audio_clock_ = std::clamp(seconds, 0.0, config_.clip_seconds);
+  video_queue_ = audio_queue_ = 0;  // pipeline flush
+  decode_credit_ = 0.0;
+  set_state(PlayerState::kBuffering);
+}
+
+void MediaPlayer::tick() {
+  const runtime::SimTime now = sched_.now();
+  const double frame_sec = runtime::to_sec(config_.frame_period);
+
+  if (state_ == PlayerState::kPlaying || state_ == PlayerState::kBuffering) {
+    // --- End of clip ---------------------------------------------------------
+    // When the material is exhausted and the pipeline has drained, the
+    // player stops; the "eof" milestone is published as an input so the
+    // spec model can follow (same pattern as the printer's milestones).
+    if (at_end() && video_queue_ == 0) {
+      command("eof");
+      set_state(PlayerState::kStopped);
+      video_clock_ = audio_clock_ = 0.0;
+      audio_queue_ = 0;
+      decode_credit_ = 0.0;
+      publish_output("position", video_clock_);
+      return;
+    }
+
+    // --- Demuxer -----------------------------------------------------------
+    const bool demux_stuck = injector_.is_active(FaultKind::kStuckComponent, "demuxer", now);
+    if (!demux_stuck && video_clock_ < config_.clip_seconds) {
+      if (video_queue_ < config_.video_queue_capacity) {
+        ++video_queue_;
+      } else {
+        ++frames_dropped_;  // queue overflow: demuxer discards
+      }
+      audio_queue_ = std::min(audio_queue_ + 1, config_.audio_queue_capacity);
+    }
+
+    // Buffering hysteresis: drop into buffering when starved, resume
+    // once a few frames are queued again.
+    if (state_ == PlayerState::kPlaying && video_queue_ == 0 && audio_queue_ == 0) {
+      set_state(PlayerState::kBuffering);
+    } else if (state_ == PlayerState::kBuffering && video_queue_ >= 3) {
+      set_state(PlayerState::kPlaying);
+    }
+
+    if (state_ == PlayerState::kPlaying) {
+      // --- Video decode ------------------------------------------------------
+      double rate = 1.0;
+      if (const auto f = injector_.active_spec(FaultKind::kTaskOverrun, "vdec", now)) {
+        rate = 1.0 / (1.0 + 2.0 * f->intensity);
+      }
+      decode_credit_ += rate;
+      while (decode_credit_ >= 1.0 && video_queue_ > 0) {
+        decode_credit_ -= 1.0;
+        --video_queue_;
+        video_clock_ += frame_sec;
+        ++frames_rendered_;
+      }
+      decode_credit_ = std::min(decode_credit_, 2.0);
+
+      // --- Audio decode ------------------------------------------------------
+      const bool adec_dead = injector_.is_active(FaultKind::kCrash, "adec", now);
+      if (!adec_dead && audio_queue_ > 0) {
+        --audio_queue_;
+        audio_clock_ += frame_sec;
+      }
+    }
+  }
+
+  probes_.update("mp.av_offset_ms", av_offset_ms(), now);
+  probes_.update("mp.video_queue", std::int64_t{video_queue_}, now);
+  publish_output("position", video_clock_);
+}
+
+statemachine::StateMachineDef build_player_spec_model() {
+  namespace sm = trader::statemachine;
+  sm::StateMachineDef def("player_spec");
+
+  const auto stopped = def.add_state("Stopped");
+  const auto playing = def.add_state("Playing");
+  const auto paused = def.add_state("Paused");
+  const auto seeking = def.add_state("Seeking");
+  def.set_top_initial(stopped);
+
+  auto emit_state = [](const char* value) -> sm::Action {
+    return [value](sm::ActionEnv& env) {
+      env.emit("state", {{"value", std::string(value)}});
+    };
+  };
+  def.on_entry(stopped, emit_state("stopped"));
+  def.on_entry(playing, emit_state("playing"));
+  def.on_entry(paused, emit_state("paused"));
+  // While seeking, the real player may legitimately report "buffering":
+  // suppress state comparison (IEnableCompare).
+  def.on_entry(seeking, [](sm::ActionEnv& env) {
+    env.vars.set_bool("nocompare:state", true);
+  });
+  def.on_exit(seeking, [](sm::ActionEnv& env) {
+    env.vars.set_bool("nocompare:state", false);
+  });
+
+  def.add_transition(stopped, playing, "play");
+  def.add_transition(playing, paused, "pause");
+  def.add_transition(paused, playing, "play");
+  def.add_transition(playing, stopped, "stop");
+  def.add_transition(paused, stopped, "stop");
+  def.add_transition(playing, stopped, "eof");
+  def.add_transition(playing, seeking, "seek");
+  def.add_transition(paused, seeking, "seek");
+  def.add_transition(seeking, seeking, "seek");
+  def.add_transition(seeking, stopped, "stop");
+  def.add_transition(seeking, stopped, "eof");  // sought to the very end
+  def.add_transition(seeking, paused, "pause");
+  // Buffering after a seek resolves within half a second in the model.
+  def.add_timed(seeking, playing, runtime::msec(500));
+
+  return def;
+}
+
+}  // namespace trader::mediaplayer

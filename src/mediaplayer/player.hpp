@@ -1,0 +1,93 @@
+// Media-player SUO — the MPlayer case study (§5).
+//
+// "Currently, the framework is used for awareness experiments with the
+// open source media player MPlayer, investigating both correctness and
+// performance issues."
+//
+// The simulator reproduces the two issue classes: *correctness* of the
+// transport state machine (play/pause/stop/seek), monitored by a spec
+// model, and *performance* of the decode pipeline (A/V sync drift and
+// frame drops under decoder overload or demuxer stalls), monitored by
+// range probes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "faults/injector.hpp"
+#include "observation/probes.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "statemachine/definition.hpp"
+
+namespace trader::mediaplayer {
+
+enum class PlayerState : std::uint8_t { kStopped, kPlaying, kPaused, kBuffering };
+
+const char* to_string(PlayerState s);
+
+struct PlayerConfig {
+  runtime::SimDuration frame_period = runtime::msec(40);  ///< 25 fps.
+  double clip_seconds = 600.0;
+  int video_queue_capacity = 8;   ///< Demuxed frames awaiting decode.
+  int audio_queue_capacity = 16;
+  std::uint64_t seed = 5;
+};
+
+class MediaPlayer {
+ public:
+  MediaPlayer(runtime::Scheduler& sched, runtime::EventBus& bus,
+              faults::FaultInjector& injector, PlayerConfig config = {});
+
+  /// Begin the pipeline tick.
+  void start();
+
+  // --- Transport commands ("mp.input" events) ---------------------------
+  void play();
+  void pause();
+  void stop();
+  void seek(double seconds);
+
+  // --- Observables -------------------------------------------------------
+  PlayerState state() const { return state_; }
+  double position_seconds() const { return video_clock_; }
+  bool at_end() const { return video_clock_ >= config_.clip_seconds - 1e-9; }
+  /// Audio-minus-video clock offset in milliseconds (performance issue).
+  double av_offset_ms() const { return (audio_clock_ - video_clock_) * 1000.0; }
+  std::uint64_t frames_rendered() const { return frames_rendered_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  int video_queue() const { return video_queue_; }
+
+  observation::ProbeRegistry& probes() { return probes_; }
+
+ private:
+  void command(const std::string& name, std::map<std::string, runtime::Value> fields = {});
+  void tick();
+  void set_state(PlayerState s);
+  void publish_output(const std::string& name, runtime::Value v);
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  faults::FaultInjector& injector_;
+  PlayerConfig config_;
+
+  PlayerState state_ = PlayerState::kStopped;
+  double video_clock_ = 0.0;  // seconds of video presented
+  double audio_clock_ = 0.0;  // seconds of audio played
+  int video_queue_ = 0;
+  int audio_queue_ = 0;
+  double decode_credit_ = 0.0;  // fractional frames decodable this tick
+  std::uint64_t frames_rendered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+
+  observation::ProbeRegistry probes_;
+  std::map<std::string, runtime::Value> last_published_;
+};
+
+/// Spec model for the transport state machine; emits observable "state".
+/// The model flags "nocompare:state" while the player may legitimately
+/// be buffering (after seek) — the IEnableCompare mechanism of §4.3.
+statemachine::StateMachineDef build_player_spec_model();
+
+}  // namespace trader::mediaplayer

@@ -1,0 +1,46 @@
+#include "observation/aspect.hpp"
+
+namespace trader::observation {
+
+void AspectRegistry::before(const std::string& join_point, BeforeAdvice advice) {
+  before_[join_point].push_back(std::move(advice));
+}
+
+void AspectRegistry::after(const std::string& join_point, AfterAdvice advice) {
+  after_[join_point].push_back(std::move(advice));
+}
+
+runtime::Value AspectRegistry::dispatch(const std::string& join_point,
+                                        std::map<std::string, runtime::Value> args,
+                                        runtime::SimTime now,
+                                        const std::function<runtime::Value()>& body) {
+  ++counts_[join_point];
+  JoinPointCall call{join_point, std::move(args), now, true};
+  if (auto it = before_.find(join_point); it != before_.end()) {
+    for (const auto& advice : it->second) advice(call);
+  }
+  runtime::Value result{std::int64_t{0}};
+  if (call.proceed && body) result = body();
+  if (auto it = after_.find(join_point); it != after_.end()) {
+    for (const auto& advice : it->second) advice(call, result);
+  }
+  return result;
+}
+
+std::uint64_t AspectRegistry::dispatch_count(const std::string& join_point) const {
+  auto it = counts_.find(join_point);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> AspectRegistry::advised_join_points() const {
+  std::vector<std::string> out;
+  for (const auto& [jp, v] : before_) {
+    if (!v.empty()) out.push_back(jp);
+  }
+  for (const auto& [jp, v] : after_) {
+    if (!v.empty() && before_.count(jp) == 0) out.push_back(jp);
+  }
+  return out;
+}
+
+}  // namespace trader::observation

@@ -1,0 +1,61 @@
+// Aspect-oriented instrumentation hooks — the AspectKoala stand-in.
+//
+// §4.1: software observation in Trader is "mainly done by code
+// instrumentation using aspect-oriented techniques" via AspectKoala on
+// the Koala component model. AspectRegistry provides the same join-point
+// model: components announce join points (named interface calls); advice
+// registered as before/after/around handlers observes or wraps them
+// without modifying component code — the paper's requirement of
+// "minimal adaptation of the software of the system".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::observation {
+
+/// Payload passed through a join point (mutable for around advice).
+struct JoinPointCall {
+  std::string join_point;
+  std::map<std::string, runtime::Value> args;
+  runtime::SimTime now = 0;
+  bool proceed = true;  ///< Around advice may veto the underlying call.
+};
+
+using BeforeAdvice = std::function<void(JoinPointCall&)>;
+using AfterAdvice = std::function<void(const JoinPointCall&, const runtime::Value& result)>;
+
+/// Registry of join points and advice.
+class AspectRegistry {
+ public:
+  /// Register advice running before the join point body.
+  void before(const std::string& join_point, BeforeAdvice advice);
+
+  /// Register advice running after the join point body.
+  void after(const std::string& join_point, AfterAdvice advice);
+
+  /// Execute a join point around `body`. Before advice may set
+  /// proceed=false to suppress the body (returns default Value then).
+  runtime::Value dispatch(const std::string& join_point,
+                          std::map<std::string, runtime::Value> args, runtime::SimTime now,
+                          const std::function<runtime::Value()>& body);
+
+  /// Number of dispatches per join point.
+  std::uint64_t dispatch_count(const std::string& join_point) const;
+
+  /// Join points with at least one advice attached.
+  std::vector<std::string> advised_join_points() const;
+
+ private:
+  std::map<std::string, std::vector<BeforeAdvice>> before_;
+  std::map<std::string, std::vector<AfterAdvice>> after_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace trader::observation

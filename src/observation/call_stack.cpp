@@ -1,0 +1,47 @@
+#include "observation/call_stack.hpp"
+
+#include <algorithm>
+
+namespace trader::observation {
+
+void CallStackTracer::enter(const std::string& function,
+                            std::map<std::string, runtime::Value> params, runtime::SimTime now) {
+  live_.push_back(LiveFrame{function, std::move(params), now});
+  max_depth_ = std::max(max_depth_, static_cast<std::uint32_t>(live_.size()));
+  auto& st = stats_[function];
+  ++st.calls;
+  st.max_depth = std::max(st.max_depth, static_cast<std::uint32_t>(live_.size()));
+}
+
+void CallStackTracer::exit(runtime::SimTime now, runtime::Value result) {
+  if (live_.empty()) return;  // tolerate unbalanced instrumentation
+  LiveFrame frame = std::move(live_.back());
+  live_.pop_back();
+  stats_[frame.function].total_time += now - frame.entered;
+  if (records_.size() < max_records_) {
+    records_.push_back(CallRecord{std::move(frame.function), std::move(frame.params),
+                                  std::move(result), frame.entered, now,
+                                  static_cast<std::uint32_t>(live_.size() + 1)});
+  }
+}
+
+std::vector<std::string> CallStackTracer::stack() const {
+  std::vector<std::string> out;
+  out.reserve(live_.size());
+  for (const auto& f : live_) out.push_back(f.function);
+  return out;
+}
+
+std::uint64_t CallStackTracer::calls_to(const std::string& function) const {
+  auto it = stats_.find(function);
+  return it == stats_.end() ? 0 : it->second.calls;
+}
+
+void CallStackTracer::clear() {
+  live_.clear();
+  records_.clear();
+  stats_.clear();
+  max_depth_ = 0;
+}
+
+}  // namespace trader::observation

@@ -1,0 +1,94 @@
+// Call-stack tracing — the on-chip trace infrastructure stand-in (§4.1).
+//
+// Records function entries/exits (name, parameters, result), maintains
+// the live stack, and keeps per-function statistics. A RAII ScopedCall
+// makes instrumentation of simulator code one line per function.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::observation {
+
+/// One completed call record.
+struct CallRecord {
+  std::string function;
+  std::map<std::string, runtime::Value> params;
+  runtime::Value result;
+  runtime::SimTime entered = 0;
+  runtime::SimTime exited = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Per-function aggregate statistics.
+struct CallStats {
+  std::uint64_t calls = 0;
+  runtime::SimDuration total_time = 0;
+  std::uint32_t max_depth = 0;
+};
+
+class CallStackTracer {
+ public:
+  explicit CallStackTracer(std::size_t max_records = 16384) : max_records_(max_records) {}
+
+  /// Enter a function at `now`.
+  void enter(const std::string& function, std::map<std::string, runtime::Value> params,
+             runtime::SimTime now);
+
+  /// Exit the innermost call at `now` with a result value.
+  void exit(runtime::SimTime now, runtime::Value result = std::int64_t{0});
+
+  /// Current stack, outermost first (function names).
+  std::vector<std::string> stack() const;
+
+  std::uint32_t depth() const { return static_cast<std::uint32_t>(live_.size()); }
+  std::uint32_t max_depth_seen() const { return max_depth_; }
+
+  /// Retained completed-call records, completion order.
+  const std::vector<CallRecord>& records() const { return records_; }
+
+  const std::map<std::string, CallStats>& stats() const { return stats_; }
+
+  /// Calls to a given function (0 if unseen).
+  std::uint64_t calls_to(const std::string& function) const;
+
+  void clear();
+
+ private:
+  struct LiveFrame {
+    std::string function;
+    std::map<std::string, runtime::Value> params;
+    runtime::SimTime entered = 0;
+  };
+
+  std::size_t max_records_;
+  std::vector<LiveFrame> live_;
+  std::vector<CallRecord> records_;
+  std::map<std::string, CallStats> stats_;
+  std::uint32_t max_depth_ = 0;
+};
+
+/// RAII helper: traces enter on construction, exit on destruction.
+class ScopedCall {
+ public:
+  ScopedCall(CallStackTracer& tracer, const std::string& function, runtime::SimTime now,
+             std::map<std::string, runtime::Value> params = {})
+      : tracer_(tracer), now_(now) {
+    tracer_.enter(function, std::move(params), now);
+  }
+  ~ScopedCall() { tracer_.exit(now_); }
+
+  ScopedCall(const ScopedCall&) = delete;
+  ScopedCall& operator=(const ScopedCall&) = delete;
+
+ private:
+  CallStackTracer& tracer_;
+  runtime::SimTime now_;
+};
+
+}  // namespace trader::observation

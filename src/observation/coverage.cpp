@@ -1,0 +1,25 @@
+#include "observation/coverage.hpp"
+
+#include <algorithm>
+
+namespace trader::observation {
+
+std::size_t BlockCoverageRecorder::blocks_touched() const {
+  std::vector<bool> any(block_count_, false);
+  for (const auto& step : steps_) {
+    for (std::size_t b = 0; b < block_count_; ++b) {
+      if (step[b]) any[b] = true;
+    }
+  }
+  return static_cast<std::size_t>(std::count(any.begin(), any.end(), true));
+}
+
+void BlockCoverageRecorder::clear() {
+  std::fill(current_.begin(), current_.end(), false);
+  hits_in_step_ = 0;
+  steps_.clear();
+  hits_per_step_.clear();
+  raw_hits_ = 0;
+}
+
+}  // namespace trader::observation

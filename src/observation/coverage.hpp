@@ -1,0 +1,74 @@
+// Block-coverage recorder — the instrumentation backend for §4.4.
+//
+// The diagnosis case study instruments C code "to record which blocks
+// are executed", then groups hits per scenario step (between two key
+// presses) into a *spectrum* per block. BlockCoverageRecorder implements
+// exactly that: hit(block) marks a block in the current step; end_step()
+// closes the step. The diagnosis module consumes the resulting matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trader::observation {
+
+/// Records block hits grouped into scenario steps.
+///
+/// Storage is one bit vector per step (column-major in SFL terms: the
+/// spectrum of block b is the sequence step_hits_[s][b] over steps s).
+class BlockCoverageRecorder {
+ public:
+  explicit BlockCoverageRecorder(std::size_t block_count)
+      : block_count_(block_count), current_(block_count, false) {}
+
+  std::size_t block_count() const { return block_count_; }
+
+  /// Mark a block as executed in the current step.
+  void hit(std::size_t block) {
+    if (block < block_count_ && !current_[block]) {
+      current_[block] = true;
+      ++hits_in_step_;
+    }
+    ++raw_hits_;
+  }
+
+  /// Close the current step and start a new one.
+  void end_step() {
+    steps_.push_back(current_);
+    hits_per_step_.push_back(hits_in_step_);
+    std::fill(current_.begin(), current_.end(), false);
+    hits_in_step_ = 0;
+  }
+
+  /// Number of completed steps.
+  std::size_t step_count() const { return steps_.size(); }
+
+  /// Was `block` executed during completed step `step`?
+  bool executed(std::size_t step, std::size_t block) const {
+    return steps_.at(step)[block];
+  }
+
+  /// Distinct blocks hit in a completed step.
+  std::size_t blocks_in_step(std::size_t step) const { return hits_per_step_.at(step); }
+
+  /// Distinct blocks hit in at least one completed step.
+  std::size_t blocks_touched() const;
+
+  /// Raw (non-deduplicated) hit count, for instrumentation overhead accounting.
+  std::uint64_t raw_hits() const { return raw_hits_; }
+
+  /// The full hit matrix, steps × blocks.
+  const std::vector<std::vector<bool>>& matrix() const { return steps_; }
+
+  void clear();
+
+ private:
+  std::size_t block_count_;
+  std::vector<bool> current_;
+  std::size_t hits_in_step_ = 0;
+  std::vector<std::vector<bool>> steps_;
+  std::vector<std::size_t> hits_per_step_;
+  std::uint64_t raw_hits_ = 0;
+};
+
+}  // namespace trader::observation

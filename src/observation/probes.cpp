@@ -1,0 +1,61 @@
+#include "observation/probes.hpp"
+
+namespace trader::observation {
+
+void ProbeRegistry::set_range(const std::string& name, double lo, double hi) {
+  auto& slot = slots_[name];
+  slot.has_range = true;
+  slot.lo = lo;
+  slot.hi = hi;
+}
+
+void ProbeRegistry::update(const std::string& name, runtime::Value v, runtime::SimTime now) {
+  ++updates_;
+  auto& slot = slots_[name];
+  slot.value = v;
+  slot.updated_at = now;
+  if (slot.has_range) {
+    bool numeric = false;
+    double n = 0.0;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      numeric = true;
+      n = static_cast<double>(*i);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      numeric = true;
+      n = *d;
+    }
+    if (numeric && (n < slot.lo || n > slot.hi)) {
+      violations_.push_back(RangeViolation{name, n, slot.lo, slot.hi, now});
+    }
+  }
+  for (const auto& h : handlers_) h(name, v, now);
+}
+
+std::optional<runtime::Value> ProbeRegistry::value(const std::string& name) const {
+  auto it = slots_.find(name);
+  if (it == slots_.end() || it->second.updated_at < 0) return std::nullopt;
+  return it->second.value;
+}
+
+double ProbeRegistry::num(const std::string& name, double dflt) const {
+  auto v = value(name);
+  if (!v) return dflt;
+  if (const auto* i = std::get_if<std::int64_t>(&*v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&*v)) return *d;
+  if (const auto* b = std::get_if<bool>(&*v)) return *b ? 1.0 : 0.0;
+  return dflt;
+}
+
+runtime::SimTime ProbeRegistry::last_update(const std::string& name) const {
+  auto it = slots_.find(name);
+  return it == slots_.end() ? -1 : it->second.updated_at;
+}
+
+std::vector<std::string> ProbeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [k, v] : slots_) out.push_back(k);
+  return out;
+}
+
+}  // namespace trader::observation

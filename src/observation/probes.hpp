@@ -1,0 +1,80 @@
+// Value and range probes — the software side of §4.1 (Observation).
+//
+// The paper exploits on-chip debug/trace hardware to monitor values for
+// range checking, call stacks, and memory arbiters, plus aspect-oriented
+// code instrumentation. ProbeRegistry is the common attachment point: SUO
+// components publish named values; observers and detectors read them or
+// subscribe to updates; range probes flag out-of-range values at the
+// moment of update (the "range checking" mechanism).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::observation {
+
+/// A recorded range violation.
+struct RangeViolation {
+  std::string probe;
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  runtime::SimTime time = 0;
+};
+
+/// Central registry of named observable values.
+class ProbeRegistry {
+ public:
+  using UpdateHandler =
+      std::function<void(const std::string& name, const runtime::Value&, runtime::SimTime)>;
+
+  /// Declare a numeric range for a probe; updates outside [lo, hi] are
+  /// recorded as violations (and still stored).
+  void set_range(const std::string& name, double lo, double hi);
+
+  /// Update a probe value at time `now`.
+  void update(const std::string& name, runtime::Value v, runtime::SimTime now);
+
+  /// Latest value of a probe, if any.
+  std::optional<runtime::Value> value(const std::string& name) const;
+
+  /// Latest numeric value with default.
+  double num(const std::string& name, double dflt = 0.0) const;
+
+  /// Time of the last update of a probe (-1 when never updated).
+  runtime::SimTime last_update(const std::string& name) const;
+
+  /// Subscribe to all probe updates.
+  void on_update(UpdateHandler h) { handlers_.push_back(std::move(h)); }
+
+  const std::vector<RangeViolation>& violations() const { return violations_; }
+  void clear_violations() { violations_.clear(); }
+
+  /// Names of all probes seen so far.
+  std::vector<std::string> names() const;
+
+  std::uint64_t update_count() const { return updates_; }
+
+ private:
+  struct Slot {
+    runtime::Value value;
+    runtime::SimTime updated_at = -1;
+    bool has_range = false;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+
+  std::map<std::string, Slot> slots_;
+  std::vector<UpdateHandler> handlers_;
+  std::vector<RangeViolation> violations_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace trader::observation

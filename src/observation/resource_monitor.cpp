@@ -1,0 +1,60 @@
+#include "observation/resource_monitor.hpp"
+
+#include <algorithm>
+
+namespace trader::observation {
+
+void ResourceMonitor::sample(const std::string& resource, double level, runtime::SimTime now) {
+  auto& samples = series_[resource];
+  samples.push_back(Sample{now, level});
+  prune(samples, now);
+}
+
+void ResourceMonitor::prune(std::deque<Sample>& samples, runtime::SimTime now) const {
+  // Keep one sample preceding the window start so time-weighting has a
+  // level for the window's initial segment.
+  const runtime::SimTime start = now - window_;
+  while (samples.size() > 1 && samples[1].at <= start) samples.pop_front();
+}
+
+double ResourceMonitor::utilization(const std::string& resource, runtime::SimTime now) const {
+  auto it = series_.find(resource);
+  if (it == series_.end() || it->second.empty()) return 0.0;
+  auto& samples = it->second;
+  prune(samples, now);
+  const runtime::SimTime start = now - window_;
+  double weighted = 0.0;
+  runtime::SimDuration covered = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const runtime::SimTime seg_start = std::max(samples[i].at, start);
+    const runtime::SimTime seg_end = (i + 1 < samples.size()) ? samples[i + 1].at : now;
+    if (seg_end <= seg_start) continue;
+    weighted += samples[i].level * static_cast<double>(seg_end - seg_start);
+    covered += seg_end - seg_start;
+  }
+  return covered > 0 ? weighted / static_cast<double>(covered) : samples.back().level;
+}
+
+double ResourceMonitor::peak(const std::string& resource, runtime::SimTime now) const {
+  auto it = series_.find(resource);
+  if (it == series_.end() || it->second.empty()) return 0.0;
+  prune(it->second, now);
+  double p = 0.0;
+  for (const auto& s : it->second) p = std::max(p, s.level);
+  return p;
+}
+
+double ResourceMonitor::current(const std::string& resource) const {
+  auto it = series_.find(resource);
+  if (it == series_.end() || it->second.empty()) return 0.0;
+  return it->second.back().level;
+}
+
+std::vector<std::string> ResourceMonitor::resources() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [k, v] : series_) out.push_back(k);
+  return out;
+}
+
+}  // namespace trader::observation

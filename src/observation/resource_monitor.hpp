@@ -1,0 +1,53 @@
+// Resource utilization monitor (processors, buses, buffers — §4.1).
+//
+// Keeps time-weighted utilization per named resource plus a sliding
+// window of samples, so detectors can ask "what was the CPU load over
+// the last 100 ms" the way the Trader memory-arbiter / bus monitors do.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::observation {
+
+/// Sliding-window, time-weighted utilization tracker.
+class ResourceMonitor {
+ public:
+  explicit ResourceMonitor(runtime::SimDuration window = runtime::msec(100))
+      : window_(window) {}
+
+  /// Record that `resource` utilization changed to `level` (0..1+) at `now`.
+  void sample(const std::string& resource, double level, runtime::SimTime now);
+
+  /// Time-weighted mean utilization over the window ending at `now`.
+  double utilization(const std::string& resource, runtime::SimTime now) const;
+
+  /// Peak sampled level within the window ending at `now`.
+  double peak(const std::string& resource, runtime::SimTime now) const;
+
+  /// Latest sampled level (0 when never sampled).
+  double current(const std::string& resource) const;
+
+  /// All resources seen.
+  std::vector<std::string> resources() const;
+
+  runtime::SimDuration window() const { return window_; }
+
+ private:
+  struct Sample {
+    runtime::SimTime at;
+    double level;
+  };
+
+  void prune(std::deque<Sample>& samples, runtime::SimTime now) const;
+
+  runtime::SimDuration window_;
+  mutable std::map<std::string, std::deque<Sample>> series_;
+};
+
+}  // namespace trader::observation

@@ -1,0 +1,31 @@
+#include "observation/scenario.hpp"
+
+namespace trader::observation {
+
+void ScenarioRecorder::start() {
+  if (running_) return;
+  running_ = true;
+  sub_ = bus_.subscribe(topic_, [this](const runtime::Event& ev) {
+    events_.push_back(RecordedEvent{ev, sched_.now()});
+  });
+}
+
+void ScenarioRecorder::stop() {
+  if (!running_) return;
+  running_ = false;
+  bus_.unsubscribe(sub_);
+}
+
+runtime::SimDuration ScenarioRecorder::replay(runtime::Scheduler& sched,
+                                              std::function<void(const runtime::Event&)> sink,
+                                              runtime::SimDuration initial_delay) const {
+  if (events_.empty()) return 0;
+  const runtime::SimTime t0 = events_.front().at;
+  const runtime::SimTime base = sched.now() + initial_delay;
+  for (const auto& rec : events_) {
+    sched.schedule_at(base + (rec.at - t0), [sink, ev = rec.event] { sink(ev); });
+  }
+  return events_.back().at - t0 + initial_delay;
+}
+
+}  // namespace trader::observation

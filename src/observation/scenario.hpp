@@ -1,0 +1,58 @@
+// Scenario recording and replay.
+//
+// §4.4 defines a scenario as "a sequence of key presses". Diagnosis
+// needs the failing scenario to be *re-executed under instrumentation*
+// (coverage recording is too expensive to leave on in the field), so the
+// observation layer records input events with their timing and replays
+// them — against a fresh SUO instance — preserving relative timing under
+// virtual time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace trader::observation {
+
+/// One recorded stimulus.
+struct RecordedEvent {
+  runtime::Event event;
+  runtime::SimTime at = 0;
+};
+
+class ScenarioRecorder {
+ public:
+  /// Records events published on `topic` while started.
+  ScenarioRecorder(runtime::Scheduler& sched, runtime::EventBus& bus, std::string topic)
+      : sched_(sched), bus_(bus), topic_(std::move(topic)) {}
+
+  ~ScenarioRecorder() { stop(); }
+
+  void start();
+  void stop();
+  void clear() { events_.clear(); }
+
+  const std::vector<RecordedEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Schedule the recorded events into `sink` on `sched`, preserving the
+  /// original inter-event gaps; the first event fires `initial_delay`
+  /// after the current time. Returns the virtual duration of the replay.
+  runtime::SimDuration replay(runtime::Scheduler& sched,
+                              std::function<void(const runtime::Event&)> sink,
+                              runtime::SimDuration initial_delay = 0) const;
+
+ private:
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  std::string topic_;
+  runtime::Subscription sub_;
+  bool running_ = false;
+  std::vector<RecordedEvent> events_;
+};
+
+}  // namespace trader::observation

@@ -1,0 +1,46 @@
+#include "observation/soc_trace.hpp"
+
+#include <sstream>
+
+namespace trader::observation {
+
+void SocTraceUnit::watch(const std::string& name, CounterFn fn) {
+  watches_.push_back(Watch{name, std::move(fn)});
+}
+
+void SocTraceUnit::watch_ranged(const std::string& name, CounterFn fn, double lo, double hi) {
+  probes_.set_range(name, lo, hi);
+  watch(name, std::move(fn));
+}
+
+void SocTraceUnit::start() {
+  if (running_) return;
+  running_ = true;
+  handle_ = sched_.schedule_every(period_, [this] { sample(); });
+}
+
+void SocTraceUnit::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(handle_);
+}
+
+void SocTraceUnit::sample() {
+  const runtime::SimTime now = sched_.now();
+  ++samples_;
+  std::ostringstream line;
+  for (const auto& w : watches_) {
+    const double v = w.fn();
+    probes_.update(w.name, v, now);
+    monitor_.sample(w.name, v, now);
+    if (trace_decimation_ > 0 && samples_ % static_cast<std::uint64_t>(trace_decimation_) == 0) {
+      line << w.name << "=" << v << " ";
+    }
+  }
+  const std::string rendered = line.str();
+  if (!rendered.empty()) {
+    trace_.log(now, runtime::TraceLevel::kDebug, "soc-trace", rendered);
+  }
+}
+
+}  // namespace trader::observation

@@ -1,0 +1,69 @@
+// Simulated on-chip trace unit (§4.1).
+//
+// "Hardware-related work in Trader currently aims at exploiting
+// mechanisms already available in hardware, such as the on-chip debug
+// and trace infrastructure, to monitor values for range checking, call
+// stacks … and memory arbiters." SocTraceUnit periodically samples a set
+// of counter callbacks into the resource monitor, the probe registry
+// (where range checks fire) and — at a configurable decimation — the
+// trace log, mimicking a hardware trace port draining to a buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "observation/probes.hpp"
+#include "observation/resource_monitor.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace trader::observation {
+
+class SocTraceUnit {
+ public:
+  using CounterFn = std::function<double()>;
+
+  SocTraceUnit(runtime::Scheduler& sched, ProbeRegistry& probes, ResourceMonitor& monitor,
+               runtime::TraceLog& trace, runtime::SimDuration period = runtime::msec(20),
+               int trace_decimation = 10)
+      : sched_(sched),
+        probes_(probes),
+        monitor_(monitor),
+        trace_(trace),
+        period_(period),
+        trace_decimation_(trace_decimation) {}
+
+  ~SocTraceUnit() { stop(); }
+
+  /// Watch a counter under `name`; optional [lo, hi] arms a range check.
+  void watch(const std::string& name, CounterFn fn);
+  void watch_ranged(const std::string& name, CounterFn fn, double lo, double hi);
+
+  void start();
+  void stop();
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  void sample();
+
+  struct Watch {
+    std::string name;
+    CounterFn fn;
+  };
+
+  runtime::Scheduler& sched_;
+  ProbeRegistry& probes_;
+  ResourceMonitor& monitor_;
+  runtime::TraceLog& trace_;
+  runtime::SimDuration period_;
+  int trace_decimation_;
+  std::vector<Watch> watches_;
+  runtime::TaskHandle handle_;
+  bool running_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace trader::observation

@@ -1,0 +1,93 @@
+#include "perception/impact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trader::perception {
+
+const char* to_string(RepairUrgency u) {
+  switch (u) {
+    case RepairUrgency::kImmediate:
+      return "immediate";
+    case RepairUrgency::kDeferred:
+      return "deferred";
+    case RepairUrgency::kCosmetic:
+      return "cosmetic";
+  }
+  return "?";
+}
+
+void ImpactAssessor::map_observable(const std::string& observable, const std::string& function) {
+  observable_to_function_[observable] = function;
+}
+
+const ProductFunction* ImpactAssessor::function_named(const std::string& name) const {
+  for (const auto& fn : functions_) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+ImpactAssessment ImpactAssessor::assess(const core::ErrorReport& error, UserGroup group,
+                                        double full_scale) const {
+  ImpactAssessment out;
+  auto it = observable_to_function_.find(error.observable);
+  const std::string fn_name = it != observable_to_function_.end() ? it->second : fallback_;
+  const ProductFunction* fn = function_named(fn_name);
+  if (fn == nullptr) {
+    // Unknown function: be conservative — treat as deferred mid impact.
+    out.function = fn_name;
+    out.irritation = 0.4;
+    out.urgency = RepairUrgency::kDeferred;
+    return out;
+  }
+  out.function = fn->name;
+  out.attribution = fn->typical_attribution;
+
+  FailureStimulus stimulus;
+  stimulus.function = fn->name;
+  // Categorical mismatches (strings) read as severe; numeric deviations
+  // scale against the magnitude the user expected (losing all sound is
+  // severity 1.0 no matter the absolute level), bounded by full scale.
+  const bool categorical = !runtime::both_numeric(error.expected, error.observed);
+  if (categorical) {
+    stimulus.severity = 0.8;
+  } else {
+    const double expected_mag = std::abs(runtime::deviation(error.expected, runtime::Value{0.0}));
+    const double observed_mag = std::abs(runtime::deviation(error.observed, runtime::Value{0.0}));
+    const double reference =
+        std::clamp(std::max(expected_mag, observed_mag), 1.0, std::max(full_scale, 1.0));
+    stimulus.severity = std::clamp(error.deviation / reference, 0.0, 1.0);
+  }
+  stimulus.duration =
+      std::max<runtime::SimDuration>(error.detected_at - error.first_deviation_at,
+                                     runtime::sec(5));
+
+  // Gate the perception score by severity: the irritation model's
+  // importance/usage terms describe the *function*, but a barely
+  // perceptible deviation of an important function is still benign.
+  out.irritation = model_.irritation(*fn, stimulus, group, fn->typical_attribution) *
+                   (0.25 + 0.75 * stimulus.severity);
+  if (out.irritation >= thresholds_.immediate_above) {
+    out.urgency = RepairUrgency::kImmediate;
+  } else if (out.irritation < thresholds_.cosmetic_below) {
+    out.urgency = RepairUrgency::kCosmetic;
+  } else {
+    out.urgency = RepairUrgency::kDeferred;
+  }
+  return out;
+}
+
+ImpactAssessor tv_impact_assessor() {
+  ImpactAssessor assessor(tv_functions());
+  assessor.map_observable("sound_level", "audio");
+  assessor.map_observable("screen_state", "teletext");
+  assessor.map_observable("channel", "image_quality");
+  assessor.map_observable("source", "image_quality");
+  assessor.map_observable("swivel_pos", "swivel");
+  assessor.map_observable("powered", "audio");
+  assessor.set_fallback("teletext");
+  return assessor;
+}
+
+}  // namespace trader::perception

@@ -1,0 +1,75 @@
+// User-impact assessment of run-time errors.
+//
+// Fig. 1's recovery stage acts "based on the diagnosis results and
+// information about the expected impact on the user" — this is where the
+// §4.6 perception model feeds back into the §4.5 recovery decision.
+// ImpactAssessor maps a detected error onto a product function, scores
+// the expected irritation with the IrritationModel, and recommends a
+// recovery urgency: a high-impact failure (sound gone) warrants an
+// immediate, possibly disruptive repair, while a low-impact one (stale
+// teletext in the background) can wait for an idle moment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/interfaces.hpp"
+#include "perception/perception.hpp"
+
+namespace trader::perception {
+
+/// Recommended urgency for repairing a detected error.
+enum class RepairUrgency : std::uint8_t {
+  kImmediate,  ///< Repair now even if the repair itself is visible.
+  kDeferred,   ///< Repair at the next quiet moment (e.g. channel change).
+  kCosmetic,   ///< Log only; repair opportunistically.
+};
+
+const char* to_string(RepairUrgency u);
+
+struct ImpactAssessment {
+  std::string function;          ///< Product function affected.
+  double irritation = 0.0;       ///< Expected user irritation [0,1].
+  Attribution attribution = Attribution::kProduct;
+  RepairUrgency urgency = RepairUrgency::kDeferred;
+};
+
+class ImpactAssessor {
+ public:
+  struct Thresholds {
+    double immediate_above = 0.55;
+    double cosmetic_below = 0.20;
+  };
+
+  ImpactAssessor(std::vector<ProductFunction> functions, IrritationModel model = IrritationModel{},
+                 Thresholds thresholds = Thresholds{0.55, 0.20})
+      : functions_(std::move(functions)), model_(std::move(model)), thresholds_(thresholds) {}
+
+  /// Map an observable name to a product function (e.g. "sound_level" ->
+  /// "audio"). Unmapped observables fall back to `fallback_function`.
+  void map_observable(const std::string& observable, const std::string& function);
+  void set_fallback(const std::string& function) { fallback_ = function; }
+
+  /// Assess a comparator error for a given user group. The deviation
+  /// magnitude (relative to a full-scale reference) sets the stimulus
+  /// severity; episode length so far sets its duration.
+  ImpactAssessment assess(const core::ErrorReport& error, UserGroup group = UserGroup::kCasual,
+                          double full_scale = 100.0) const;
+
+ private:
+  const ProductFunction* function_named(const std::string& name) const;
+
+  std::vector<ProductFunction> functions_;
+  IrritationModel model_;
+  Thresholds thresholds_;
+  std::map<std::string, std::string> observable_to_function_;
+  std::string fallback_;
+};
+
+/// The standard TV mapping: sound_level->audio, screen_state->teletext,
+/// channel->image_quality (wrong picture), swivel_pos->swivel,
+/// source->image_quality.
+ImpactAssessor tv_impact_assessor();
+
+}  // namespace trader::perception

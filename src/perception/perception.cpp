@@ -1,0 +1,159 @@
+#include "perception/perception.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trader::perception {
+
+const char* to_string(UserGroup g) {
+  switch (g) {
+    case UserGroup::kCasual:
+      return "casual";
+    case UserGroup::kEnthusiast:
+      return "enthusiast";
+    case UserGroup::kSenior:
+      return "senior";
+  }
+  return "?";
+}
+
+const char* to_string(Attribution a) {
+  switch (a) {
+    case Attribution::kProduct:
+      return "product";
+    case Attribution::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+double IrritationModel::irritation(const ProductFunction& fn, const FailureStimulus& stimulus,
+                                   UserGroup group, Attribution attribution) const {
+  // Usage saturates logarithmically: a function used 10× per hour is not
+  // 10× as irritating when broken.
+  const double usage_factor = std::log1p(fn.usage_per_hour) / std::log1p(10.0);
+  const double duration_factor =
+      std::min(1.0, static_cast<double>(stimulus.duration) /
+                        static_cast<double>(params_.duration_saturation));
+
+  double score = params_.importance_weight * fn.importance +
+                 params_.usage_weight * std::min(1.0, usage_factor) +
+                 params_.severity_weight * stimulus.severity * (0.5 + 0.5 * duration_factor);
+
+  if (attribution == Attribution::kExternal) score *= params_.external_discount;
+
+  switch (group) {
+    case UserGroup::kCasual:
+      score *= params_.casual_gain;
+      break;
+    case UserGroup::kEnthusiast:
+      score *= params_.enthusiast_gain;
+      break;
+    case UserGroup::kSenior:
+      score *= params_.senior_gain;
+      break;
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+const FunctionOutcome& PanelResult::of(const std::string& function) const {
+  for (const auto& o : outcomes) {
+    if (o.function == function) return o;
+  }
+  throw std::out_of_range("no outcome for function: " + function);
+}
+
+UserPanel::UserPanel(std::size_t users, std::uint64_t seed, IrritationModel model)
+    : users_(users), rng_(seed), model_(std::move(model)) {}
+
+UserGroup UserPanel::group_of(std::size_t user) const {
+  // Fixed 50/30/20 mix, deterministic per user index.
+  const std::size_t r = (user * 7919) % 10;
+  if (r < 5) return UserGroup::kCasual;
+  if (r < 8) return UserGroup::kEnthusiast;
+  return UserGroup::kSenior;
+}
+
+PanelResult UserPanel::run(const std::vector<ProductFunction>& functions,
+                           const std::vector<FailureStimulus>& stimuli) {
+  PanelResult result;
+  result.outcomes.reserve(functions.size());
+
+  for (const auto& fn : functions) {
+    const FailureStimulus* stim = nullptr;
+    for (const auto& s : stimuli) {
+      if (s.function == fn.name) {
+        stim = &s;
+        break;
+      }
+    }
+
+    FunctionOutcome outcome;
+    outcome.function = fn.name;
+
+    double stated_sum = 0.0;
+    double observed_sum = 0.0;
+    for (std::size_t u = 0; u < users_; ++u) {
+      const UserGroup group = group_of(u);
+      // Survey protocol: users state importance; attribution plays no
+      // role when *asked* — the §4.6 inversion arises exactly because
+      // surveys miss it.
+      stated_sum += std::clamp(fn.importance + rng_.normal(0.0, 0.08), 0.0, 1.0);
+      if (stim != nullptr) {
+        // Observation protocol: most users attribute along the typical
+        // line; a minority blames the product anyway.
+        Attribution att = fn.typical_attribution;
+        if (att == Attribution::kExternal && rng_.bernoulli(0.10)) {
+          att = Attribution::kProduct;
+        }
+        const double noise = rng_.normal(0.0, 0.05);
+        observed_sum +=
+            std::clamp(model_.irritation(fn, *stim, group, att) + noise, 0.0, 1.0);
+      }
+    }
+    outcome.stated_importance = stated_sum / static_cast<double>(users_);
+    outcome.observed_irritation =
+        stim != nullptr ? observed_sum / static_cast<double>(users_) : 0.0;
+    result.outcomes.push_back(outcome);
+  }
+
+  // Rank assignment (1 = highest).
+  auto assign_ranks = [&](auto key, auto set_rank) {
+    std::vector<std::size_t> idx(result.outcomes.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return key(result.outcomes[a]) > key(result.outcomes[b]);
+    });
+    for (std::size_t r = 0; r < idx.size(); ++r) set_rank(result.outcomes[idx[r]], r + 1);
+  };
+  assign_ranks([](const FunctionOutcome& o) { return o.stated_importance; },
+               [](FunctionOutcome& o, std::size_t r) { o.stated_rank = r; });
+  assign_ranks([](const FunctionOutcome& o) { return o.observed_irritation; },
+               [](FunctionOutcome& o, std::size_t r) { o.observed_rank = r; });
+  return result;
+}
+
+std::vector<ProductFunction> tv_functions() {
+  return {
+      {"image_quality", 0.92, 60.0, Attribution::kExternal},
+      {"swivel", 0.88, 2.0, Attribution::kProduct},
+      {"teletext", 0.55, 4.0, Attribution::kProduct},
+      {"audio", 0.85, 60.0, Attribution::kProduct},
+      {"epg", 0.45, 3.0, Attribution::kProduct},
+      {"sleep_timer", 0.25, 0.3, Attribution::kProduct},
+  };
+}
+
+std::vector<FailureStimulus> tv_failure_stimuli() {
+  return {
+      {"image_quality", 0.7, runtime::sec(30)},
+      {"swivel", 0.8, runtime::sec(10)},
+      {"teletext", 0.6, runtime::sec(20)},
+      {"audio", 0.7, runtime::sec(15)},
+      {"epg", 0.5, runtime::sec(20)},
+      {"sleep_timer", 0.6, runtime::sec(5)},
+  };
+}
+
+}  // namespace trader::perception

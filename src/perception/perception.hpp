@@ -1,0 +1,126 @@
+// User perception of reliability (§4.6, DTI work).
+//
+// "The aim is to capture user-perceived failure severity, to get an
+// indication of the level of user-irritation caused by a product
+// failure. … the impact of characteristics such as product usage, user
+// group, and function importance is investigated. … it turned out that
+// also failure attribution has a significant impact": users *state* that
+// image quality and the swivel are both important, but under observation
+// they tolerate bad image quality (attributed to external sources) while
+// a misbehaving swivel (attributed to the product) irritates them.
+//
+// IrritationModel encodes that mechanism; UserPanel simulates the
+// controlled experiments: a panel of users produces stated-importance
+// rankings and observed-irritation scores for a set of failure stimuli.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::perception {
+
+/// User groups from the controlled experiments.
+enum class UserGroup : std::uint8_t { kCasual, kEnthusiast, kSenior };
+
+const char* to_string(UserGroup g);
+
+/// Who the user blames for a failure.
+enum class Attribution : std::uint8_t { kProduct, kExternal };
+
+const char* to_string(Attribution a);
+
+/// A product function as perceived by users.
+struct ProductFunction {
+  std::string name;
+  double importance = 0.5;      ///< Intrinsic importance [0,1].
+  double usage_per_hour = 1.0;  ///< How often the function is exercised.
+  /// What users typically blame when this function misbehaves.
+  Attribution typical_attribution = Attribution::kProduct;
+};
+
+/// A failure presented to a user during an experiment session.
+struct FailureStimulus {
+  std::string function;
+  double severity = 0.5;  ///< Physical degradation [0,1].
+  runtime::SimDuration duration = runtime::sec(10);
+};
+
+/// Parameters of the irritation mechanism.
+struct IrritationParams {
+  double importance_weight = 0.45;
+  double usage_weight = 0.25;
+  double severity_weight = 0.30;
+  /// Multiplier on irritation when the user attributes the failure to an
+  /// external cause — the §4.6 effect.
+  double external_discount = 0.30;
+  /// Duration at which irritation saturates.
+  runtime::SimDuration duration_saturation = runtime::sec(60);
+  /// Group sensitivity multipliers.
+  double casual_gain = 0.9;
+  double enthusiast_gain = 1.2;
+  double senior_gain = 1.0;
+};
+
+/// Deterministic irritation scoring.
+class IrritationModel {
+ public:
+  explicit IrritationModel(IrritationParams params = {}) : params_(params) {}
+
+  const IrritationParams& params() const { return params_; }
+
+  /// Irritation in [0,1] for one user-group/function/stimulus triple.
+  double irritation(const ProductFunction& fn, const FailureStimulus& stimulus,
+                    UserGroup group, Attribution attribution) const;
+
+ private:
+  IrritationParams params_;
+};
+
+/// Aggregated outcome of a panel experiment for one function.
+struct FunctionOutcome {
+  std::string function;
+  double stated_importance = 0.0;   ///< Mean stated importance (survey).
+  double observed_irritation = 0.0; ///< Mean irritation under observation.
+  std::size_t stated_rank = 0;      ///< 1 = most important.
+  std::size_t observed_rank = 0;    ///< 1 = most irritating.
+};
+
+struct PanelResult {
+  std::vector<FunctionOutcome> outcomes;
+
+  const FunctionOutcome& of(const std::string& function) const;
+};
+
+/// A simulated user panel.
+class UserPanel {
+ public:
+  UserPanel(std::size_t users, std::uint64_t seed, IrritationModel model = IrritationModel{});
+
+  /// Run the two protocols of the controlled experiment:
+  /// a stated-importance survey and an observed-irritation session with
+  /// one stimulus per function.
+  PanelResult run(const std::vector<ProductFunction>& functions,
+                  const std::vector<FailureStimulus>& stimuli);
+
+  std::size_t user_count() const { return users_; }
+
+ private:
+  UserGroup group_of(std::size_t user) const;
+
+  std::size_t users_;
+  runtime::Rng rng_;
+  IrritationModel model_;
+};
+
+/// The standard TV function set of the §4.6 experiments.
+std::vector<ProductFunction> tv_functions();
+
+/// One matching failure stimulus per TV function.
+std::vector<FailureStimulus> tv_failure_stimuli();
+
+}  // namespace trader::perception

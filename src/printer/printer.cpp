@@ -1,0 +1,316 @@
+#include "printer/printer.hpp"
+
+#include <algorithm>
+
+namespace trader::printer {
+
+using faults::FaultKind;
+
+const char* to_string(PrinterState s) {
+  switch (s) {
+    case PrinterState::kIdle:
+      return "idle";
+    case PrinterState::kWarming:
+      return "warming";
+    case PrinterState::kPrinting:
+      return "printing";
+    case PrinterState::kPaused:
+      return "paused";
+    case PrinterState::kError:
+      return "error";
+  }
+  return "?";
+}
+
+PrinterSystem::PrinterSystem(runtime::Scheduler& sched, runtime::EventBus& bus,
+                             faults::FaultInjector& injector, PrinterConfig config)
+    : sched_(sched),
+      bus_(bus),
+      injector_(injector),
+      config_(config),
+      temperature_(config.idle_temperature),
+      paper_(config.initial_paper) {
+  probes_.set_range("pr.temperature", config_.idle_temperature - 15.0,
+                    config_.target_temperature + 15.0);
+  probes_.set_range("pr.paper", 0, config_.tray_capacity);
+}
+
+void PrinterSystem::start() {
+  sched_.schedule_every(config_.tick, [this] { tick(); });
+  publish_output("state", std::string(to_string(state_)));
+}
+
+void PrinterSystem::command(const std::string& cmd,
+                            std::map<std::string, runtime::Value> fields) {
+  runtime::Event ev;
+  ev.topic = "pr.input";
+  ev.name = "command";
+  ev.fields = std::move(fields);
+  ev.fields["cmd"] = cmd;
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void PrinterSystem::publish_milestone(const std::string& name,
+                                      std::map<std::string, runtime::Value> fields) {
+  // Milestones are internal state observations surfaced to the monitor
+  // (§3: observe "internal system states"); they share the input topic
+  // so the spec model receives them as events.
+  runtime::Event ev;
+  ev.topic = "pr.input";
+  ev.name = "command";
+  ev.fields = std::move(fields);
+  ev.fields["cmd"] = name;
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void PrinterSystem::publish_output(const std::string& name, runtime::Value v) {
+  auto it = last_published_.find(name);
+  if (it != last_published_.end() && runtime::deviation(it->second, v) == 0.0) return;
+  last_published_[name] = v;
+  runtime::Event ev;
+  ev.topic = "pr.output";
+  ev.name = name;
+  ev.fields["value"] = std::move(v);
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void PrinterSystem::set_state(PrinterState s) {
+  if (state_ == s) return;
+  state_ = s;
+  publish_output("state", std::string(to_string(state_)));
+}
+
+void PrinterSystem::enter_error(const std::string& reason) {
+  error_reason_ = reason;
+  set_state(PrinterState::kError);
+}
+
+int PrinterSystem::submit_job(int pages) {
+  const int id = next_job_id_++;
+  command("submit", {{"pages", std::int64_t{pages}}, {"job", std::int64_t{id}}});
+  queue_.push_back(PrintJob{id, pages, 0});
+  if (state_ == PrinterState::kIdle) set_state(PrinterState::kWarming);
+  return id;
+}
+
+void PrinterSystem::pause() {
+  command("pause");
+  if (state_ == PrinterState::kPrinting) {
+    set_state(PrinterState::kPaused);
+    page_deadline_ = -1;
+  }
+}
+
+void PrinterSystem::resume() {
+  command("resume");
+  if (state_ == PrinterState::kPaused) {
+    set_state(PrinterState::kPrinting);
+    page_deadline_ = sched_.now() + config_.page_time;
+  }
+}
+
+void PrinterSystem::cancel() {
+  command("cancel");
+  if (state_ == PrinterState::kError) return;  // clear_error handles that
+  queue_.clear();
+  page_deadline_ = -1;
+  set_state(PrinterState::kIdle);
+}
+
+void PrinterSystem::load_paper(int sheets) {
+  command("load_paper", {{"sheets", std::int64_t{sheets}}});
+  paper_ = std::min(paper_ + sheets, config_.tray_capacity);
+}
+
+void PrinterSystem::clear_error() {
+  command("clear_error");
+  if (state_ != PrinterState::kError) return;
+  error_reason_.clear();
+  queue_.clear();  // the operator re-submits after servicing
+  set_state(PrinterState::kIdle);
+}
+
+void PrinterSystem::tick() {
+  const runtime::SimTime now = sched_.now();
+
+  // --- Fuser thermal model -------------------------------------------------
+  const bool heater_stuck = injector_.is_active(FaultKind::kStuckComponent, "fuser", now);
+  double target = (state_ == PrinterState::kWarming || state_ == PrinterState::kPrinting ||
+                   state_ == PrinterState::kPaused)
+                      ? config_.target_temperature
+                      : config_.idle_temperature;
+  if (injector_.is_active(FaultKind::kMemoryCorruption, "fuser", now)) {
+    target = config_.target_temperature + 60.0;  // corrupted setpoint: overheats
+  }
+  if (!heater_stuck) {
+    if (temperature_ < target) {
+      temperature_ = std::min(temperature_ + config_.temp_rate_per_tick, target);
+    } else {
+      temperature_ = std::max(temperature_ - config_.temp_rate_per_tick, target);
+    }
+  }
+  probes_.update("pr.temperature", temperature_, now);
+  probes_.update("pr.paper", std::int64_t{paper_}, now);
+
+  // --- Engine state machine --------------------------------------------------
+  switch (state_) {
+    case PrinterState::kWarming: {
+      if (temperature_ >= config_.target_temperature - 1.0) {
+        publish_milestone("engine_ready", {});
+        set_state(PrinterState::kPrinting);
+        page_deadline_ = now + config_.page_time;
+      }
+      break;
+    }
+    case PrinterState::kPrinting: {
+      if (queue_.empty()) {
+        set_state(PrinterState::kIdle);
+        break;
+      }
+      // A jam is a mechanical crash of the feeder: detected by the
+      // engine's sensors, raised as an error.
+      if (injector_.is_active(FaultKind::kCrash, "feeder", now)) {
+        publish_milestone("jam", {});
+        enter_error("paper_jam");
+        break;
+      }
+      // A *stuck* feeder is the silent failure: pages simply stop.
+      if (injector_.is_active(FaultKind::kStuckComponent, "feeder", now)) break;
+      if (paper_ <= 0) {
+        publish_milestone("paper_out", {});
+        enter_error("out_of_paper");
+        break;
+      }
+      if (page_deadline_ >= 0 && now >= page_deadline_) {
+        PrintJob& job = queue_.front();
+        --paper_;
+        ++job.printed;
+        ++pages_total_;
+        publish_milestone("page_printed",
+                          {{"job", std::int64_t{job.id}}, {"page", std::int64_t{job.printed}}});
+        publish_output("pages_total", std::int64_t{static_cast<std::int64_t>(pages_total_)});
+        if (job.printed >= job.pages) {
+          publish_milestone("job_done", {{"job", std::int64_t{job.id}}});
+          queue_.pop_front();
+          if (queue_.empty()) {
+            set_state(PrinterState::kIdle);
+            page_deadline_ = -1;
+            break;
+          }
+        }
+        page_deadline_ = now + config_.page_time;
+      }
+      break;
+    }
+    case PrinterState::kIdle:
+    case PrinterState::kPaused:
+    case PrinterState::kError:
+      break;
+  }
+}
+
+// ------------------------------------------------------------------ spec model
+
+statemachine::StateMachineDef build_printer_spec_model(runtime::SimDuration warmup_time) {
+  namespace sm = trader::statemachine;
+  (void)warmup_time;  // the model is event-driven; stalls are caught by
+                      // the timeliness rules instead of modeled time.
+  sm::StateMachineDef def("printer_spec");
+  const auto idle = def.add_state("Idle");
+  const auto warming = def.add_state("Warming");
+  const auto printing = def.add_state("Printing");
+  const auto paused = def.add_state("Paused");
+  const auto error = def.add_state("Error");
+  def.set_top_initial(idle);
+
+  auto emit_state = [](const char* value) -> sm::Action {
+    return [value](sm::ActionEnv& env) { env.emit("state", {{"value", std::string(value)}}); };
+  };
+  def.on_entry(idle, [emit_state](sm::ActionEnv& env) {
+    env.vars.set_int("queued", 0);
+    auto inner = emit_state("idle");
+    inner(env);
+  });
+  def.on_entry(warming, emit_state("warming"));
+  def.on_entry(printing, emit_state("printing"));
+  def.on_entry(paused, emit_state("paused"));
+  def.on_entry(error, emit_state("error"));
+
+  auto enqueue = [](sm::ActionEnv& env) {
+    env.vars.set_int("queued", env.vars.get_int("queued") + 1);
+  };
+  def.add_transition(idle, warming, "submit", nullptr, enqueue);
+  def.add_internal(warming, "submit", nullptr, enqueue);
+  def.add_internal(printing, "submit", nullptr, enqueue);
+  def.add_internal(paused, "submit", nullptr, enqueue);
+  def.add_internal(error, "submit", nullptr, enqueue);  // queued behind the error
+
+  def.add_transition(warming, printing, "engine_ready");
+
+  def.add_internal(printing, "page_printed");  // progress, no state change
+  // Job completion: last queued job -> Idle, otherwise keep printing.
+  def.add_transition(
+      printing, idle, "job_done",
+      [](const sm::Context& c, const sm::SmEvent&) { return c.get_int("queued") <= 1; });
+  def.add_internal(
+      printing, "job_done",
+      [](const sm::Context& c, const sm::SmEvent&) { return c.get_int("queued") > 1; },
+      [](sm::ActionEnv& env) { env.vars.set_int("queued", env.vars.get_int("queued") - 1); });
+
+  def.add_transition(printing, paused, "pause");
+  def.add_transition(paused, printing, "resume");
+  def.add_transition(printing, error, "jam");
+  def.add_transition(printing, error, "paper_out");
+  def.add_transition(error, idle, "clear_error");
+  for (sm::StateId s : {warming, printing, paused}) {
+    def.add_transition(s, idle, "cancel");
+  }
+  def.add_internal(idle, "cancel");
+  def.add_internal(idle, "load_paper");
+  def.add_internal(warming, "load_paper");
+  def.add_internal(printing, "load_paper");
+  def.add_internal(paused, "load_paper");
+  def.add_internal(error, "load_paper");
+
+  return def;
+}
+
+std::vector<detection::ResponseTimeRule> printer_response_rules(
+    runtime::SimDuration page_deadline, runtime::SimDuration first_page_deadline) {
+  std::vector<detection::ResponseTimeRule> rules;
+
+  auto is_cmd = [](const runtime::Event& ev, const char* cmd) {
+    return ev.topic == "pr.input" && ev.str_field("cmd") == cmd;
+  };
+  auto terminal = [](const runtime::Event& ev) {
+    if (ev.topic != "pr.output" || ev.name != "state") return false;
+    const std::string s = ev.str_field("value");
+    return s == "idle" || s == "error" || s == "paused";
+  };
+
+  // Page cadence: each printed page must be followed by another page (or
+  // a legitimate terminal state) within the deadline.
+  rules.push_back(detection::ResponseTimeRule{
+      "page-cadence",
+      [is_cmd](const runtime::Event& ev) { return is_cmd(ev, "page_printed"); },
+      [is_cmd, terminal](const runtime::Event& ev) {
+        return is_cmd(ev, "page_printed") || terminal(ev);
+      },
+      page_deadline});
+
+  // First page: a submitted job must produce output within warmup+slack.
+  rules.push_back(detection::ResponseTimeRule{
+      "first-page",
+      [is_cmd](const runtime::Event& ev) { return is_cmd(ev, "submit"); },
+      [is_cmd, terminal](const runtime::Event& ev) {
+        return is_cmd(ev, "page_printed") || terminal(ev);
+      },
+      first_page_deadline});
+
+  return rules;
+}
+
+}  // namespace trader::printer

@@ -1,0 +1,116 @@
+// Printer/copier SUO — the Octopus follow-up (§5).
+//
+// "In parallel, the model-based run-time awareness concept is also
+// exploited in the domain of printer/copiers at the company Océ in the
+// context of the ESI-project Octopus."
+//
+// A professional printer: job queue, paper feeder, fuser (heater) with a
+// temperature control loop, and a print engine producing pages at a
+// fixed rate. Awareness hooks mirror the TV's: transport-state spec
+// model over "pr.input" commands *and* page milestones (§3 observes
+// "relevant inputs, outputs and internal system states"), temperature
+// and tray-level range probes, and a page-cadence timeliness rule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "detection/response_time.hpp"
+#include "faults/injector.hpp"
+#include "observation/probes.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "statemachine/definition.hpp"
+
+namespace trader::printer {
+
+enum class PrinterState : std::uint8_t { kIdle, kWarming, kPrinting, kPaused, kError };
+
+const char* to_string(PrinterState s);
+
+struct PrinterConfig {
+  runtime::SimDuration tick = runtime::msec(100);
+  runtime::SimDuration warmup_time = runtime::sec(4);
+  runtime::SimDuration page_time = runtime::msec(500);  ///< 120 pages/min.
+  int tray_capacity = 250;
+  int initial_paper = 100;
+  double idle_temperature = 60.0;
+  double target_temperature = 180.0;
+  double temp_rate_per_tick = 4.0;  ///< Heating slope (°C per tick).
+  std::uint64_t seed = 3;
+};
+
+struct PrintJob {
+  int id = 0;
+  int pages = 0;
+  int printed = 0;
+};
+
+class PrinterSystem {
+ public:
+  PrinterSystem(runtime::Scheduler& sched, runtime::EventBus& bus,
+                faults::FaultInjector& injector, PrinterConfig config = {});
+
+  void start();
+
+  // --- Operator commands ("pr.input" events) ----------------------------
+  int submit_job(int pages);  ///< Returns the job id.
+  void pause();
+  void resume();
+  void cancel();
+  void load_paper(int sheets);
+  void clear_error();
+
+  // --- Observables --------------------------------------------------------
+  PrinterState state() const { return state_; }
+  double temperature() const { return temperature_; }
+  int paper_level() const { return paper_; }
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  const PrintJob* current_job() const { return queue_.empty() ? nullptr : &queue_.front(); }
+  std::uint64_t pages_printed_total() const { return pages_total_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  observation::ProbeRegistry& probes() { return probes_; }
+
+ private:
+  void command(const std::string& cmd, std::map<std::string, runtime::Value> fields = {});
+  void publish_output(const std::string& name, runtime::Value v);
+  void publish_milestone(const std::string& name, std::map<std::string, runtime::Value> fields);
+  void set_state(PrinterState s);
+  void enter_error(const std::string& reason);
+  void tick();
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  faults::FaultInjector& injector_;
+  PrinterConfig config_;
+
+  PrinterState state_ = PrinterState::kIdle;
+  double temperature_;
+  int paper_;
+  std::deque<PrintJob> queue_;
+  int next_job_id_ = 1;
+  runtime::SimTime page_deadline_ = -1;  ///< Next page completion time.
+  std::uint64_t pages_total_ = 0;
+  std::string error_reason_;
+
+  observation::ProbeRegistry probes_;
+  std::map<std::string, runtime::Value> last_published_;
+};
+
+/// Spec model over "pr.input" (commands + page milestones): states
+/// Idle/Warming/Printing/Paused/Error emitting observable "state"; the
+/// model counts remaining pages from the submit parameters and page
+/// milestones, so job completion is predicted without modeling time.
+statemachine::StateMachineDef build_printer_spec_model(
+    runtime::SimDuration warmup_time = runtime::sec(4));
+
+/// Timeliness rules: while printing, pages must keep coming (cadence),
+/// and a submitted job must start producing pages within warmup + slack.
+std::vector<detection::ResponseTimeRule> printer_response_rules(
+    runtime::SimDuration page_deadline = runtime::msec(1500),
+    runtime::SimDuration first_page_deadline = runtime::sec(8));
+
+}  // namespace trader::printer

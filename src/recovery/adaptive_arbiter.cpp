@@ -1,0 +1,29 @@
+#include "recovery/adaptive_arbiter.hpp"
+
+namespace trader::recovery {
+
+void AdaptiveArbiterController::tick(runtime::SimTime now) {
+  (void)now;
+  if (!boosted_) {
+    if (arbiter_.starvation_ticks(port_) >= config_.starvation_ticks_to_boost) {
+      arbiter_.set_priority(port_, config_.boost_priority);
+      boosted_ = true;
+      healthy_streak_ = 0;
+      ++boosts_;
+    }
+    return;
+  }
+  // Boosted: wait until the port has been served well long enough.
+  if (arbiter_.last_fraction(port_) >= 0.999) {
+    ++healthy_streak_;
+    if (healthy_streak_ >= config_.healthy_ticks_to_restore) {
+      arbiter_.set_priority(port_, base_priority_);
+      boosted_ = false;
+      ++restores_;
+    }
+  } else {
+    healthy_streak_ = 0;
+  }
+}
+
+}  // namespace trader::recovery

@@ -1,0 +1,53 @@
+// Adaptive memory arbitration (§4.5, NXP Research result).
+//
+// "NXP Research investigates the possibility to make memory arbitration
+// more flexible such that it can be adapted at run-time to deal with
+// problems concerning memory access."
+//
+// The controller watches one arbiter port for sustained starvation and
+// temporarily boosts its priority; once the port has been healthy again
+// for a while, the original priority is restored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sim_time.hpp"
+#include "tv/soc.hpp"
+
+namespace trader::recovery {
+
+struct AdaptiveArbiterConfig {
+  int starvation_ticks_to_boost = 5;  ///< Sustained starvation trigger.
+  int boost_priority = 10;            ///< Priority while boosted.
+  int healthy_ticks_to_restore = 25;  ///< Healthy ticks before restore.
+};
+
+class AdaptiveArbiterController {
+ public:
+  AdaptiveArbiterController(tv::MemoryArbiter& arbiter, std::string port,
+                            AdaptiveArbiterConfig config = {})
+      : arbiter_(arbiter),
+        port_(std::move(port)),
+        config_(config),
+        base_priority_(arbiter.priority(port_)) {}
+
+  /// Periodic policy evaluation (call once per arbiter service tick).
+  void tick(runtime::SimTime now);
+
+  bool boosted() const { return boosted_; }
+  std::uint64_t boosts() const { return boosts_; }
+  std::uint64_t restores() const { return restores_; }
+
+ private:
+  tv::MemoryArbiter& arbiter_;
+  std::string port_;
+  AdaptiveArbiterConfig config_;
+  int base_priority_;
+  bool boosted_ = false;
+  int healthy_streak_ = 0;
+  std::uint64_t boosts_ = 0;
+  std::uint64_t restores_ = 0;
+};
+
+}  // namespace trader::recovery

@@ -1,0 +1,61 @@
+#include "recovery/escalation.hpp"
+
+#include <algorithm>
+
+namespace trader::recovery {
+
+const char* to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kResync:
+      return "resync";
+    case RecoveryAction::kRestartUnit:
+      return "restart-unit";
+    case RecoveryAction::kRestartDependents:
+      return "restart-dependents";
+    case RecoveryAction::kFullRestart:
+      return "full-restart";
+    case RecoveryAction::kGiveUp:
+      return "give-up";
+  }
+  return "?";
+}
+
+int RecoveryEscalator::count_recent(const std::string& unit, runtime::SimTime now) const {
+  auto it = failures_.find(unit);
+  if (it == failures_.end()) return 0;
+  const runtime::SimTime cutoff = now - config_.window;
+  return static_cast<int>(std::count_if(it->second.begin(), it->second.end(),
+                                        [&](runtime::SimTime t) { return t >= cutoff; }));
+}
+
+int RecoveryEscalator::level(const std::string& unit, runtime::SimTime now) const {
+  return count_recent(unit, now) / std::max(config_.failures_per_level, 1);
+}
+
+RecoveryAction RecoveryEscalator::next_action(const std::string& unit, runtime::SimTime now) {
+  auto& history = failures_[unit];
+  // Prune outside the window to bound memory.
+  const runtime::SimTime cutoff = now - config_.window;
+  history.erase(std::remove_if(history.begin(), history.end(),
+                               [&](runtime::SimTime t) { return t < cutoff; }),
+                history.end());
+  history.push_back(now);
+  const int lvl = (static_cast<int>(history.size()) - 1) / std::max(config_.failures_per_level, 1);
+  switch (lvl) {
+    case 0:
+      return RecoveryAction::kResync;
+    case 1:
+      return RecoveryAction::kRestartUnit;
+    case 2:
+      return RecoveryAction::kRestartDependents;
+    case 3:
+      return RecoveryAction::kFullRestart;
+    default:
+      ++give_ups_;
+      return RecoveryAction::kGiveUp;
+  }
+}
+
+void RecoveryEscalator::report_success(const std::string& unit) { failures_.erase(unit); }
+
+}  // namespace trader::recovery

@@ -1,0 +1,63 @@
+// Escalating recovery strategy.
+//
+// §5: "one can vary between light-weight models with limited corrective
+// capacities, and more elaborate models with stronger feedback
+// mechanisms." RecoveryEscalator encodes the standard light-to-heavy
+// ladder: re-sync state first (cheapest, no downtime), then restart the
+// unit, then its dependents, then the whole system; repeated failures of
+// the same unit inside a sliding window climb the ladder, success decays
+// back down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::recovery {
+
+enum class RecoveryAction : std::uint8_t {
+  kResync,             ///< Replay believed state into the component.
+  kRestartUnit,        ///< Kill + restart the unit.
+  kRestartDependents,  ///< Unit plus dependency closure.
+  kFullRestart,        ///< Everything.
+  kGiveUp,             ///< Escalation exhausted; needs service.
+};
+
+const char* to_string(RecoveryAction a);
+
+struct EscalationConfig {
+  /// Failures within this window count toward escalation.
+  runtime::SimDuration window = runtime::sec(30);
+  /// Failures tolerated per level before climbing to the next.
+  int failures_per_level = 2;
+};
+
+class RecoveryEscalator {
+ public:
+  explicit RecoveryEscalator(EscalationConfig config = {}) : config_(config) {}
+
+  /// A failure of `unit` was detected at `now`: which action to take?
+  RecoveryAction next_action(const std::string& unit, runtime::SimTime now);
+
+  /// Report that the unit has been healthy (e.g. a monitor episode
+  /// closed); forgets failures older than the window anyway, but an
+  /// explicit success resets the unit immediately.
+  void report_success(const std::string& unit);
+
+  /// Current level for a unit (0 = resync).
+  int level(const std::string& unit, runtime::SimTime now) const;
+
+  std::uint64_t give_ups() const { return give_ups_; }
+
+ private:
+  int count_recent(const std::string& unit, runtime::SimTime now) const;
+
+  EscalationConfig config_;
+  std::map<std::string, std::vector<runtime::SimTime>> failures_;
+  std::uint64_t give_ups_ = 0;
+};
+
+}  // namespace trader::recovery

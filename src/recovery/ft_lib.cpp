@@ -1,0 +1,85 @@
+#include "recovery/ft_lib.hpp"
+
+namespace trader::recovery {
+
+// -------------------------------------------------------------- RetryExecutor
+
+bool RetryExecutor::run(const std::function<bool()>& op) {
+  for (int i = 0; i < max_attempts_; ++i) {
+    ++attempts_;
+    if (op()) return true;
+  }
+  ++failures_;
+  return false;
+}
+
+// --------------------------------------------------------------- FallbackChain
+
+void FallbackChain::add_level(const std::string& name, Provider provider) {
+  levels_.push_back(Level{name, std::move(provider)});
+}
+
+std::optional<runtime::Value> FallbackChain::get() {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    auto result = levels_[i].provider();
+    if (result.has_value()) {
+      last_level_ = static_cast<int>(i);
+      if (i > 0) ++degradations_;
+      return result;
+    }
+  }
+  ++outages_;
+  last_level_ = -1;
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------- SafeStateGuard
+
+bool SafeStateGuard::update(runtime::Value v) {
+  if (valid_ && !valid_(v)) {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  value_ = std::move(v);
+  return true;
+}
+
+// --------------------------------------------------------------- NVersionVoter
+
+void NVersionVoter::add_variant(const std::string& name, Variant v) {
+  variants_.push_back(Entry{name, std::move(v)});
+}
+
+NVersionVoter::Verdict NVersionVoter::vote() {
+  Verdict verdict;
+  if (variants_.empty()) return verdict;
+  std::vector<runtime::Value> results;
+  results.reserve(variants_.size());
+  for (const auto& v : variants_) results.push_back(v.fn());
+
+  // Find the value with the most equals (ties: first seen).
+  std::size_t best_index = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::size_t count = 0;
+    for (const auto& other : results) {
+      if (runtime::deviation(results[i], other) == 0.0) ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_index = i;
+    }
+  }
+  verdict.value = results[best_index];
+  verdict.agreed = best_count * 2 > results.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (runtime::deviation(results[i], verdict.value) != 0.0) {
+      verdict.dissenters.push_back(variants_[i].name);
+    }
+  }
+  if (!verdict.dissenters.empty()) ++disagreements_;
+  return verdict;
+}
+
+}  // namespace trader::recovery

@@ -1,0 +1,124 @@
+// Reusable fault-tolerance library (§4.5).
+//
+// "To realize these concepts, a reusable fault tolerance library has
+// been implemented." Four cost-conscious building blocks — none of them
+// relying on hardware duplication, per the paper's high-volume
+// constraint:
+//
+//   RetryExecutor   — bounded retry of an idempotent operation
+//   FallbackChain   — primary / degraded / safe-default service levels
+//   SafeStateGuard  — wrapper validating updates to a critical value
+//                     (the COTS-wrapping idea of [16] Shin & Paniagua)
+//   NVersionVoter   — majority vote over software variants
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+
+namespace trader::recovery {
+
+/// Bounded retry of an operation that reports success.
+class RetryExecutor {
+ public:
+  explicit RetryExecutor(int max_attempts = 3) : max_attempts_(max_attempts) {}
+
+  /// Runs `op` until it returns true, at most max_attempts times.
+  /// Returns whether it eventually succeeded.
+  bool run(const std::function<bool()>& op);
+
+  std::uint64_t total_attempts() const { return attempts_; }
+  std::uint64_t failures() const { return failures_; }  ///< Exhausted retries.
+
+ private:
+  int max_attempts_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+/// Graceful degradation: try service levels in order, remember which one
+/// served (quality level 0 = primary).
+class FallbackChain {
+ public:
+  using Provider = std::function<std::optional<runtime::Value>()>;
+
+  /// Add a level (first added = primary).
+  void add_level(const std::string& name, Provider provider);
+
+  /// Query the chain; nullopt when every level failed.
+  std::optional<runtime::Value> get();
+
+  /// Level that served the last successful get() (-1 before any).
+  int last_level() const { return last_level_; }
+  const std::string& level_name(int level) const { return levels_.at(static_cast<std::size_t>(level)).name; }
+  std::uint64_t degradations() const { return degradations_; }  ///< Served below primary.
+  std::uint64_t outages() const { return outages_; }            ///< All levels failed.
+
+ private:
+  struct Level {
+    std::string name;
+    Provider provider;
+  };
+  std::vector<Level> levels_;
+  int last_level_ = -1;
+  std::uint64_t degradations_ = 0;
+  std::uint64_t outages_ = 0;
+};
+
+/// Wrapper around a critical value: updates must satisfy a validity
+/// predicate or they are rejected and the last good value kept. This is
+/// how third-party/COTS components are contained without modifying them.
+class SafeStateGuard {
+ public:
+  SafeStateGuard(runtime::Value initial, std::function<bool(const runtime::Value&)> valid)
+      : value_(std::move(initial)), valid_(std::move(valid)) {}
+
+  /// Attempt an update; returns whether it was accepted.
+  bool update(runtime::Value v);
+
+  const runtime::Value& value() const { return value_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  runtime::Value value_;
+  std::function<bool(const runtime::Value&)> valid_;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+/// Majority voting over N software variants (N-version programming —
+/// software diversity, not hardware redundancy, so it fits the cost
+/// envelope when variants are cheap).
+class NVersionVoter {
+ public:
+  using Variant = std::function<runtime::Value()>;
+
+  void add_variant(const std::string& name, Variant v);
+
+  struct Verdict {
+    bool agreed = false;        ///< A strict majority existed.
+    runtime::Value value;       ///< Majority value (or first, if none).
+    std::vector<std::string> dissenters;
+  };
+
+  /// Run all variants and vote. Values are compared with
+  /// runtime::deviation == 0.
+  Verdict vote();
+
+  std::uint64_t disagreements() const { return disagreements_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Variant fn;
+  };
+  std::vector<Entry> variants_;
+  std::uint64_t disagreements_ = 0;
+};
+
+}  // namespace trader::recovery

@@ -1,0 +1,34 @@
+#include "recovery/load_balancer.hpp"
+
+namespace trader::recovery {
+
+void LoadBalancer::tick(runtime::SimTime now) {
+  if (load_of_(location_) <= config_.overload_threshold) {
+    streak_ = 0;
+    return;
+  }
+  ++streak_;
+  if (streak_ < config_.sustain_ticks) return;
+  if (now - last_migration_ < config_.cooldown) return;
+
+  // Pick the best other location with enough headroom after the move.
+  int best = -1;
+  double best_load = 1e18;
+  for (int loc = 0; loc < location_count_; ++loc) {
+    if (loc == location_) continue;
+    const double projected = load_of_(loc) + task_load_on_(loc);
+    if (projected < config_.headroom_required && projected < best_load) {
+      best = loc;
+      best_load = projected;
+    }
+  }
+  if (best < 0) return;  // nowhere to go
+
+  migrate_to_(best);
+  migrations_.push_back(Migration{location_, best, now});
+  location_ = best;
+  streak_ = 0;
+  last_migration_ = now;
+}
+
+}  // namespace trader::recovery

@@ -1,0 +1,70 @@
+// Run-time load balancing by task migration (§4.5, IMEC result).
+//
+// "Project partner IMEC has demonstrated the possibility to migrate an
+// image processing task from one processor to another, which leads to
+// improved image quality in case of overload situations (e.g., due to
+// intensive error correction on a bad input signal)."
+//
+// LoadBalancer is substrate-agnostic: it reads per-location load through
+// a callback and migrates through another, so it drives TvSystem's
+// decoder placement as well as any test double.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::recovery {
+
+struct LoadBalancerConfig {
+  double overload_threshold = 1.0;   ///< Load above this counts as overload.
+  int sustain_ticks = 5;             ///< Consecutive overloaded ticks to act.
+  double headroom_required = 0.85;   ///< Target location must be below this
+                                     ///< (post-migration estimate).
+  runtime::SimDuration cooldown = runtime::msec(500);  ///< Between migrations.
+};
+
+/// One migration event (for reporting).
+struct Migration {
+  int from = 0;
+  int to = 0;
+  runtime::SimTime at = 0;
+};
+
+class LoadBalancer {
+ public:
+  /// `load_of(loc)` returns the current load of a location;
+  /// `task_cost()` the migrating task's own demand (in load units of the
+  /// target, i.e. cost/capacity); `migrate_to(loc)` performs the move.
+  LoadBalancer(LoadBalancerConfig config, int initial_location, int location_count,
+               std::function<double(int)> load_of, std::function<double(int)> task_load_on,
+               std::function<void(int)> migrate_to)
+      : config_(config),
+        location_(initial_location),
+        location_count_(location_count),
+        load_of_(std::move(load_of)),
+        task_load_on_(std::move(task_load_on)),
+        migrate_to_(std::move(migrate_to)) {}
+
+  /// Periodic policy evaluation.
+  void tick(runtime::SimTime now);
+
+  int location() const { return location_; }
+  const std::vector<Migration>& migrations() const { return migrations_; }
+  int overloaded_streak() const { return streak_; }
+
+ private:
+  LoadBalancerConfig config_;
+  int location_;
+  int location_count_;
+  std::function<double(int)> load_of_;
+  std::function<double(int)> task_load_on_;
+  std::function<void(int)> migrate_to_;
+  int streak_ = 0;
+  runtime::SimTime last_migration_ = -1'000'000'000;
+  std::vector<Migration> migrations_;
+};
+
+}  // namespace trader::recovery

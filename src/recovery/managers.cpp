@@ -1,0 +1,129 @@
+#include "recovery/managers.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace trader::recovery {
+
+// ------------------------------------------------------ CommunicationManager
+
+void CommunicationManager::register_unit(RecoverableUnit* unit) {
+  units_[unit->name()] = unit;
+}
+
+RecoverableUnit* CommunicationManager::unit(const std::string& name) {
+  auto it = units_.find(name);
+  return it != units_.end() ? it->second : nullptr;
+}
+
+std::vector<std::string> CommunicationManager::unit_names() const {
+  std::vector<std::string> out;
+  out.reserve(units_.size());
+  for (const auto& [k, v] : units_) out.push_back(k);
+  return out;
+}
+
+void CommunicationManager::send(const std::string& to, const runtime::Event& msg) {
+  ++routed_;
+  auto it = units_.find(to);
+  if (it == units_.end()) {
+    ++dropped_;
+    return;
+  }
+  RecoverableUnit& u = *it->second;
+  if (u.running()) {
+    ++delivered_;
+    u.deliver(msg);
+    return;
+  }
+  auto& q = quarantine_[to];
+  if (q.size() >= quarantine_cap_) {
+    ++dropped_;
+    return;
+  }
+  q.push_back(msg);
+  ++quarantined_;
+}
+
+void CommunicationManager::flush(const std::string& to) {
+  auto it = units_.find(to);
+  if (it == units_.end()) return;
+  auto& q = quarantine_[to];
+  while (!q.empty() && it->second->running()) {
+    ++delivered_;
+    it->second->deliver(q.front());
+    q.pop_front();
+  }
+}
+
+std::size_t CommunicationManager::pending(const std::string& to) const {
+  auto it = quarantine_.find(to);
+  return it != quarantine_.end() ? it->second.size() : 0;
+}
+
+// ------------------------------------------------------------ RecoveryManager
+
+const char* to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kRestartUnit:
+      return "restart-unit";
+    case RecoveryPolicy::kRestartDependents:
+      return "restart-dependents";
+    case RecoveryPolicy::kFullRestart:
+      return "full-restart";
+  }
+  return "?";
+}
+
+void RecoveryManager::add_dependency(const std::string& dependent, const std::string& on) {
+  dependents_.emplace(on, dependent);
+}
+
+std::vector<std::string> RecoveryManager::scope_of(const std::string& unit) const {
+  if (policy_ == RecoveryPolicy::kFullRestart) return comm_.unit_names();
+  std::vector<std::string> scope{unit};
+  if (policy_ == RecoveryPolicy::kRestartDependents) {
+    // Transitive closure over the dependency edges.
+    std::set<std::string> seen{unit};
+    std::vector<std::string> work{unit};
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      auto [lo, hi] = dependents_.equal_range(cur);
+      for (auto it = lo; it != hi; ++it) {
+        if (seen.insert(it->second).second) {
+          scope.push_back(it->second);
+          work.push_back(it->second);
+        }
+      }
+    }
+  }
+  return scope;
+}
+
+void RecoveryManager::restart(RecoverableUnit& u, runtime::SimTime now) {
+  u.kill(now);
+  u.begin_restart(now);
+  ++units_restarted_;
+  const std::string name = u.name();
+  sched_.schedule_after(u.restart_time(), [this, name] {
+    RecoverableUnit* unit = comm_.unit(name);
+    if (unit == nullptr) return;
+    unit->complete_restart(sched_.now());
+    comm_.flush(name);
+  });
+}
+
+std::size_t RecoveryManager::notify_failure(const std::string& unit, runtime::SimTime now) {
+  RecoverableUnit* failed = comm_.unit(unit);
+  if (failed == nullptr) return 0;
+  ++recoveries_;
+  const auto scope = scope_of(unit);
+  for (const auto& name : scope) {
+    RecoverableUnit* u = comm_.unit(name);
+    if (u != nullptr) restart(*u, now);
+  }
+  return scope.size();
+}
+
+}  // namespace trader::recovery

@@ -1,0 +1,62 @@
+#include "recovery/recoverable_unit.hpp"
+
+namespace trader::recovery {
+
+const char* to_string(RecoverableUnit::State s) {
+  switch (s) {
+    case RecoverableUnit::State::kRunning:
+      return "running";
+    case RecoverableUnit::State::kFailed:
+      return "failed";
+    case RecoverableUnit::State::kRestarting:
+      return "restarting";
+  }
+  return "?";
+}
+
+bool RecoverableUnit::deliver(const runtime::Event& msg) {
+  if (state_ != State::kRunning) return false;
+  ++processed_;
+  if (handler_) handler_(*this, msg);
+  return true;
+}
+
+runtime::Value RecoverableUnit::var(const std::string& key, runtime::Value dflt) const {
+  auto it = vars_.find(key);
+  return it != vars_.end() ? it->second : dflt;
+}
+
+std::int64_t RecoverableUnit::var_int(const std::string& key, std::int64_t dflt) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) return dflt;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+  return dflt;
+}
+
+void RecoverableUnit::checkpoint() { checkpoint_ = vars_; }
+
+void RecoverableUnit::kill(runtime::SimTime now) {
+  if (state_ == State::kFailed) return;
+  state_ = State::kFailed;
+  failed_at_ = now;
+  vars_.clear();  // volatile state is gone
+}
+
+void RecoverableUnit::begin_restart(runtime::SimTime now) {
+  if (state_ != State::kFailed) return;
+  (void)now;
+  state_ = State::kRestarting;
+}
+
+void RecoverableUnit::complete_restart(runtime::SimTime now) {
+  if (state_ == State::kRunning) return;
+  state_ = State::kRunning;
+  vars_ = checkpoint_;  // restore persisted state
+  ++restarts_;
+  if (failed_at_ >= 0) {
+    total_downtime_ += now - failed_at_;
+    failed_at_ = -1;
+  }
+}
+
+}  // namespace trader::recovery

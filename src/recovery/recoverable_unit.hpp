@@ -1,0 +1,85 @@
+// Recoverable units (§4.5, Twente framework).
+//
+// "a framework for partial recovery has been developed which allows
+// independent recovery of parts of the system, the so-called recoverable
+// units. The framework includes a communication manager, which controls
+// the communication between recoverable units, and a recovery manager,
+// which executes the recovery actions such as killing and restarting
+// units."
+//
+// A RecoverableUnit wraps a message-handling function plus a key/value
+// state store with checkpointing; killing a unit drops its volatile
+// state, restarting restores the last checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::recovery {
+
+class RecoverableUnit;
+
+/// Unit behaviour: react to a message, possibly updating unit state and
+/// sending further messages via the communication manager (bound by the
+/// owner through the send callback).
+using UnitHandler = std::function<void(RecoverableUnit& self, const runtime::Event& msg)>;
+
+class RecoverableUnit {
+ public:
+  enum class State : std::uint8_t { kRunning, kFailed, kRestarting };
+
+  RecoverableUnit(std::string name, runtime::SimDuration restart_time)
+      : name_(std::move(name)), restart_time_(restart_time) {}
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool running() const { return state_ == State::kRunning; }
+  runtime::SimDuration restart_time() const { return restart_time_; }
+
+  void set_handler(UnitHandler h) { handler_ = std::move(h); }
+
+  /// Deliver a message (only when running). Returns false if ignored.
+  bool deliver(const runtime::Event& msg);
+
+  // --- State store -----------------------------------------------------
+  void set_var(const std::string& key, runtime::Value v) { vars_[key] = std::move(v); }
+  runtime::Value var(const std::string& key, runtime::Value dflt = std::int64_t{0}) const;
+  std::int64_t var_int(const std::string& key, std::int64_t dflt = 0) const;
+
+  /// Persist the current state (survives restarts).
+  void checkpoint();
+
+  // --- Recovery actions (driven by the RecoveryManager) -----------------
+  void kill(runtime::SimTime now);
+  void begin_restart(runtime::SimTime now);
+  void complete_restart(runtime::SimTime now);
+
+  // --- Metrics -----------------------------------------------------------
+  std::uint64_t processed() const { return processed_; }
+  std::uint64_t restarts() const { return restarts_; }
+  runtime::SimDuration total_downtime() const { return total_downtime_; }
+  runtime::SimTime failed_at() const { return failed_at_; }
+
+ private:
+  std::string name_;
+  runtime::SimDuration restart_time_;
+  UnitHandler handler_;
+  State state_ = State::kRunning;
+
+  std::map<std::string, runtime::Value> vars_;
+  std::map<std::string, runtime::Value> checkpoint_;
+
+  std::uint64_t processed_ = 0;
+  std::uint64_t restarts_ = 0;
+  runtime::SimTime failed_at_ = -1;
+  runtime::SimDuration total_downtime_ = 0;
+};
+
+const char* to_string(RecoverableUnit::State s);
+
+}  // namespace trader::recovery

@@ -1,0 +1,30 @@
+#include "runtime/channel.hpp"
+
+#include <algorithm>
+
+namespace trader::runtime {
+
+void LatencyChannel::send(const Event& ev) {
+  ++sent_;
+  if (config_.drop_probability > 0.0 && rng_.bernoulli(config_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  SimDuration delay = config_.base_latency;
+  if (config_.jitter > 0) {
+    delay += static_cast<SimDuration>(rng_.uniform(0.0, static_cast<double>(config_.jitter)));
+  }
+  SimTime at = sched_.now() + delay;
+  if (config_.preserve_order) {
+    at = std::max(at, last_delivery_);
+    last_delivery_ = at;
+  }
+  Event copy = ev;
+  sched_.schedule_at(at, [this, copy = std::move(copy)]() mutable {
+    ++delivered_;
+    copy.timestamp = sched_.now();
+    sink_(copy);
+  });
+}
+
+}  // namespace trader::runtime

@@ -1,0 +1,41 @@
+#include "runtime/event_bus.hpp"
+
+#include <algorithm>
+
+namespace trader::runtime {
+
+Subscription EventBus::subscribe(const std::string& topic, Handler handler) {
+  const std::uint64_t id = next_id_++;
+  topics_[topic].push_back(Entry{id, std::move(handler)});
+  return Subscription{id};
+}
+
+void EventBus::unsubscribe(Subscription sub) {
+  if (!sub.valid()) return;
+  for (auto& [topic, entries] : topics_) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.id == sub.id_; }),
+                  entries.end());
+  }
+}
+
+void EventBus::publish(const Event& ev) {
+  ++published_;
+  // Copy handler lists so handlers may (un)subscribe during delivery.
+  auto deliver = [&](const std::string& topic) {
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return;
+    const std::vector<Entry> snapshot = it->second;
+    for (const auto& e : snapshot) e.handler(ev);
+  };
+  deliver(ev.topic);
+  if (!ev.topic.empty()) deliver("");
+}
+
+std::size_t EventBus::subscriber_count() const {
+  std::size_t n = 0;
+  for (const auto& [topic, entries] : topics_) n += entries.size();
+  return n;
+}
+
+}  // namespace trader::runtime

@@ -1,0 +1,64 @@
+// Topic-based publish/subscribe bus.
+//
+// Mirrors the publish-subscribe coupling used by the middleware approach
+// the paper cites ([14] Parekh et al.) and by the Trader framework's
+// observer wiring: SUO components publish input/output events; observers
+// subscribe by topic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+
+namespace trader::runtime {
+
+/// Subscription handle for unsubscribing.
+class Subscription {
+ public:
+  Subscription() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventBus;
+  explicit Subscription(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Synchronous topic bus. Delivery order is subscription order, which
+/// keeps simulations deterministic.
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Subscribe to an exact topic. The empty topic subscribes to all.
+  Subscription subscribe(const std::string& topic, Handler handler);
+
+  /// Remove a subscription. Safe against stale handles.
+  void unsubscribe(Subscription sub);
+
+  /// Deliver an event to topic subscribers, then wildcard subscribers.
+  void publish(const Event& ev);
+
+  /// Number of events published over the bus lifetime.
+  std::uint64_t published() const { return published_; }
+
+  /// Number of live subscriptions.
+  std::size_t subscriber_count() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Handler handler;
+  };
+
+  std::map<std::string, std::vector<Entry>> topics_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace trader::runtime

@@ -1,0 +1,14 @@
+#include "runtime/rng.hpp"
+
+#include <cmath>
+
+namespace trader::runtime {
+
+double Rng::exponential(double mean) {
+  // Guard against log(0); uniform() < 1 always holds, but clamp anyway.
+  double u = uniform();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+}  // namespace trader::runtime

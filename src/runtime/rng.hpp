@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic element in the reproduction (channel jitter, user
+// panels, fault arrival times, synthetic program topology) draws from an
+// explicitly seeded Rng so that tests and benches are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace trader::runtime {
+
+/// SplitMix64-based deterministic PRNG.
+///
+/// Chosen over std::mt19937 because its output is specified here (not by
+/// the standard library vendor), tiny, and trivially seedable; the
+/// statistical quality is more than sufficient for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Approximately normal variate via the sum of 12 uniforms
+  /// (Irwin-Hall); exact tails are irrelevant for our jitter models and
+  /// this keeps the generator allocation-free and branch-predictable.
+  double normal(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return mean + stddev * (acc - 6.0);
+  }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Fork an independent stream (e.g. one per component) so adding a
+  /// consumer does not perturb the draws seen by existing consumers.
+  Rng fork() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace trader::runtime

@@ -1,0 +1,74 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+namespace trader::runtime {
+
+TaskHandle Scheduler::schedule_at(SimTime at, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{std::max(at, now_), next_seq_++, id, std::move(cb), 0});
+  return TaskHandle{id};
+}
+
+TaskHandle Scheduler::schedule_after(SimDuration delay, Callback cb) {
+  return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(cb));
+}
+
+TaskHandle Scheduler::schedule_every(SimDuration period, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{now_ + period, next_seq_++, id, std::move(cb), period});
+  return TaskHandle{id};
+}
+
+void Scheduler::cancel(TaskHandle h) {
+  if (h.valid()) cancelled_.push_back(h.id_);
+}
+
+bool Scheduler::is_cancelled(std::uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void Scheduler::fire(Entry e) {
+  now_ = e.at;
+  ++executed_;
+  if (e.period > 0) {
+    // Re-arm before running so the callback can cancel its own handle.
+    Entry next = e;
+    next.at = now_ + e.period;
+    next.seq = next_seq_++;
+    queue_.push(next);
+  }
+  e.cb();
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (is_cancelled(e.id)) {
+      // Drop cancelled one-shots and periodics alike; periodics were
+      // re-armed only when fired, so no further cleanup is needed.
+      continue;
+    }
+    fire(std::move(e));
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (is_cancelled(e.id)) continue;
+    fire(std::move(e));
+  }
+  now_ = std::max(now_, t);
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace trader::runtime

@@ -1,0 +1,34 @@
+// Simulated time for the Trader discrete-event kernel.
+//
+// All Trader experiments run under virtual time: a signed 64-bit count of
+// microseconds since simulation start. Virtual time makes every run fully
+// deterministic and lets benches compress hours of "TV usage" into
+// milliseconds of wall-clock time.
+#pragma once
+
+#include <cstdint>
+
+namespace trader::runtime {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in microseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+/// Construct a duration from microseconds.
+constexpr SimDuration usec(std::int64_t v) { return v; }
+
+/// Construct a duration from milliseconds.
+constexpr SimDuration msec(std::int64_t v) { return v * 1000; }
+
+/// Construct a duration from seconds.
+constexpr SimDuration sec(std::int64_t v) { return v * 1'000'000; }
+
+/// Convert a duration to fractional milliseconds (for reporting).
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Convert a duration to fractional seconds (for reporting).
+constexpr double to_sec(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace trader::runtime

@@ -1,0 +1,73 @@
+// Lightweight statistics accumulators used by benches and experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace trader::runtime {
+
+/// Streaming accumulator (Welford) for count/mean/min/max/stddev.
+class StatAccumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Store-all accumulator for percentiles (detection latency reports).
+class PercentileAccumulator {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  /// p in [0, 100]; returns 0 when empty.
+  double percentile(double p) {
+    if (values_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+}  // namespace trader::runtime

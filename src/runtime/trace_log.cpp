@@ -1,0 +1,53 @@
+#include "runtime/trace_log.hpp"
+
+namespace trader::runtime {
+
+const char* to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug:
+      return "DEBUG";
+    case TraceLevel::kInfo:
+      return "INFO";
+    case TraceLevel::kWarning:
+      return "WARNING";
+    case TraceLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void TraceLog::log(SimTime time, TraceLevel level, std::string component,
+                   std::string message) {
+  ++total_;
+  records_.push_back(TraceRecord{time, level, std::move(component), std::move(message)});
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<TraceRecord> TraceLog::query(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count_at_least(TraceLevel level) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.level >= level) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceLog::count_component(const std::string& component) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.component == component) ++n;
+  }
+  return n;
+}
+
+void TraceLog::clear() { records_.clear(); }
+
+}  // namespace trader::runtime

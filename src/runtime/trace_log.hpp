@@ -1,0 +1,63 @@
+// Trace log — the simulated on-chip trace / logging infrastructure.
+//
+// §4.1 of the paper exploits hardware debug & trace mechanisms to observe
+// the running system. TraceLog is the software equivalent: a bounded,
+// queryable record of what happened, used by tests, detectors and the
+// diagnosis bench to reconstruct runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::runtime {
+
+/// Severity of a trace record.
+enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarning, kError };
+
+/// Human-readable label for a trace level.
+const char* to_string(TraceLevel level);
+
+/// A single trace record.
+struct TraceRecord {
+  SimTime time = 0;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+/// Bounded in-memory trace buffer with query helpers.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void log(SimTime time, TraceLevel level, std::string component, std::string message);
+
+  /// All retained records, oldest first.
+  const std::deque<TraceRecord>& records() const { return records_; }
+
+  /// Records matching a predicate.
+  std::vector<TraceRecord> query(const std::function<bool(const TraceRecord&)>& pred) const;
+
+  /// Count of records at `level` or above (within retained window).
+  std::size_t count_at_least(TraceLevel level) const;
+
+  /// Count of retained records from a given component.
+  std::size_t count_component(const std::string& component) const;
+
+  /// Total records ever logged (including evicted ones).
+  std::uint64_t total_logged() const { return total_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace trader::runtime

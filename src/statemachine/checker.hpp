@@ -1,0 +1,69 @@
+// Static model checker for state machine definitions.
+//
+// §4.2: "it was very easy to make modeling errors … we investigate the
+// possibilities of formal model-checking and test scripts to improve
+// model quality." ModelChecker performs the static analyses that catch
+// the common modeling errors: unreachable states, nondeterministic
+// transition pairs, guaranteed completion livelocks, and sink states.
+// Guards are treated optimistically (assumed satisfiable), so
+// reachability results are an over-approximation: a state reported
+// unreachable is definitely unreachable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "statemachine/definition.hpp"
+
+namespace trader::statemachine {
+
+/// Severity of a reported model issue.
+enum class IssueSeverity { kWarning, kError };
+
+/// Kind of model issue.
+enum class IssueKind {
+  kUnreachableState,
+  kNondeterministicChoice,
+  kCompletionLivelock,
+  kSinkState,
+  kShadowedTransition,
+};
+
+const char* to_string(IssueKind kind);
+
+/// One finding from the checker.
+struct ModelIssue {
+  IssueSeverity severity = IssueSeverity::kWarning;
+  IssueKind kind = IssueKind::kUnreachableState;
+  std::string subject;  ///< State path or transition description.
+  std::string message;
+};
+
+/// Result of a full check.
+struct CheckReport {
+  std::vector<ModelIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool has(IssueKind kind) const;
+};
+
+/// Run all static analyses on a definition.
+class ModelChecker {
+ public:
+  CheckReport check(const StateMachineDef& def) const;
+
+  /// States reachable from the initial configuration (guards assumed
+  /// satisfiable). Sorted by id.
+  std::vector<StateId> reachable_states(const StateMachineDef& def) const;
+
+ private:
+  void check_reachability(const StateMachineDef& def, CheckReport& out) const;
+  void check_determinism(const StateMachineDef& def, CheckReport& out) const;
+  void check_completion_cycles(const StateMachineDef& def, CheckReport& out) const;
+  void check_sinks(const StateMachineDef& def, CheckReport& out) const;
+  void check_shadowing(const StateMachineDef& def, CheckReport& out) const;
+};
+
+}  // namespace trader::statemachine

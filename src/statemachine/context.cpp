@@ -1,0 +1,38 @@
+#include "statemachine/types.hpp"
+
+namespace trader::statemachine {
+
+std::int64_t Context::get_int(const std::string& key, std::int64_t dflt) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) return dflt;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+  if (const auto* d = std::get_if<double>(&it->second)) return static_cast<std::int64_t>(*d);
+  if (const auto* b = std::get_if<bool>(&it->second)) return *b ? 1 : 0;
+  return dflt;
+}
+
+double Context::get_num(const std::string& key, double dflt) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) return dflt;
+  if (const auto* d = std::get_if<double>(&it->second)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return static_cast<double>(*i);
+  if (const auto* b = std::get_if<bool>(&it->second)) return *b ? 1.0 : 0.0;
+  return dflt;
+}
+
+bool Context::get_bool(const std::string& key, bool dflt) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) return dflt;
+  if (const auto* b = std::get_if<bool>(&it->second)) return *b;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i != 0;
+  return dflt;
+}
+
+std::string Context::get_str(const std::string& key, const std::string& dflt) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) return dflt;
+  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  return dflt;
+}
+
+}  // namespace trader::statemachine

@@ -1,0 +1,20 @@
+// Graphviz export of state machine definitions.
+//
+// §4.2 stresses how easily modeling errors creep in; visual inspection
+// of the generated structure (alongside the checker and test scripts) is
+// a cheap mitigation. to_dot() renders the hierarchy as nested clusters
+// with labeled transitions — pipe into `dot -Tsvg`.
+#pragma once
+
+#include <string>
+
+#include "statemachine/definition.hpp"
+
+namespace trader::statemachine {
+
+/// DOT (graphviz) rendering of the definition. Composite states become
+/// clusters; timed transitions are labeled "after(Xms)"; guarded
+/// transitions carry a "[g]" marker; initial states get a bold border.
+std::string to_dot(const StateMachineDef& def);
+
+}  // namespace trader::statemachine

@@ -1,0 +1,87 @@
+#include "statemachine/machine_set.hpp"
+
+#include <stdexcept>
+
+namespace trader::statemachine {
+
+void MachineSet::add_region(const std::string& name, StateMachineDef def) {
+  Region region;
+  region.name = name;
+  region.def = std::make_unique<StateMachineDef>(std::move(def));
+  region.machine = std::make_unique<StateMachine>(*region.def);
+  regions_.push_back(std::move(region));
+}
+
+void MachineSet::start(runtime::SimTime now) {
+  for (auto& r : regions_) r.machine->start(now);
+}
+
+int MachineSet::dispatch(const SmEvent& ev, runtime::SimTime now) {
+  int reacted = 0;
+  for (auto& r : regions_) {
+    if (r.machine->dispatch(ev, now)) ++reacted;
+  }
+  return reacted;
+}
+
+int MachineSet::advance_time(runtime::SimTime now) {
+  int fired = 0;
+  for (auto& r : regions_) fired += r.machine->advance_time(now);
+  return fired;
+}
+
+runtime::SimTime MachineSet::next_deadline() const {
+  runtime::SimTime best = -1;
+  for (const auto& r : regions_) {
+    const runtime::SimTime d = r.machine->next_deadline();
+    if (d >= 0 && (best < 0 || d < best)) best = d;
+  }
+  return best;
+}
+
+bool MachineSet::in(const std::string& state) const {
+  for (const auto& r : regions_) {
+    if (r.machine->in(state)) return true;
+  }
+  return false;
+}
+
+StateMachine& MachineSet::region(const std::string& name) {
+  for (auto& r : regions_) {
+    if (r.name == name) return *r.machine;
+  }
+  throw std::out_of_range("no region named " + name);
+}
+
+const StateMachine& MachineSet::region(const std::string& name) const {
+  for (const auto& r : regions_) {
+    if (r.name == name) return *r.machine;
+  }
+  throw std::out_of_range("no region named " + name);
+}
+
+std::vector<ModelOutput> MachineSet::drain_outputs() {
+  std::vector<ModelOutput> out;
+  for (auto& r : regions_) {
+    auto part = r.machine->drain_outputs();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+std::vector<std::string> MachineSet::region_names() const {
+  std::vector<std::string> out;
+  out.reserve(regions_.size());
+  for (const auto& r : regions_) out.push_back(r.name);
+  return out;
+}
+
+std::vector<std::string> MachineSet::configuration() const {
+  std::vector<std::string> out;
+  out.reserve(regions_.size());
+  for (const auto& r : regions_) out.push_back(r.name + "=" + r.machine->active_leaf());
+  return out;
+}
+
+}  // namespace trader::statemachine

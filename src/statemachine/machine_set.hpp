@@ -1,0 +1,69 @@
+// Parallel composition of state machines.
+//
+// Stateflow models routinely use parallel (AND) states; our executor is
+// single-region, so parallel behaviour is expressed as a *set* of
+// machines running side by side: every event is offered to each member,
+// time advances in lockstep, and outputs are merged in member order.
+// This is also how §3's "several awareness monitors … for different
+// aspects" models are built: one small machine per aspect instead of a
+// product-state monolith (the configuration space multiplies, the
+// machine sizes add — see bench_scale).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "statemachine/machine.hpp"
+
+namespace trader::statemachine {
+
+class MachineSet {
+ public:
+  /// Add a member region. The definition is copied and owned.
+  void add_region(const std::string& name, StateMachineDef def);
+
+  std::size_t size() const { return regions_.size(); }
+
+  void start(runtime::SimTime now);
+
+  /// Offer the event to every region; returns how many reacted.
+  int dispatch(const SmEvent& ev, runtime::SimTime now);
+
+  /// Advance all regions to `now`; returns total timed transitions fired.
+  int advance_time(runtime::SimTime now);
+
+  /// Earliest deadline across regions (-1 when none).
+  runtime::SimTime next_deadline() const;
+
+  /// True when the named state is active in any region.
+  bool in(const std::string& state) const;
+
+  /// Region access by name (throws std::out_of_range when absent).
+  StateMachine& region(const std::string& name);
+  const StateMachine& region(const std::string& name) const;
+
+  /// Merged outputs of all regions since the last drain (member order,
+  /// then emission order).
+  std::vector<ModelOutput> drain_outputs();
+
+  /// Active leaf per region, "name=leaf" strings.
+  std::vector<std::string> configuration() const;
+
+  /// Names of all regions, in addition order.
+  std::vector<std::string> region_names() const;
+
+ private:
+  struct Region {
+    std::string name;
+    std::unique_ptr<StateMachineDef> def;
+    std::unique_ptr<StateMachine> machine;
+  };
+  std::vector<Region> regions_;
+};
+
+/// IModelImpl-compatible adapter lives in core/model_impl.hpp users: the
+/// set already matches the interface shape (start/dispatch/advance/
+/// drain); see core::ParallelModel.
+
+}  // namespace trader::statemachine

@@ -1,0 +1,80 @@
+#include "statemachine/test_script.hpp"
+
+#include <sstream>
+
+namespace trader::statemachine {
+
+template <typename M>
+ScriptResult TestScript::run_impl(M& m, runtime::SimTime start_time) const {
+  ScriptResult result;
+  runtime::SimTime now = start_time;
+  m.start(now);
+  std::vector<ModelOutput> pending = m.drain_outputs();
+
+  auto fail = [&](std::size_t idx, const std::string& msg) {
+    result.failures.push_back(ScriptFailure{idx, msg});
+  };
+
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const auto& step = steps_[i];
+    if (const auto* inj = std::get_if<Inject>(&step)) {
+      m.dispatch(inj->event, now);
+      for (auto& o : m.drain_outputs()) pending.push_back(std::move(o));
+    } else if (const auto* adv = std::get_if<Advance>(&step)) {
+      now += adv->by;
+      m.advance_time(now);
+      for (auto& o : m.drain_outputs()) pending.push_back(std::move(o));
+    } else if (const auto* es = std::get_if<ExpectState>(&step)) {
+      if (!m.in(es->state)) {
+        fail(i, "expected state '" + es->state + "' active, leaf is '" + m.active_leaf() + "'");
+      }
+    } else if (const auto* ens = std::get_if<ExpectNotState>(&step)) {
+      if (m.in(ens->state)) {
+        fail(i, "expected state '" + ens->state + "' inactive, leaf is '" + m.active_leaf() + "'");
+      }
+    } else if (const auto* ev = std::get_if<ExpectVar>(&step)) {
+      if (!m.vars().has(ev->key)) {
+        fail(i, "variable '" + ev->key + "' not set");
+      } else {
+        // Compare via the runtime deviation metric to handle int/double.
+        runtime::Value actual(std::int64_t{0});
+        // Re-read with correct type preference.
+        const auto& all = m.vars().all();
+        actual = all.at(ev->key);
+        const double dev = runtime::deviation(actual, ev->value);
+        if (dev > ev->tolerance) {
+          fail(i, "variable '" + ev->key + "' = " + runtime::to_string(actual) + ", expected " +
+                      runtime::to_string(ev->value));
+        }
+      }
+    } else if (const auto* eo = std::get_if<ExpectOutput>(&step)) {
+      bool found = false;
+      for (const auto& o : pending) {
+        if (o.name == eo->name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::ostringstream os;
+        os << "expected output '" << eo->name << "'; got {";
+        for (const auto& o : pending) os << o.name << " ";
+        os << "}";
+        fail(i, os.str());
+      }
+      pending.clear();
+    }
+  }
+  result.end_time = now;
+  return result;
+}
+
+ScriptResult TestScript::run(StateMachine& m, runtime::SimTime start_time) const {
+  return run_impl(m, start_time);
+}
+
+ScriptResult TestScript::run(CompiledMachine& m, runtime::SimTime start_time) const {
+  return run_impl(m, start_time);
+}
+
+}  // namespace trader::statemachine

@@ -1,0 +1,209 @@
+#include "tv/components.hpp"
+
+#include <algorithm>
+
+namespace trader::tv {
+
+// -------------------------------------------------------------------- Tuner
+
+void Tuner::set_channel(int channel, const ChannelLineup& lineup) {
+  channel_ = channel;
+  locked_ = lineup.valid(channel);
+}
+
+// ------------------------------------------------------------ AudioPipeline
+
+void AudioPipeline::set_volume(int v) { volume_ = std::clamp(v, 0, 100); }
+
+// ----------------------------------------------------------- TeletextEngine
+
+const char* to_string(TeletextEngine::Mode m) {
+  switch (m) {
+    case TeletextEngine::Mode::kOff:
+      return "off";
+    case TeletextEngine::Mode::kVisible:
+      return "visible";
+    case TeletextEngine::Mode::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+void TeletextEngine::show() { mode_ = Mode::kVisible; }
+
+void TeletextEngine::hide() { mode_ = Mode::kOff; }
+
+void TeletextEngine::to_background() { mode_ = Mode::kBackground; }
+
+void TeletextEngine::on_channel_change(int channel) {
+  if (channel == synced_channel_) return;
+  synced_channel_ = channel;
+  acquired_pages_ = 0;  // cache invalidated; must reacquire
+  current_page_ = 100;
+  carousel_next_ = 100;
+  cache_.clear();
+}
+
+void TeletextEngine::select_page(int page) { current_page_ = std::clamp(page, 100, 899); }
+
+void TeletextEngine::page_up() { select_page(current_page_ + 1); }
+
+void TeletextEngine::page_down() { select_page(current_page_ - 1); }
+
+void TeletextEngine::tick_acquisition(bool carries_teletext, int tuner_channel) {
+  if (mode_ == Mode::kOff) return;
+  if (!carries_teletext) return;
+  acquired_pages_ = std::min(acquired_pages_ + 4, 800);
+  // The carousel delivers a few pages per tick; their content comes from
+  // the channel the tuner is actually on (which the engine cannot know —
+  // it labels nothing, the cache records ground truth for observers).
+  const int source = tuner_channel >= 0 ? tuner_channel : synced_channel_;
+  for (int i = 0; i < 4; ++i) {
+    cache_[carousel_next_] = source;
+    ++carousel_next_;
+    if (carousel_next_ > 899) carousel_next_ = 100;
+  }
+}
+
+int TeletextEngine::page_source(int page) const {
+  auto it = cache_.find(page);
+  return it != cache_.end() ? it->second : -1;
+}
+
+std::string TeletextEngine::page_content(int page) const {
+  const int source = page_source(page);
+  if (source < 0) return {};
+  return "ch" + std::to_string(source) + "/p" + std::to_string(page);
+}
+
+bool TeletextEngine::displayed_page_current(int tuner_channel) const {
+  return page_source(current_page_) == tuner_channel;
+}
+
+double TeletextEngine::cache_staleness(int tuner_channel) const {
+  if (cache_.empty()) return 0.0;
+  std::size_t stale = 0;
+  for (const auto& [page, source] : cache_) {
+    if (source != tuner_channel) ++stale;
+  }
+  return static_cast<double>(stale) / static_cast<double>(cache_.size());
+}
+
+// ----------------------------------------------------------------- OsdManager
+
+const char* to_string(OsdManager::Osd o) {
+  switch (o) {
+    case OsdManager::Osd::kNone:
+      return "none";
+    case OsdManager::Osd::kVolume:
+      return "volume";
+    case OsdManager::Osd::kBanner:
+      return "banner";
+    case OsdManager::Osd::kMenu:
+      return "menu";
+  }
+  return "?";
+}
+
+void OsdManager::show_volume(runtime::SimTime now) {
+  if (active_ == Osd::kMenu) return;  // menu dominates
+  active_ = Osd::kVolume;
+  expires_at_ = now + kVolumeOsdDuration;
+}
+
+void OsdManager::show_banner(runtime::SimTime now) {
+  if (active_ == Osd::kMenu) return;
+  // A volume bar is not replaced by a banner (volume is the more recent
+  // user action when both race); banner only claims a free plane.
+  if (active_ == Osd::kVolume && expires_at_ > now) return;
+  active_ = Osd::kBanner;
+  expires_at_ = now + kBannerOsdDuration;
+}
+
+void OsdManager::show_menu() {
+  active_ = Osd::kMenu;
+  expires_at_ = -1;
+}
+
+void OsdManager::hide_menu() {
+  if (active_ == Osd::kMenu) {
+    active_ = Osd::kNone;
+    expires_at_ = -1;
+  }
+}
+
+void OsdManager::clear() {
+  active_ = Osd::kNone;
+  expires_at_ = -1;
+}
+
+void OsdManager::tick(runtime::SimTime now) {
+  if (active_ == Osd::kMenu || active_ == Osd::kNone) return;
+  if (expires_at_ >= 0 && now >= expires_at_) {
+    active_ = Osd::kNone;
+    expires_at_ = -1;
+  }
+}
+
+// ------------------------------------------------------------------- AvSwitch
+
+const char* to_string(AvSource s) {
+  switch (s) {
+    case AvSource::kAntenna:
+      return "antenna";
+    case AvSource::kHdmi:
+      return "hdmi";
+    case AvSource::kUsb:
+      return "usb";
+  }
+  return "?";
+}
+
+AvSource next_source(AvSource s) {
+  switch (s) {
+    case AvSource::kAntenna:
+      return AvSource::kHdmi;
+    case AvSource::kHdmi:
+      return AvSource::kUsb;
+    case AvSource::kUsb:
+      return AvSource::kAntenna;
+  }
+  return AvSource::kAntenna;
+}
+
+double source_quality(AvSource s) {
+  switch (s) {
+    case AvSource::kAntenna:
+      return 0.0;  // not used: antenna quality comes from the signal model
+    case AvSource::kHdmi:
+      return 0.98;
+    case AvSource::kUsb:
+      return 0.93;
+  }
+  return 0.0;
+}
+
+// --------------------------------------------------------------------- Swivel
+
+void Swivel::rotate(int delta_deg) {
+  target_deg_ = std::clamp(target_deg_ + delta_deg, -kMaxAngle, kMaxAngle);
+}
+
+void Swivel::tick(runtime::SimDuration dt, bool stuck) {
+  if (stuck || position_deg_ == target_deg_) {
+    motion_budget_ = 0;
+    return;
+  }
+  // Accumulate microdegrees of motion, move whole degrees.
+  motion_budget_ += dt * kDegreesPerSecond;  // us * deg/s = microdeg
+  const auto whole = static_cast<int>(motion_budget_ / 1'000'000);
+  if (whole <= 0) return;
+  motion_budget_ -= static_cast<std::int64_t>(whole) * 1'000'000;
+  if (position_deg_ < target_deg_) {
+    position_deg_ = std::min(position_deg_ + whole, target_deg_);
+  } else {
+    position_deg_ = std::max(position_deg_ - whole, target_deg_);
+  }
+}
+
+}  // namespace trader::tv

@@ -1,0 +1,192 @@
+// TV software components.
+//
+// Each component keeps an *internal mode* — the state whose consistency
+// across components the mode-consistency checker (§4.3, [17]) verifies.
+// Components never talk to each other directly: TvControl issues
+// commands that TvSystem routes over lossy internal channels, so a lost
+// message leaves two components in inconsistent modes exactly like the
+// teletext synchronization failure the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/sim_time.hpp"
+#include "tv/signal.hpp"
+
+namespace trader::tv {
+
+/// Front-end receiver: owns the currently tuned channel.
+class Tuner {
+ public:
+  int channel() const { return channel_; }
+  bool locked() const { return locked_; }
+
+  /// Tune to a channel; locks when the lineup carries it.
+  void set_channel(int channel, const ChannelLineup& lineup);
+
+ private:
+  int channel_ = 1;
+  bool locked_ = false;
+};
+
+/// Audio output chain: volume and mute state actually applied to the
+/// speakers (possibly diverging from TvControl's belief).
+class AudioPipeline {
+ public:
+  int volume() const { return volume_; }
+  bool muted() const { return muted_; }
+
+  void set_volume(int v);
+  void adjust(int delta) { set_volume(volume_ + delta); }
+  void set_mute(bool m) { muted_ = m; }
+  void toggle_mute() { muted_ = !muted_; }
+
+  /// The audible level (0 when muted).
+  int sound_level() const { return muted_ ? 0 : volume_; }
+
+ private:
+  int volume_ = 30;
+  bool muted_ = false;
+};
+
+/// Teletext engine: acquires pages for the channel it *believes* is
+/// tuned. If the channel-change notification is lost, it keeps serving
+/// pages of the old channel — the paper's teletext desync failure.
+///
+/// The page cache models the broadcast carousel: pages stream in from
+/// whatever channel the tuner is actually on, each cache entry labeled
+/// with its source channel. A desynced engine therefore shows *stale*
+/// pages (cached under the old channel) until the carousel slowly
+/// overwrites them — exactly the user-visible symptom of the §4.3 case.
+class TeletextEngine {
+ public:
+  enum class Mode : std::uint8_t { kOff, kVisible, kBackground };
+
+  Mode mode() const { return mode_; }
+  int synced_channel() const { return synced_channel_; }
+  int current_page() const { return current_page_; }
+  int acquired_pages() const { return acquired_pages_; }
+  bool page_ready() const { return acquired_pages_ > 0; }
+
+  void show();
+  void hide();
+  void to_background();
+
+  /// Channel-change notification (this is the message that can get lost).
+  void on_channel_change(int channel);
+
+  /// Page navigation while visible.
+  void select_page(int page);
+  void page_up();
+  void page_down();
+
+  /// Acquisition progress: call once per acquisition period while the
+  /// tuned channel carries teletext. `carries_teletext` refers to the
+  /// channel the *tuner* is actually on; `tuner_channel` is that
+  /// channel's number (the content source). Default -1 means "trust the
+  /// engine's own belief" (no independent tuner information available).
+  void tick_acquisition(bool carries_teletext, int tuner_channel = -1);
+
+  /// Source channel of a cached page, or -1 when not cached.
+  int page_source(int page) const;
+
+  /// Rendered content of a cached page ("" when not cached).
+  std::string page_content(int page) const;
+
+  /// Is the currently selected page cached AND from the tuned channel?
+  bool displayed_page_current(int tuner_channel) const;
+
+  /// Fraction of cached pages whose content came from a different
+  /// channel than `tuner_channel` (0 = all fresh; 1 = all stale).
+  double cache_staleness(int tuner_channel) const;
+
+ private:
+  Mode mode_ = Mode::kOff;
+  int synced_channel_ = 1;
+  int current_page_ = 100;
+  int acquired_pages_ = 0;
+  int carousel_next_ = 100;          ///< Next page the carousel delivers.
+  std::map<int, int> cache_;         ///< page -> source channel.
+};
+
+const char* to_string(TeletextEngine::Mode m);
+
+/// On-screen display arbitration: one OSD plane; menu dominates,
+/// volume bar and channel banner are transient (timed disappearance —
+/// the behaviour that makes time-based comparison necessary).
+class OsdManager {
+ public:
+  enum class Osd : std::uint8_t { kNone, kVolume, kBanner, kMenu };
+
+  Osd active() const { return active_; }
+
+  void show_volume(runtime::SimTime now);
+  void show_banner(runtime::SimTime now);
+  void show_menu();
+  void hide_menu();
+  void clear();
+
+  /// Expire transient OSDs.
+  void tick(runtime::SimTime now);
+
+  static constexpr runtime::SimDuration kVolumeOsdDuration = 2'000'000;  // 2 s
+  static constexpr runtime::SimDuration kBannerOsdDuration = 3'000'000;  // 3 s
+
+ private:
+  Osd active_ = Osd::kNone;
+  runtime::SimTime expires_at_ = -1;  // -1: no expiry
+};
+
+const char* to_string(OsdManager::Osd o);
+
+/// AV input selector (§2: TVs "can receive analog and digital input
+/// from many possible sources" and connect to recording devices / USB).
+/// Antenna is the broadcast path; HDMI and USB are external feeds with
+/// their own quality characteristics and no teletext/zapping.
+enum class AvSource : std::uint8_t { kAntenna, kHdmi, kUsb };
+
+const char* to_string(AvSource s);
+
+/// Next source in the cycle antenna -> hdmi -> usb -> antenna.
+AvSource next_source(AvSource s);
+
+/// Nominal frame quality delivered by an external source.
+double source_quality(AvSource s);
+
+class AvSwitch {
+ public:
+  AvSource source() const { return source_; }
+  void select(AvSource s) { source_ = s; }
+
+ private:
+  AvSource source_ = AvSource::kAntenna;
+};
+
+/// Motorized swivel: turns the set toward a target angle at finite
+/// speed. §4.6: its failures irritate users far more than bad pictures.
+class Swivel {
+ public:
+  int position() const { return position_deg_; }
+  int target() const { return target_deg_; }
+  bool moving() const { return position_deg_ != target_deg_; }
+
+  /// Request a turn by `delta_deg` (clamped to ±kMaxAngle).
+  void rotate(int delta_deg);
+
+  /// Advance the motor by one tick of `dt`; `stuck` models the motor
+  /// fault from the §4.6 experiments.
+  void tick(runtime::SimDuration dt, bool stuck);
+
+  static constexpr int kMaxAngle = 45;
+  static constexpr int kDegreesPerSecond = 10;
+
+ private:
+  int position_deg_ = 0;
+  int target_deg_ = 0;
+  // Sub-degree motion accumulator in microdegrees.
+  std::int64_t motion_budget_ = 0;
+};
+
+}  // namespace trader::tv

@@ -1,0 +1,314 @@
+#include "tv/control.hpp"
+
+#include <algorithm>
+
+namespace trader::tv {
+
+namespace {
+
+Command cmd(std::string component, std::string action,
+            std::map<std::string, runtime::Value> args = {}) {
+  return Command{std::move(component), std::move(action), std::move(args)};
+}
+
+}  // namespace
+
+const char* to_string(Screen s) {
+  switch (s) {
+    case Screen::kOff:
+      return "off";
+    case Screen::kVideo:
+      return "video";
+    case Screen::kDual:
+      return "dual";
+    case Screen::kTeletext:
+      return "teletext";
+    case Screen::kMenu:
+      return "menu";
+  }
+  return "?";
+}
+
+TvControl::TvControl(const ChannelLineup& lineup) : TvControl(lineup, Config{}) {}
+
+TvControl::TvControl(const ChannelLineup& lineup, Config config)
+    : lineup_(lineup),
+      config_(config),
+      channel_(config.initial_channel),
+      dual_channel_(lineup.next(config.initial_channel, +1)),
+      volume_(config.initial_volume) {}
+
+int TvControl::sleep_minutes(runtime::SimTime now) const {
+  if (sleep_deadline_ < 0) return 0;
+  const auto remaining = sleep_deadline_ - now;
+  if (remaining <= 0) return 0;
+  return static_cast<int>((remaining + 59'999'999) / 60'000'000);  // ceil minutes
+}
+
+std::vector<Command> TvControl::power_on(runtime::SimTime now) {
+  hit(kBlkPowerOn);
+  powered_ = true;
+  screen_ = Screen::kVideo;
+  // Restore the persisted user settings into the components.
+  std::vector<Command> out;
+  out.push_back(cmd("tuner", "set_channel", {{"channel", std::int64_t{channel_}}}));
+  out.push_back(cmd("audio", "set_volume", {{"volume", std::int64_t{volume_}}}));
+  out.push_back(cmd("audio", "set_mute", {{"mute", muted_}}));
+  out.push_back(cmd("teletext", "hide"));
+  out.push_back(cmd("teletext", "channel_change", {{"channel", std::int64_t{channel_}}}));
+  out.push_back(cmd("avswitch", "select", {{"source", std::int64_t{static_cast<int>(source_)}}}));
+  out.push_back(cmd("osd", "banner", {{"at", now}}));
+  return out;
+}
+
+std::vector<Command> TvControl::power_off() {
+  hit(kBlkPowerOff);
+  powered_ = false;
+  screen_ = Screen::kOff;
+  digit_buffer_.clear();
+  digit_deadline_ = -1;
+  sleep_deadline_ = -1;
+  std::vector<Command> out;
+  out.push_back(cmd("osd", "clear"));
+  out.push_back(cmd("teletext", "hide"));
+  return out;
+}
+
+std::vector<Command> TvControl::commit_channel(int target, runtime::SimTime now) {
+  digit_buffer_.clear();
+  digit_deadline_ = -1;
+  std::vector<Command> out;
+  if (child_lock_ && target >= config_.adult_channel_threshold) {
+    hit(kBlkChannelBlocked);
+    out.push_back(cmd("osd", "banner", {{"at", now}}));  // "locked" banner
+    return out;
+  }
+  hit(kBlkDigitCommit);
+  channel_ = target;
+  out.push_back(cmd("tuner", "set_channel", {{"channel", std::int64_t{channel_}}}));
+  out.push_back(cmd("teletext", "channel_change", {{"channel", std::int64_t{channel_}}}));
+  out.push_back(cmd("osd", "banner", {{"at", now}}));
+  return out;
+}
+
+std::vector<Command> TvControl::handle_key(Key key, runtime::SimTime now) {
+  std::vector<Command> out;
+
+  if (!powered_) {
+    if (key == Key::kPower) return power_on(now);
+    hit(kBlkIgnoredOff);
+    return out;
+  }
+  if (key == Key::kPower) return power_off();
+
+  // --- Menu captures navigation keys ----------------------------------
+  if (screen_ == Screen::kMenu) {
+    switch (key) {
+      case Key::kMenu:
+      case Key::kBack:
+        hit(kBlkMenuExit);
+        screen_ = Screen::kVideo;
+        out.push_back(cmd("osd", "hide_menu"));
+        return out;
+      case Key::kVolumeUp:
+      case Key::kVolumeDown:
+      case Key::kMute:
+        break;  // volume group still works inside the menu
+      default:
+        hit(kBlkMenuKeySwallow);
+        return out;  // menu swallows everything else
+    }
+  }
+
+  switch (key) {
+    case Key::kMenu: {
+      hit(kBlkMenuEnter);
+      screen_ = Screen::kMenu;
+      out.push_back(cmd("osd", "show_menu"));
+      // Entering the menu dismisses teletext/dual viewing.
+      out.push_back(cmd("teletext", "hide"));
+      return out;
+    }
+    case Key::kBack: {
+      hit(kBlkBack);
+      if (screen_ == Screen::kTeletext) out.push_back(cmd("teletext", "hide"));
+      screen_ = Screen::kVideo;
+      return out;
+    }
+    case Key::kVolumeUp:
+    case Key::kVolumeDown: {
+      const bool up = key == Key::kVolumeUp;
+      hit(up ? kBlkVolumeUp : kBlkVolumeDown);
+      if (muted_) {
+        hit(kBlkUnmuteOnVolume);
+        muted_ = false;
+        out.push_back(cmd("audio", "set_mute", {{"mute", false}}));
+      }
+      volume_ = std::clamp(volume_ + (up ? config_.volume_step : -config_.volume_step), 0, 100);
+      out.push_back(cmd("audio", "set_volume", {{"volume", std::int64_t{volume_}}}));
+      out.push_back(cmd("osd", "volume", {{"at", now}}));
+      return out;
+    }
+    case Key::kMute: {
+      hit(kBlkMuteToggle);
+      muted_ = !muted_;
+      out.push_back(cmd("audio", "set_mute", {{"mute", muted_}}));
+      out.push_back(cmd("osd", "volume", {{"at", now}}));
+      return out;
+    }
+    case Key::kSource: {
+      // External inputs cannot show teletext or dual screen: switching
+      // the source dismisses both (another §4.2-style interaction).
+      if (screen_ == Screen::kTeletext) {
+        hit(kBlkSourceFromTtx);
+        out.push_back(cmd("teletext", "hide"));
+        screen_ = Screen::kVideo;
+      } else if (screen_ == Screen::kDual) {
+        hit(kBlkSourceFromDual);
+        screen_ = Screen::kVideo;
+      } else {
+        hit(kBlkSourceCycle);
+      }
+      source_ = next_source(source_);
+      out.push_back(cmd("avswitch", "select",
+                        {{"source", std::int64_t{static_cast<int>(source_)}}}));
+      out.push_back(cmd("osd", "banner", {{"at", now}}));
+      return out;
+    }
+    case Key::kTeletext: {
+      if (source_ != AvSource::kAntenna) {
+        hit(kBlkExternalSourceSwallow);  // no teletext on external feeds
+        return out;
+      }
+      if (screen_ == Screen::kTeletext) {
+        hit(kBlkTtxExit);
+        screen_ = Screen::kVideo;
+        out.push_back(cmd("teletext", "hide"));
+      } else {
+        hit(kBlkTtxEnter);
+        screen_ = Screen::kTeletext;  // suppresses dual screen if active
+        ttx_page_ = 100;
+        out.push_back(cmd("teletext", "show"));
+      }
+      return out;
+    }
+    case Key::kDualScreen: {
+      if (source_ != AvSource::kAntenna) {
+        hit(kBlkExternalSourceSwallow);  // dual screen needs the tuner pair
+        return out;
+      }
+      if (screen_ == Screen::kDual) {
+        hit(kBlkDualExit);
+        screen_ = Screen::kVideo;
+      } else {
+        if (screen_ == Screen::kTeletext) {
+          hit(kBlkDualFromTtx);
+          out.push_back(cmd("teletext", "hide"));
+        } else {
+          hit(kBlkDualEnter);
+        }
+        screen_ = Screen::kDual;
+        dual_channel_ = lineup_.next(channel_, +1);
+      }
+      return out;
+    }
+    case Key::kChannelUp:
+    case Key::kChannelDown: {
+      const int dir = key == Key::kChannelUp ? +1 : -1;
+      if (screen_ == Screen::kTeletext) {
+        hit(kBlkTtxPage);
+        ttx_page_ = std::clamp(ttx_page_ + dir, 100, 899);
+        out.push_back(cmd("teletext", "select_page", {{"page", std::int64_t{ttx_page_}}}));
+        return out;
+      }
+      if (source_ != AvSource::kAntenna) {
+        hit(kBlkExternalSourceSwallow);  // zapping is a tuner operation
+        return out;
+      }
+      hit(dir > 0 ? kBlkChannelUp : kBlkChannelDown);
+      return commit_channel(lineup_.next(channel_, dir), now);
+    }
+    case Key::kSleep: {
+      hit(kBlkSleepCycle);
+      // Cycle off -> 15 -> 30 -> 60 -> off (minutes).
+      const int current = sleep_minutes(now);
+      const int next = current == 0 ? 15 : current <= 15 ? 30 : current <= 30 ? 60 : 0;
+      sleep_deadline_ = next == 0 ? -1 : now + runtime::sec(static_cast<std::int64_t>(next) * 60);
+      out.push_back(cmd("osd", "banner", {{"at", now}}));
+      return out;
+    }
+    case Key::kSwivelLeft:
+    case Key::kSwivelRight: {
+      const bool left = key == Key::kSwivelLeft;
+      hit(left ? kBlkSwivelLeft : kBlkSwivelRight);
+      out.push_back(cmd("swivel", "rotate", {{"delta", std::int64_t{left ? -15 : 15}}}));
+      return out;
+    }
+    case Key::kChildLock: {
+      hit(kBlkChildLockToggle);
+      child_lock_ = !child_lock_;
+      out.push_back(cmd("osd", "banner", {{"at", now}}));
+      return out;
+    }
+    default:
+      break;
+  }
+
+  // --- Digits ----------------------------------------------------------
+  if (auto d = digit_of(key)) {
+    if (source_ != AvSource::kAntenna) {
+      hit(kBlkExternalSourceSwallow);
+      return out;
+    }
+    if (screen_ == Screen::kTeletext) {
+      hit(kBlkTtxDigit);
+      digit_buffer_.push_back(static_cast<char>('0' + *d));
+      digit_deadline_ = now + config_.digit_timeout;
+      if (digit_buffer_.size() >= 3) {
+        const int page = std::stoi(digit_buffer_);
+        digit_buffer_.clear();
+        digit_deadline_ = -1;
+        ttx_page_ = std::clamp(page, 100, 899);
+        out.push_back(cmd("teletext", "select_page", {{"page", std::int64_t{ttx_page_}}}));
+      }
+      return out;
+    }
+    hit(kBlkDigitEntry);
+    digit_buffer_.push_back(static_cast<char>('0' + *d));
+    digit_deadline_ = now + config_.digit_timeout;
+    if (digit_buffer_.size() >= 2) {
+      return commit_channel(std::stoi(digit_buffer_), now);
+    }
+    return out;
+  }
+
+  return out;
+}
+
+std::vector<Command> TvControl::tick(runtime::SimTime now) {
+  hit(kBlkTick);
+  std::vector<Command> out;
+  if (!powered_) return out;
+
+  if (digit_deadline_ >= 0 && now >= digit_deadline_ && !digit_buffer_.empty()) {
+    hit(kBlkDigitTimeout);
+    const int n = std::stoi(digit_buffer_);
+    if (screen_ == Screen::kTeletext) {
+      // Incomplete page entry: discard (real TVs keep the old page).
+      digit_buffer_.clear();
+      digit_deadline_ = -1;
+    } else {
+      auto cmds = commit_channel(n, now);
+      out.insert(out.end(), cmds.begin(), cmds.end());
+    }
+  }
+
+  if (sleep_deadline_ >= 0 && now >= sleep_deadline_) {
+    hit(kBlkSleepExpire);
+    auto cmds = power_off();
+    out.insert(out.end(), cmds.begin(), cmds.end());
+  }
+  return out;
+}
+
+}  // namespace trader::tv

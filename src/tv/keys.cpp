@@ -1,0 +1,38 @@
+#include "tv/keys.hpp"
+
+#include <array>
+
+namespace trader::tv {
+
+namespace {
+constexpr std::array<const char*, 26> kNames = {
+    "power",       "digit_0",     "digit_1",   "digit_2",      "digit_3",
+    "digit_4",     "digit_5",     "digit_6",   "digit_7",      "digit_8",
+    "digit_9",     "channel_up",  "channel_down", "volume_up", "volume_down",
+    "mute",        "teletext",    "dual_screen", "menu",       "ok",
+    "back",        "sleep",       "swivel_left", "swivel_right", "child_lock",
+    "source",
+};
+}  // namespace
+
+const char* to_string(Key k) { return kNames[static_cast<std::size_t>(k)]; }
+
+std::optional<Key> key_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (name == kNames[i]) return static_cast<Key>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> digit_of(Key k) {
+  const auto v = static_cast<int>(k);
+  const auto d0 = static_cast<int>(Key::kDigit0);
+  if (v >= d0 && v <= d0 + 9) return v - d0;
+  return std::nullopt;
+}
+
+Key digit_key(int value) {
+  return static_cast<Key>(static_cast<int>(Key::kDigit0) + (value % 10));
+}
+
+}  // namespace trader::tv

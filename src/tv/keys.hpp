@@ -1,0 +1,52 @@
+// Remote-control keys — the TV's user input alphabet (§2, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace trader::tv {
+
+/// Keys on the simulated remote control.
+enum class Key : std::uint8_t {
+  kPower,
+  kDigit0,
+  kDigit1,
+  kDigit2,
+  kDigit3,
+  kDigit4,
+  kDigit5,
+  kDigit6,
+  kDigit7,
+  kDigit8,
+  kDigit9,
+  kChannelUp,
+  kChannelDown,
+  kVolumeUp,
+  kVolumeDown,
+  kMute,
+  kTeletext,
+  kDualScreen,
+  kMenu,
+  kOk,
+  kBack,
+  kSleep,
+  kSwivelLeft,
+  kSwivelRight,
+  kChildLock,
+  kSource,  ///< Cycle the AV input (antenna -> hdmi -> usb).
+};
+
+/// Canonical name, e.g. "volume_up".
+const char* to_string(Key k);
+
+/// Parse a canonical name back into a key.
+std::optional<Key> key_from_string(const std::string& name);
+
+/// Digit value for kDigit0..kDigit9, std::nullopt otherwise.
+std::optional<int> digit_of(Key k);
+
+/// Key for a digit value 0..9.
+Key digit_key(int value);
+
+}  // namespace trader::tv

@@ -1,0 +1,102 @@
+#include "tv/signal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trader::tv {
+
+const char* to_string(CodingStandard s) {
+  switch (s) {
+    case CodingStandard::kAnalog:
+      return "analog";
+    case CodingStandard::kMpeg2:
+      return "mpeg2";
+    case CodingStandard::kH264:
+      return "h264";
+  }
+  return "?";
+}
+
+double decode_cost_factor(CodingStandard s) {
+  switch (s) {
+    case CodingStandard::kAnalog:
+      return 1.0;
+    case CodingStandard::kMpeg2:
+      return 1.6;
+    case CodingStandard::kH264:
+      return 2.4;
+  }
+  return 1.0;
+}
+
+ChannelLineup ChannelLineup::standard_lineup(int n, std::uint64_t seed) {
+  ChannelLineup lineup{runtime::Rng(seed)};
+  for (int i = 1; i <= n; ++i) {
+    ChannelInfo info;
+    info.number = i;
+    info.name = "CH" + std::to_string(i);
+    info.standard = (i % 3 == 0)   ? CodingStandard::kAnalog
+                    : (i % 3 == 1) ? CodingStandard::kMpeg2
+                                   : CodingStandard::kH264;
+    info.base_quality = 0.9 + 0.08 * ((i * 7) % 2);
+    info.deviation_rate = (i % 5 == 0) ? 0.02 : 0.0;
+    info.has_teletext = (i % 4 != 3);
+    lineup.add(std::move(info));
+  }
+  return lineup;
+}
+
+bool ChannelLineup::valid(int number) const {
+  return std::any_of(channels_.begin(), channels_.end(),
+                     [&](const ChannelInfo& c) { return c.number == number; });
+}
+
+const ChannelInfo& ChannelLineup::info(int number) const {
+  for (const auto& c : channels_) {
+    if (c.number == number) return c;
+  }
+  throw std::out_of_range("no such channel: " + std::to_string(number));
+}
+
+ChannelInfo& ChannelLineup::info_mut(int number) {
+  for (auto& c : channels_) {
+    if (c.number == number) return c;
+  }
+  throw std::out_of_range("no such channel: " + std::to_string(number));
+}
+
+int ChannelLineup::next(int number, int direction) const {
+  if (channels_.empty()) return number;
+  // Channels are not necessarily dense; walk the sorted set of numbers.
+  std::vector<int> nums;
+  nums.reserve(channels_.size());
+  for (const auto& c : channels_) nums.push_back(c.number);
+  std::sort(nums.begin(), nums.end());
+  auto it = std::find(nums.begin(), nums.end(), number);
+  if (it == nums.end()) return nums.front();
+  if (direction >= 0) {
+    ++it;
+    return it == nums.end() ? nums.front() : *it;
+  }
+  if (it == nums.begin()) return nums.back();
+  return *(--it);
+}
+
+StreamUnit ChannelLineup::sample(int channel, runtime::SimTime now, double quality_penalty) {
+  StreamUnit unit;
+  unit.channel = channel;
+  unit.time = now;
+  if (!valid(channel)) {
+    unit.quality = 0.0;
+    return unit;
+  }
+  const ChannelInfo& c = info(channel);
+  // Small deterministic ripple around base quality, then the external
+  // fault penalty.
+  const double ripple = 0.02 * rng_.uniform(-1.0, 1.0);
+  unit.quality = std::clamp(c.base_quality + ripple - quality_penalty, 0.0, 1.0);
+  unit.coding_deviation = rng_.bernoulli(c.deviation_rate);
+  return unit;
+}
+
+}  // namespace trader::tv

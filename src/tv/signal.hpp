@@ -1,0 +1,72 @@
+// Broadcast signal model: channels, coding standards, signal quality.
+//
+// §2: a TV "can receive analog and digital input from many possible
+// sources and using many different coding standards" and "must be able
+// to tolerate certain faults in the input" — deviations from coding
+// standards, bad image quality. ChannelLineup models the broadcast side;
+// per-channel quality and deviation rates are the external-fault knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::tv {
+
+/// Coding standard of a channel's stream.
+enum class CodingStandard : std::uint8_t { kAnalog, kMpeg2, kH264 };
+
+const char* to_string(CodingStandard s);
+
+/// Relative decode cost of a standard (analog = 1.0 baseline).
+double decode_cost_factor(CodingStandard s);
+
+/// Static description of one broadcast channel.
+struct ChannelInfo {
+  int number = 1;
+  std::string name;
+  CodingStandard standard = CodingStandard::kMpeg2;
+  double base_quality = 0.95;      ///< Nominal signal quality [0,1].
+  double deviation_rate = 0.0;     ///< P(stream unit deviates from standard).
+  bool has_teletext = true;
+};
+
+/// One decoded stream unit (a frame period's worth of signal).
+struct StreamUnit {
+  int channel = 1;
+  double quality = 1.0;       ///< Instantaneous signal quality [0,1].
+  bool coding_deviation = false;
+  runtime::SimTime time = 0;
+};
+
+/// The set of receivable channels plus a deterministic signal generator.
+class ChannelLineup {
+ public:
+  explicit ChannelLineup(runtime::Rng rng = runtime::Rng(7)) : rng_(rng) {}
+
+  /// Build a default lineup of `n` channels with mixed standards.
+  static ChannelLineup standard_lineup(int n, std::uint64_t seed = 7);
+
+  void add(ChannelInfo info) { channels_.push_back(std::move(info)); }
+
+  int count() const { return static_cast<int>(channels_.size()); }
+  bool valid(int number) const;
+  const ChannelInfo& info(int number) const;
+  ChannelInfo& info_mut(int number);
+
+  /// Next channel number with wrap-around (for channel up/down).
+  int next(int number, int direction) const;
+
+  /// Sample the signal for `channel` at `now`. `quality_penalty`
+  /// (0..1) models an externally injected bad-signal fault.
+  StreamUnit sample(int channel, runtime::SimTime now, double quality_penalty = 0.0);
+
+ private:
+  runtime::Rng rng_;
+  std::vector<ChannelInfo> channels_;
+};
+
+}  // namespace trader::tv

@@ -1,0 +1,189 @@
+#include "tv/soc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trader::tv {
+
+// ---------------------------------------------------------------- Processor
+
+void Processor::add_task(const std::string& name, double cost, int priority) {
+  tasks_[name] = TaskInfo{cost, priority, 1.0};
+}
+
+void Processor::remove_task(const std::string& name) { tasks_.erase(name); }
+
+void Processor::set_task_cost(const std::string& name, double cost) {
+  auto it = tasks_.find(name);
+  if (it != tasks_.end()) it->second.cost = cost;
+}
+
+double Processor::task_cost(const std::string& name) const {
+  auto it = tasks_.find(name);
+  return it == tasks_.end() ? 0.0 : it->second.cost;
+}
+
+std::vector<std::string> Processor::task_names() const {
+  std::vector<std::string> out;
+  out.reserve(tasks_.size());
+  for (const auto& [k, v] : tasks_) out.push_back(k);
+  return out;
+}
+
+double Processor::load() const {
+  double demand = 0.0;
+  for (const auto& [k, t] : tasks_) demand += t.cost;
+  return capacity_ > 0 ? demand / capacity_ : 0.0;
+}
+
+std::vector<ServiceGrant> Processor::service() {
+  // Group by priority, high to low; share fairly within a level.
+  std::map<int, std::vector<std::string>, std::greater<>> levels;
+  for (const auto& [name, t] : tasks_) levels[t.priority].push_back(name);
+
+  std::vector<ServiceGrant> grants;
+  double remaining = capacity_;
+  for (const auto& [prio, names] : levels) {
+    double level_demand = 0.0;
+    for (const auto& n : names) level_demand += tasks_[n].cost;
+    const double share = (level_demand <= remaining || level_demand == 0.0)
+                             ? 1.0
+                             : remaining / level_demand;
+    for (const auto& n : names) {
+      auto& t = tasks_[n];
+      const double granted = t.cost * share;
+      t.last_fraction = t.cost > 0 ? share : 1.0;
+      grants.push_back(ServiceGrant{n, t.cost, granted});
+    }
+    remaining = std::max(0.0, remaining - level_demand);
+  }
+  return grants;
+}
+
+double Processor::last_fraction(const std::string& name) const {
+  auto it = tasks_.find(name);
+  return it == tasks_.end() ? 1.0 : it->second.last_fraction;
+}
+
+// ---------------------------------------------------------------------- Bus
+
+void Bus::request(const std::string& client, double amount) { demands_[client] += amount; }
+
+std::vector<ServiceGrant> Bus::service() {
+  double total = 0.0;
+  for (const auto& [c, d] : demands_) total += d;
+  const double share = (total <= bandwidth_ || total == 0.0) ? 1.0 : bandwidth_ / total;
+  std::vector<ServiceGrant> grants;
+  fractions_.clear();
+  for (const auto& [c, d] : demands_) {
+    grants.push_back(ServiceGrant{c, d, d * share});
+    fractions_[c] = d > 0 ? share : 1.0;
+  }
+  demands_.clear();
+  return grants;
+}
+
+double Bus::last_fraction(const std::string& client) const {
+  auto it = fractions_.find(client);
+  return it == fractions_.end() ? 1.0 : it->second;
+}
+
+double Bus::demand() const {
+  double total = 0.0;
+  for (const auto& [c, d] : demands_) total += d;
+  return total;
+}
+
+// ------------------------------------------------------------ MemoryArbiter
+
+void MemoryArbiter::add_port(const std::string& port, int priority) {
+  ports_[port] = Port{priority, 0.0, 1.0, 0};
+}
+
+void MemoryArbiter::set_priority(const std::string& port, int priority) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) throw std::out_of_range("no such arbiter port: " + port);
+  it->second.priority = priority;
+}
+
+int MemoryArbiter::priority(const std::string& port) const {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) throw std::out_of_range("no such arbiter port: " + port);
+  return it->second.priority;
+}
+
+std::vector<std::string> MemoryArbiter::ports() const {
+  std::vector<std::string> out;
+  out.reserve(ports_.size());
+  for (const auto& [k, v] : ports_) out.push_back(k);
+  return out;
+}
+
+void MemoryArbiter::request(const std::string& port, double amount) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) throw std::out_of_range("no such arbiter port: " + port);
+  it->second.demand += amount;
+}
+
+std::vector<ServiceGrant> MemoryArbiter::service() {
+  std::map<int, std::vector<std::string>, std::greater<>> levels;
+  for (const auto& [name, p] : ports_) levels[p.priority].push_back(name);
+
+  std::vector<ServiceGrant> grants;
+  double remaining = bandwidth_;
+  for (const auto& [prio, names] : levels) {
+    double level_demand = 0.0;
+    for (const auto& n : names) level_demand += ports_[n].demand;
+    const double share = (level_demand <= remaining || level_demand == 0.0)
+                             ? 1.0
+                             : remaining / level_demand;
+    for (const auto& n : names) {
+      auto& p = ports_[n];
+      const double granted = p.demand * share;
+      p.last_fraction = p.demand > 0 ? share : 1.0;
+      if (p.demand > 0 && p.last_fraction < kStarvationThreshold) {
+        ++p.starved;
+      } else {
+        p.starved = 0;
+      }
+      grants.push_back(ServiceGrant{n, p.demand, granted});
+      p.demand = 0.0;
+    }
+    remaining = std::max(0.0, remaining - level_demand);
+  }
+  return grants;
+}
+
+double MemoryArbiter::last_fraction(const std::string& port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? 1.0 : it->second.last_fraction;
+}
+
+int MemoryArbiter::starvation_ticks(const std::string& port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? 0 : it->second.starved;
+}
+
+// --------------------------------------------------------------- StreamBuffer
+
+double StreamBuffer::push(double amount) {
+  const double accepted = std::min(amount, capacity_ - level_);
+  level_ += accepted;
+  if (accepted + 1e-12 < amount) ++overflows_;
+  return accepted;
+}
+
+double StreamBuffer::pop(double amount) {
+  const double taken = std::min(amount, level_);
+  level_ -= taken;
+  if (taken + 1e-12 < amount) ++underflows_;
+  return taken;
+}
+
+void StreamBuffer::reset() {
+  level_ = 0.0;
+  overflows_ = 0;
+  underflows_ = 0;
+}
+
+}  // namespace trader::tv

@@ -1,0 +1,161 @@
+// Simulated system-on-chip resources (§2: "a TV is designed as a
+// system-on-chip with multiple processors, various types of memory, and
+// dedicated hardware accelerators").
+//
+// The model is a per-tick service abstraction: tasks declare a cost in
+// work units per tick; processors, the bus and the memory arbiter grant
+// service each tick according to capacity and priority. Overload shows
+// up as service fractions < 1, which the pipeline converts into frame
+// drops and quality loss — the observable failures that recovery (task
+// migration, adaptive arbitration) and stress testing (resource eaters)
+// act on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_time.hpp"
+
+namespace trader::tv {
+
+/// Service granted to one task in one tick.
+struct ServiceGrant {
+  std::string task;
+  double requested = 0.0;
+  double granted = 0.0;
+
+  double fraction() const { return requested > 0.0 ? granted / requested : 1.0; }
+};
+
+/// A fixed-capacity processor running named tasks with priorities.
+/// Higher priority is served first; equal priorities share fairly.
+class Processor {
+ public:
+  Processor(std::string id, double capacity) : id_(std::move(id)), capacity_(capacity) {}
+
+  const std::string& id() const { return id_; }
+  double capacity() const { return capacity_; }
+
+  /// Add (or replace) a task with per-tick cost and priority.
+  void add_task(const std::string& name, double cost, int priority = 0);
+  void remove_task(const std::string& name);
+  bool has_task(const std::string& name) const { return tasks_.count(name) > 0; }
+  void set_task_cost(const std::string& name, double cost);
+  double task_cost(const std::string& name) const;
+  std::vector<std::string> task_names() const;
+
+  /// Demand / capacity; > 1 means overload.
+  double load() const;
+
+  /// Run one tick: allocate capacity by priority, fair within a level.
+  std::vector<ServiceGrant> service();
+
+  /// Service fraction the named task got in the last service() call
+  /// (1.0 when it made no request or was absent).
+  double last_fraction(const std::string& name) const;
+
+ private:
+  struct TaskInfo {
+    double cost = 0.0;
+    int priority = 0;
+    double last_fraction = 1.0;
+  };
+
+  std::string id_;
+  double capacity_;
+  std::map<std::string, TaskInfo> tasks_;
+};
+
+/// Shared interconnect with fair proportional allocation.
+class Bus {
+ public:
+  explicit Bus(double bandwidth) : bandwidth_(bandwidth) {}
+
+  double bandwidth() const { return bandwidth_; }
+
+  /// Register a per-tick bandwidth demand for a client.
+  void request(const std::string& client, double amount);
+
+  /// Serve all outstanding requests proportionally; clears demands.
+  std::vector<ServiceGrant> service();
+
+  double last_fraction(const std::string& client) const;
+  double demand() const;
+
+ private:
+  double bandwidth_;
+  std::map<std::string, double> demands_;
+  std::map<std::string, double> fractions_;
+};
+
+/// Priority-based memory arbiter with runtime-adjustable port priorities
+/// (§4.5: "make memory arbitration more flexible such that it can be
+/// adapted at run-time").
+class MemoryArbiter {
+ public:
+  explicit MemoryArbiter(double bandwidth) : bandwidth_(bandwidth) {}
+
+  void add_port(const std::string& port, int priority);
+  void set_priority(const std::string& port, int priority);
+  int priority(const std::string& port) const;
+  std::vector<std::string> ports() const;
+
+  /// Register a per-tick demand on a port.
+  void request(const std::string& port, double amount);
+
+  /// Serve by strict priority (fair within a level); clears demands.
+  std::vector<ServiceGrant> service();
+
+  double last_fraction(const std::string& port) const;
+
+  /// Consecutive ticks the port got < `threshold` of its demand.
+  int starvation_ticks(const std::string& port) const;
+
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  struct Port {
+    int priority = 0;
+    double demand = 0.0;
+    double last_fraction = 1.0;
+    int starved = 0;
+  };
+
+  static constexpr double kStarvationThreshold = 0.9;
+
+  double bandwidth_;
+  std::map<std::string, Port> ports_;
+};
+
+/// Bounded stream buffer between pipeline stages.
+class StreamBuffer {
+ public:
+  StreamBuffer(std::string id, double capacity) : id_(std::move(id)), capacity_(capacity) {}
+
+  const std::string& id() const { return id_; }
+  double capacity() const { return capacity_; }
+  double level() const { return level_; }
+  double fill_ratio() const { return capacity_ > 0 ? level_ / capacity_ : 0.0; }
+
+  /// Push `amount`; returns the accepted part. Excess counts as overflow.
+  double push(double amount);
+
+  /// Pop up to `amount`; returns the taken part. Shortfall counts as underflow.
+  double pop(double amount);
+
+  std::uint64_t overflows() const { return overflows_; }
+  std::uint64_t underflows() const { return underflows_; }
+
+  void reset();
+
+ private:
+  std::string id_;
+  double capacity_;
+  double level_ = 0.0;
+  std::uint64_t overflows_ = 0;
+  std::uint64_t underflows_ = 0;
+};
+
+}  // namespace trader::tv

@@ -1,0 +1,213 @@
+#include "tv/spec_model.hpp"
+
+#include <algorithm>
+
+namespace trader::tv {
+
+namespace sm = trader::statemachine;
+
+namespace {
+
+// Model outputs carry a single "value" field, matching the observable
+// naming of TvSystem::publish_outputs().
+void emit_value(sm::ActionEnv& env, const std::string& name, runtime::Value v) {
+  env.emit(name, {{"value", std::move(v)}});
+}
+
+}  // namespace
+
+sm::StateMachineDef build_tv_spec_model(const TvSpecConfig& cfg) {
+  sm::StateMachineDef def("tv_spec");
+
+  const auto off = def.add_state("Off");
+  const auto on = def.add_state("On");
+  const auto video = def.add_state("Video", on);
+  const auto dual = def.add_state("Dual", on);
+  const auto ttx = def.add_state("Teletext", on);
+  const auto menu = def.add_state("Menu", on);
+  def.set_initial(on, video);
+  def.set_top_initial(off);
+
+  // --- Variable accessors with model defaults ---------------------------
+  auto volume_of = [cfg](const sm::Context& c) {
+    return static_cast<int>(c.get_int("volume", cfg.initial_volume));
+  };
+  auto channel_of = [cfg](const sm::Context& c) {
+    return static_cast<int>(c.get_int("channel", cfg.initial_channel));
+  };
+  auto sound_of = [volume_of](const sm::Context& c) {
+    return c.get_bool("muted", false) ? 0 : volume_of(c);
+  };
+  auto clear_digits = [](sm::ActionEnv& env) { env.vars.set_str("digits", ""); };
+  auto source_of = [](const sm::Context& c) { return c.get_str("source", "antenna"); };
+  auto on_antenna = [source_of](const sm::Context& c, const sm::SmEvent&) {
+    return source_of(c) == "antenna";
+  };
+  auto off_antenna = [source_of](const sm::Context& c, const sm::SmEvent&) {
+    return source_of(c) != "antenna";
+  };
+  auto cycle_source = [source_of](sm::ActionEnv& env) {
+    const std::string cur = source_of(env.vars);
+    const std::string next = cur == "antenna" ? "hdmi" : cur == "hdmi" ? "usb" : "antenna";
+    env.vars.set_str("source", next);
+    env.emit("source", {{"value", next}});
+  };
+
+  // --- Entry emissions ---------------------------------------------------
+  def.on_entry(off, [clear_digits](sm::ActionEnv& env) {
+    clear_digits(env);
+    emit_value(env, "powered", false);
+    emit_value(env, "screen_state", std::string("off"));
+    emit_value(env, "sound_level", std::int64_t{0});
+  });
+  def.on_entry(on, [sound_of, channel_of, volume_of](sm::ActionEnv& env) {
+    // Materialize the model variables so scripts and probes can read
+    // them even before the first user change.
+    env.vars.set_int("volume", volume_of(env.vars));
+    env.vars.set_int("channel", channel_of(env.vars));
+    if (!env.vars.has("muted")) env.vars.set_bool("muted", false);
+    if (!env.vars.has("locked")) env.vars.set_bool("locked", false);
+    if (!env.vars.has("source")) env.vars.set_str("source", "antenna");
+    emit_value(env, "powered", true);
+    emit_value(env, "sound_level", std::int64_t{sound_of(env.vars)});
+    emit_value(env, "channel", std::int64_t{channel_of(env.vars)});
+  });
+  def.on_entry(video, [](sm::ActionEnv& env) {
+    emit_value(env, "screen_state", std::string("video"));
+  });
+  def.on_entry(dual, [](sm::ActionEnv& env) {
+    emit_value(env, "screen_state", std::string("dual"));
+  });
+  def.on_entry(ttx, [clear_digits](sm::ActionEnv& env) {
+    clear_digits(env);
+    emit_value(env, "screen_state", std::string("teletext"));
+  });
+  def.on_entry(menu, [clear_digits](sm::ActionEnv& env) {
+    clear_digits(env);
+    emit_value(env, "screen_state", std::string("menu"));
+  });
+
+  // --- Power ---------------------------------------------------------------
+  def.add_transition(off, on, "power");
+  def.add_transition(on, off, "power");
+
+  // --- Volume group (works everywhere while on, including the menu) --------
+  auto volume_action = [cfg, volume_of, sound_of](int dir) -> sm::Action {
+    return [cfg, volume_of, sound_of, dir](sm::ActionEnv& env) {
+      if (env.vars.get_bool("muted", false)) env.vars.set_bool("muted", false);
+      const int v = std::clamp(volume_of(env.vars) + dir * cfg.volume_step, 0, 100);
+      env.vars.set_int("volume", v);
+      emit_value(env, "sound_level", std::int64_t{sound_of(env.vars)});
+    };
+  };
+  def.add_internal(on, "volume_up", nullptr, volume_action(+1));
+  def.add_internal(on, "volume_down", nullptr, volume_action(-1));
+  def.add_internal(on, "mute", nullptr, [sound_of](sm::ActionEnv& env) {
+    env.vars.set_bool("muted", !env.vars.get_bool("muted", false));
+    emit_value(env, "sound_level", std::int64_t{sound_of(env.vars)});
+  });
+  def.add_internal(on, "child_lock", nullptr, [](sm::ActionEnv& env) {
+    env.vars.set_bool("locked", !env.vars.get_bool("locked", false));
+  });
+
+  // --- Screen-state transitions (the §4.2 feature interactions) -------------
+  // Teletext and dual screen require the broadcast tuner (antenna).
+  def.add_transition(video, ttx, "teletext", on_antenna);
+  def.add_internal(video, "teletext", off_antenna);  // swallowed on external
+  def.add_transition(ttx, video, "teletext");
+  def.add_transition(video, dual, "dual_screen", on_antenna);
+  def.add_internal(video, "dual_screen", off_antenna);
+  def.add_transition(dual, video, "dual_screen");
+  def.add_transition(ttx, dual, "dual_screen");
+  def.add_transition(dual, ttx, "teletext");
+  def.add_transition(ttx, video, "back");
+  def.add_transition(dual, video, "back");
+
+  // Source cycling: dismisses teletext/dual (external feeds have neither).
+  def.add_internal(video, "source", nullptr, cycle_source);
+  def.add_transition(ttx, video, "source", nullptr, cycle_source);
+  def.add_transition(dual, video, "source", nullptr, cycle_source);
+  def.add_internal(menu, "source");  // the menu swallows it
+
+  def.add_transition(video, menu, "menu");
+  def.add_transition(dual, menu, "menu");
+  def.add_transition(ttx, menu, "menu");
+  def.add_transition(menu, video, "menu");
+  def.add_transition(menu, video, "back");
+  // The menu swallows navigation keys.
+  for (const char* swallowed :
+       {"teletext", "dual_screen", "channel_up", "channel_down", "digit_0", "digit_1", "digit_2",
+        "digit_3", "digit_4", "digit_5", "digit_6", "digit_7", "digit_8", "digit_9"}) {
+    def.add_internal(menu, swallowed);
+  }
+
+  // --- Channel zapping --------------------------------------------------------
+  auto commit_channel = [cfg](sm::ActionEnv& env, int target) {
+    const bool locked = env.vars.get_bool("locked", false);
+    if (locked && target >= cfg.adult_channel_threshold) return;  // blocked
+    env.vars.set_int("channel", target);
+    emit_value(env, "channel", std::int64_t{target});
+  };
+  auto zap_action = [cfg, channel_of, commit_channel](int dir) -> sm::Action {
+    return [cfg, channel_of, commit_channel, dir](sm::ActionEnv& env) {
+      const int cur = channel_of(env.vars);
+      const int n = cfg.channel_count;
+      // Off-lineup channels zap back to channel 1 (mirrors the tuner's
+      // behaviour for unknown channel numbers).
+      const int next = (cur < 1 || cur > n) ? 1
+                       : dir > 0           ? (cur % n) + 1
+                                           : ((cur - 2 + n) % n) + 1;
+      commit_channel(env, next);
+    };
+  };
+  for (sm::StateId scr : {video, dual}) {
+    // Zapping and digit entry are tuner operations: inert on external
+    // sources (the guarded variant wins on antenna, the no-op otherwise).
+    def.add_internal(scr, "channel_up", on_antenna, zap_action(+1));
+    def.add_internal(scr, "channel_up", off_antenna);
+    def.add_internal(scr, "channel_down", on_antenna, zap_action(-1));
+    def.add_internal(scr, "channel_down", off_antenna);
+
+    // Digit entry: self-transitions so the dwell clock (and with it the
+    // digit-timeout transition below) restarts on every digit press.
+    for (int d = 0; d <= 9; ++d) {
+      const std::string ev = "digit_" + std::to_string(d);
+      def.add_internal(scr, ev, off_antenna);
+      def.add_transition(scr, scr, ev, on_antenna, [d, commit_channel](sm::ActionEnv& env) {
+        std::string buf = env.vars.get_str("digits", "");
+        buf.push_back(static_cast<char>('0' + d));
+        if (buf.size() >= 2) {
+          commit_channel(env, std::stoi(buf));
+          buf.clear();
+        }
+        env.vars.set_str("digits", buf);
+      });
+    }
+    // Single-digit commit after the entry timeout.
+    def.add_timed(
+        scr, scr, cfg.digit_timeout,
+        [](const sm::Context& c, const sm::SmEvent&) { return !c.get_str("digits", "").empty(); },
+        [commit_channel](sm::ActionEnv& env) {
+          const std::string buf = env.vars.get_str("digits", "");
+          commit_channel(env, std::stoi(buf));
+          env.vars.set_str("digits", "");
+        });
+  }
+
+  // Teletext swallows digits and zapping keys (page navigation is not in
+  // the partial model's scope).
+  for (const char* swallowed : {"channel_up", "channel_down", "digit_0", "digit_1", "digit_2",
+                                "digit_3", "digit_4", "digit_5", "digit_6", "digit_7", "digit_8",
+                                "digit_9"}) {
+    def.add_internal(ttx, swallowed);
+  }
+
+  // Sleep / swivel are outside the partial model: explicit no-ops.
+  def.add_internal(on, "sleep");
+  def.add_internal(on, "swivel_left");
+  def.add_internal(on, "swivel_right");
+
+  return def;
+}
+
+}  // namespace trader::tv

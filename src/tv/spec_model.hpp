@@ -1,0 +1,36 @@
+// The high-level TV specification model (§4.2).
+//
+// "We have developed a high-level model of a TV from the viewpoint of
+// the user. It captures the relation between user input, via the remote
+// control, and output, via images on the screen and sound."
+//
+// This is the *partial model* run by the Model Executor at run time: it
+// covers power, sound level (volume/mute), screen state (video / dual /
+// teletext / menu) and the displayed channel — and deliberately not the
+// streaming data path, OSD cosmetics or teletext page contents (those
+// are covered by dedicated detectors instead; see DESIGN.md §5.3).
+//
+// The model is written independently from TvControl on purpose: the
+// model-to-model experiments (§5) compare the two, and genuine modeling
+// discrepancies are part of the reproduction.
+#pragma once
+
+#include "statemachine/definition.hpp"
+
+namespace trader::tv {
+
+/// Parameters the spec model shares with the real TV.
+struct TvSpecConfig {
+  int channel_count = 40;
+  int volume_step = 5;
+  int initial_volume = 30;
+  int initial_channel = 1;
+  int adult_channel_threshold = 30;
+  runtime::SimDuration digit_timeout = runtime::msec(1500);
+};
+
+/// Model outputs use the same names as TvSystem's observables:
+/// "powered", "sound_level", "screen_state", "channel".
+statemachine::StateMachineDef build_tv_spec_model(const TvSpecConfig& cfg = {});
+
+}  // namespace trader::tv

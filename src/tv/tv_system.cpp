@@ -1,0 +1,418 @@
+#include "tv/tv_system.hpp"
+
+#include <algorithm>
+
+namespace trader::tv {
+
+using faults::FaultKind;
+
+TvSystem::TvSystem(runtime::Scheduler& sched, runtime::EventBus& bus,
+                   faults::FaultInjector& injector, TvConfig config)
+    : sched_(sched),
+      bus_(bus),
+      injector_(injector),
+      config_(config),
+      rng_(config.seed),
+      lineup_(ChannelLineup::standard_lineup(config.channel_count, config.seed ^ 0x77)),
+      control_(lineup_, config.control),
+      cpu0_("cpu0", config.cpu0_capacity),
+      cpu1_("cpu1", config.cpu1_capacity),
+      bus_res_(config.bus_bandwidth),
+      arbiter_(config.arbiter_bandwidth),
+      video_buffer_("video", 4.0) {
+  arbiter_.add_port("video", 3);
+  arbiter_.add_port("gfx", 2);
+  arbiter_.add_port("sys", 1);
+  probes_.set_range("audio.volume", 0, 100);
+  probes_.set_range("cpu0.load", 0, 1.5);
+  probes_.set_range("video_buffer.level", 0, 4.0);
+  video_buffer_.push(2.0);  // prefill
+}
+
+void TvSystem::start() {
+  sched_.schedule_every(config_.frame_period, [this] { frame_tick(); });
+}
+
+void TvSystem::publish_input(Key key) {
+  runtime::Event ev;
+  ev.topic = "tv.input";
+  ev.name = "key";
+  ev.fields["key"] = std::string(to_string(key));
+  ev.timestamp = sched_.now();
+  bus_.publish(ev);
+}
+
+void TvSystem::press(Key key) {
+  publish_input(key);
+  route(control_.handle_key(key, sched_.now()));
+  publish_outputs();
+}
+
+void TvSystem::enter_channel(int channel) {
+  const std::string digits = std::to_string(channel);
+  for (char c : digits) press(digit_key(c - '0'));
+}
+
+double TvSystem::bad_signal_penalty() const {
+  const auto spec = injector_.active_spec(FaultKind::kBadSignal, "tuner", sched_.now());
+  if (!spec) return 0.0;
+  return spec->intensity;
+}
+
+void TvSystem::route(const std::vector<Command>& cmds) {
+  for (const auto& c : cmds) apply(c);
+}
+
+void TvSystem::apply(const Command& c) {
+  const runtime::SimTime now = sched_.now();
+  const std::string channel_name = "cmd." + c.component;
+
+  if (crashed_.count(c.component) > 0) return;  // dead components ignore input
+  if (injector_.is_active(FaultKind::kStuckComponent, c.component, now)) return;
+  if (injector_.fires(FaultKind::kMessageLoss, channel_name, now,
+                      c.component + "." + c.action + " lost")) {
+    return;
+  }
+
+  // Message corruption: perturb the first integer argument.
+  std::map<std::string, runtime::Value> args = c.args;
+  if (injector_.fires(FaultKind::kMessageCorruption, channel_name, now,
+                      c.component + "." + c.action + " corrupted")) {
+    for (auto& [k, v] : args) {
+      if (auto* i = std::get_if<std::int64_t>(&v)) {
+        *i = *i ^ 0x15;  // bit flips in transit
+        break;
+      }
+    }
+  }
+
+  auto arg_int = [&](const std::string& key, std::int64_t dflt) {
+    auto it = args.find(key);
+    if (it == args.end()) return dflt;
+    if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+    return dflt;
+  };
+  auto arg_bool = [&](const std::string& key, bool dflt) {
+    auto it = args.find(key);
+    if (it == args.end()) return dflt;
+    if (const auto* b = std::get_if<bool>(&it->second)) return *b;
+    return dflt;
+  };
+
+  if (c.component == "tuner") {
+    if (c.action == "set_channel") tuner_.set_channel(static_cast<int>(arg_int("channel", 1)), lineup_);
+  } else if (c.component == "audio") {
+    if (c.action == "set_volume") {
+      audio_.set_volume(static_cast<int>(arg_int("volume", 0)));
+      probes_.update("audio.volume", std::int64_t{audio_.volume()}, now);
+    } else if (c.action == "set_mute") {
+      audio_.set_mute(arg_bool("mute", false));
+    }
+  } else if (c.component == "teletext") {
+    if (c.action == "show") {
+      teletext_.show();
+    } else if (c.action == "hide") {
+      teletext_.hide();
+    } else if (c.action == "channel_change") {
+      teletext_.on_channel_change(static_cast<int>(arg_int("channel", 1)));
+    } else if (c.action == "select_page") {
+      teletext_.select_page(static_cast<int>(arg_int("page", 100)));
+    }
+  } else if (c.component == "osd") {
+    if (c.action == "volume") {
+      osd_.show_volume(now);
+    } else if (c.action == "banner") {
+      osd_.show_banner(now);
+    } else if (c.action == "show_menu") {
+      osd_.show_menu();
+    } else if (c.action == "hide_menu") {
+      osd_.hide_menu();
+    } else if (c.action == "clear") {
+      osd_.clear();
+    }
+  } else if (c.component == "swivel") {
+    if (c.action == "rotate") swivel_.rotate(static_cast<int>(arg_int("delta", 0)));
+  } else if (c.component == "avswitch") {
+    if (c.action == "select") {
+      const auto raw = arg_int("source", 0);
+      if (raw >= 0 && raw <= 2) av_.select(static_cast<AvSource>(raw));
+    }
+  }
+}
+
+void TvSystem::frame_tick() {
+  const runtime::SimTime now = sched_.now();
+  ++ticks_;
+
+  // --- Crash faults manifest -------------------------------------------
+  for (const char* comp : {"teletext", "audio", "swivel", "osd", "avswitch"}) {
+    if (injector_.is_active(FaultKind::kCrash, comp, now) && crashed_.count(comp) == 0) {
+      crashed_.insert(comp);
+      injector_.record(
+          faults::FaultSpec{FaultKind::kCrash, comp, now, 0, 1.0, {}}, now, "component died");
+    }
+  }
+
+  // --- Memory corruption: overwrite the control unit's volume belief ---
+  if (injector_.is_active(FaultKind::kMemoryCorruption, "control.volume", now)) {
+    if (!corruption_applied_) {
+      corruption_applied_ = true;
+      const int bogus = 128 + static_cast<int>(rng_.uniform_int(0, 127));
+      control_.corrupt_volume(bogus);  // out-of-range write
+      probes_.update("audio.volume", std::int64_t{bogus}, now);  // range probe sees it
+      injector_.record(
+          faults::FaultSpec{FaultKind::kMemoryCorruption, "control.volume", now, 0, 1.0, {}},
+          now, "volume belief overwritten with " + std::to_string(bogus));
+    }
+  } else {
+    corruption_applied_ = false;
+  }
+
+  // --- Mode-desync fault: silently flip the teletext engine's channel --
+  if (injector_.is_active(FaultKind::kModeDesync, "teletext", now)) {
+    if (!desync_applied_) {
+      desync_applied_ = true;
+      teletext_.on_channel_change(tuner_.channel() + 1);
+      injector_.record(faults::FaultSpec{FaultKind::kModeDesync, "teletext", now, 0, 1.0, {}},
+                       now, "teletext channel belief flipped");
+    }
+  } else {
+    desync_applied_ = false;
+  }
+
+  // --- Housekeeping ------------------------------------------------------
+  osd_.tick(now);
+  const bool swivel_stuck =
+      injector_.is_active(FaultKind::kStuckComponent, "swivel", now) || crashed_.count("swivel");
+  swivel_.tick(config_.frame_period, swivel_stuck);
+  route(control_.tick(now));
+
+  const bool powered = control_.powered();
+  const bool deadlocked = injector_.is_active(FaultKind::kDeadlock, "av", now);
+
+  // --- Streaming pipeline -------------------------------------------------
+  double frame_quality = 0.0;
+  if (powered && !deadlocked) {
+    const bool on_antenna = av_.source() == AvSource::kAntenna;
+    StreamUnit unit;
+    double cost = config_.decoder_base_cost;
+    if (on_antenna) {
+      unit = lineup_.sample(tuner_.channel(), now, bad_signal_penalty());
+      const ChannelInfo* info = lineup_.valid(tuner_.channel())
+                                    ? &lineup_.info(tuner_.channel())
+                                    : nullptr;
+      // Decode cost: base × standard factor + error-correction load that
+      // grows as signal quality drops (§4.5: "intensive error correction
+      // on a bad input signal" causes overload).
+      if (info != nullptr) cost *= decode_cost_factor(info->standard);
+      cost += config_.error_correction_gain * (1.0 - unit.quality);
+    } else {
+      // External feed: clean digital input, cheaper to present, no
+      // broadcast error correction.
+      unit.channel = tuner_.channel();
+      unit.quality = source_quality(av_.source());
+      unit.time = now;
+      cost *= 0.8;
+    }
+    if (unit.coding_deviation) {
+      ++stats_.coding_deviations;
+      if (config_.robust_decoder) {
+        cost *= 1.5;  // the tolerant path is slower but keeps decoding
+      } else {
+        glitch_ticks_ = config_.strict_resync_ticks;  // lost sync
+      }
+    }
+    if (control_.screen() == Screen::kDual) cost += config_.dual_extra_cost;
+    if (const auto f = injector_.active_spec(FaultKind::kTaskOverrun, "decoder", now)) {
+      cost *= 1.0 + 2.0 * f->intensity;
+    }
+
+    Processor& dec_cpu = decoder_cpu_ == 0 ? cpu0_ : cpu1_;
+    Processor& other_cpu = decoder_cpu_ == 0 ? cpu1_ : cpu0_;
+    dec_cpu.add_task("decoder", cost, 2);
+    other_cpu.remove_task("decoder");
+    cpu0_.add_task("audio", crashed_.count("audio") ? 0.0 : config_.audio_task_cost, 3);
+    cpu1_.add_task("teletext",
+                   (teletext_.mode() != TeletextEngine::Mode::kOff && !crashed_.count("teletext"))
+                       ? config_.teletext_task_cost
+                       : 0.0,
+                   1);
+
+    cpu0_.service();
+    cpu1_.service();
+    const double dec_fraction = dec_cpu.last_fraction("decoder");
+
+    // Memory traffic proportional to decode work actually performed.
+    arbiter_.request("video", cost * dec_fraction * config_.video_mem_per_work);
+    arbiter_.request("gfx", osd_.active() != OsdManager::Osd::kNone ? 20.0 : 4.0);
+    arbiter_.request("sys", 10.0);
+    arbiter_.service();
+    const double mem_fraction = arbiter_.last_fraction("video");
+
+    bus_res_.request("decoder", cost * 0.5);
+    bus_res_.request("gfx", 8.0);
+    bus_res_.service();
+
+    // Produced fraction of a frame this tick; a strict decoder that lost
+    // sync produces nothing while it hunts for the next sync point.
+    double produced = dec_fraction * mem_fraction;
+    if (glitch_ticks_ > 0) {
+      --glitch_ticks_;
+      produced = 0.0;
+    }
+    video_buffer_.push(produced);
+    const double displayed = video_buffer_.pop(1.0);
+
+    ++stats_.frames_total;
+    if (displayed < 0.999) {
+      ++stats_.frames_dropped;
+      frame_quality = 0.0;
+    } else {
+      frame_quality = unit.quality * std::min(1.0, produced + 0.2);
+    }
+    stats_.quality_sum += frame_quality;
+
+    // Teletext acquisition runs when the engine is on and the *tuned*
+    // channel carries teletext (the engine may believe otherwise).
+    if (!crashed_.count("teletext") && on_antenna) {
+      const bool carries = lineup_.valid(tuner_.channel()) && lineup_.info(tuner_.channel()).has_teletext;
+      teletext_.tick_acquisition(carries, tuner_.channel());
+    }
+  } else if (powered && deadlocked) {
+    ++stats_.frames_total;
+    ++stats_.frames_dropped;
+    video_buffer_.pop(1.0);  // display starves
+  }
+
+  last_quality_ = frame_quality;
+  recent_.push_back(frame_quality);
+  if (recent_.size() > 256) recent_.erase(recent_.begin());
+
+  // --- Probes --------------------------------------------------------------
+  probes_.update("cpu0.load", cpu0_.load(), now);
+  probes_.update("cpu1.load", cpu1_.load(), now);
+  probes_.update("video_buffer.level", video_buffer_.level(), now);
+  probes_.update("arbiter.video.fraction", arbiter_.last_fraction("video"), now);
+  probes_.update("frame.quality", frame_quality, now);
+
+  publish_outputs();
+}
+
+std::string TvSystem::screen_output() const {
+  if (!control_.powered()) return "off";
+  if (osd_.active() == OsdManager::Osd::kMenu) return "menu";
+  if (teletext_.mode() == TeletextEngine::Mode::kVisible) return "teletext";
+  if (control_.screen() == Screen::kDual) return "dual";
+  return "video";
+}
+
+int TvSystem::sound_output() const {
+  if (!control_.powered()) return 0;
+  return audio_.sound_level();
+}
+
+int TvSystem::displayed_channel() const { return tuner_.channel(); }
+
+double TvSystem::recent_quality(std::size_t n) const {
+  if (recent_.empty()) return 0.0;
+  const std::size_t take = std::min(n, recent_.size());
+  double sum = 0.0;
+  for (std::size_t i = recent_.size() - take; i < recent_.size(); ++i) sum += recent_[i];
+  return sum / static_cast<double>(take);
+}
+
+bool TvSystem::teletext_content_ok() const {
+  if (teletext_.mode() == TeletextEngine::Mode::kOff) return true;
+  return teletext_.synced_channel() == tuner_.channel();
+}
+
+std::map<std::string, runtime::Value> TvSystem::mode_snapshot() const {
+  std::map<std::string, runtime::Value> m;
+  m["control.powered"] = control_.powered();
+  m["control.screen"] = std::string(control_.screen_name());
+  m["control.channel"] = std::int64_t{control_.channel()};
+  m["control.volume"] = std::int64_t{control_.volume()};
+  m["control.muted"] = control_.muted();
+  m["tuner.channel"] = std::int64_t{tuner_.channel()};
+  m["tuner.locked"] = tuner_.locked();
+  m["audio.volume"] = std::int64_t{audio_.volume()};
+  m["audio.muted"] = audio_.muted();
+  m["teletext.mode"] = std::string(to_string(teletext_.mode()));
+  m["teletext.synced_channel"] = std::int64_t{teletext_.synced_channel()};
+  m["osd.active"] = std::string(to_string(osd_.active()));
+  m["control.source"] = std::string(to_string(control_.source()));
+  m["avswitch.source"] = std::string(to_string(av_.source()));
+  return m;
+}
+
+void TvSystem::publish_outputs() {
+  const runtime::SimTime now = sched_.now();
+  std::map<std::string, runtime::Value> outs;
+  outs["sound_level"] = std::int64_t{sound_output()};
+  outs["screen_state"] = screen_output();
+  outs["channel"] = std::int64_t{displayed_channel()};
+  outs["osd"] = std::string(to_string(osd_.active()));
+  outs["ttx_page"] = std::int64_t{teletext_.current_page()};
+  outs["swivel_pos"] = std::int64_t{swivel_.position()};
+  outs["powered"] = control_.powered();
+  outs["source"] = std::string(to_string(av_.source()));
+
+  for (const auto& [name, value] : outs) {
+    auto it = last_published_.find(name);
+    if (it != last_published_.end() && runtime::deviation(it->second, value) == 0.0) continue;
+    last_published_[name] = value;
+    runtime::Event ev;
+    ev.topic = "tv.output";
+    ev.name = name;
+    ev.fields["value"] = value;
+    ev.timestamp = now;
+    bus_.publish(ev);
+  }
+
+  // Continuous frame-quality stream (every tick, not change-driven).
+  runtime::Event fq;
+  fq.topic = "tv.frame";
+  fq.name = "frame";
+  fq.fields["quality"] = last_quality_;
+  fq.timestamp = now;
+  bus_.publish(fq);
+}
+
+void TvSystem::restart_component(const std::string& name) {
+  crashed_.erase(name);
+  const runtime::SimTime now = sched_.now();
+  if (name == "teletext") {
+    teletext_ = TeletextEngine{};
+    // Replay control beliefs (the recovery manager's state restoration).
+    teletext_.on_channel_change(control_.channel());
+    if (control_.screen() == Screen::kTeletext) teletext_.show();
+  } else if (name == "audio") {
+    audio_ = AudioPipeline{};
+    audio_.set_volume(control_.volume());
+    audio_.set_mute(control_.muted());
+  } else if (name == "osd") {
+    osd_ = OsdManager{};
+    if (control_.screen() == Screen::kMenu) osd_.show_menu();
+  } else if (name == "swivel") {
+    swivel_ = Swivel{};
+  } else if (name == "avswitch") {
+    av_ = AvSwitch{};
+    av_.select(control_.source());
+  }
+  probes_.update("restart." + name, std::int64_t{1}, now);
+}
+
+void TvSystem::set_decoder_cpu(int cpu) {
+  decoder_cpu_ = cpu == 0 ? 0 : 1;
+}
+
+std::vector<std::pair<std::string, std::string>> TvSystem::wait_edges() const {
+  std::vector<std::pair<std::string, std::string>> edges;
+  if (injector_.is_active(FaultKind::kDeadlock, "av", sched_.now())) {
+    edges.emplace_back("decoder", "audio");
+    edges.emplace_back("audio", "decoder");
+  }
+  return edges;
+}
+
+}  // namespace trader::tv

@@ -1,0 +1,175 @@
+// TvSystem: the complete simulated television (the SUO).
+//
+// Wires the control unit, the components, and the SoC resources under
+// the discrete-event scheduler; routes control commands over lossy
+// internal channels (fault hook); runs the streaming pipeline at frame
+// rate; publishes user-perceivable inputs and outputs on the event bus
+// ("tv.input" / "tv.output" topics) — the signals the awareness
+// framework observes (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "observation/probes.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/components.hpp"
+#include "tv/control.hpp"
+#include "tv/soc.hpp"
+
+namespace trader::tv {
+
+/// Static configuration of the simulated set.
+struct TvConfig {
+  int channel_count = 40;
+  runtime::SimDuration frame_period = runtime::msec(20);  ///< 50 Hz.
+  double cpu0_capacity = 100.0;  ///< Work units per tick (media CPU).
+  double cpu1_capacity = 60.0;   ///< Work units per tick (aux CPU).
+  double bus_bandwidth = 200.0;
+  double arbiter_bandwidth = 150.0;
+  double decoder_base_cost = 28.0;   ///< Per tick, × standard cost factor.
+  double error_correction_gain = 90.0;  ///< Extra cost × (1 - quality).
+  double dual_extra_cost = 22.0;     ///< Second decode in dual screen.
+  double audio_task_cost = 6.0;
+  double teletext_task_cost = 4.0;
+  double video_mem_per_work = 1.2;   ///< Arbiter demand per decode work unit.
+  /// §2: customers expect tolerance of coding-standard deviations. A
+  /// robust decoder handles a deviating stream unit at extra cost; a
+  /// strict decoder loses sync and drops frames while it recovers.
+  bool robust_decoder = true;
+  int strict_resync_ticks = 5;  ///< Glitch length of the strict decoder.
+  std::uint64_t seed = 42;
+  TvControl::Config control;
+};
+
+/// End-of-run pipeline metrics.
+struct PipelineStats {
+  std::uint64_t frames_total = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t coding_deviations = 0;  ///< Stream units off-standard.
+  double quality_sum = 0.0;
+
+  double average_quality() const {
+    return frames_total > 0 ? quality_sum / static_cast<double>(frames_total) : 0.0;
+  }
+  double drop_rate() const {
+    return frames_total > 0
+               ? static_cast<double>(frames_dropped) / static_cast<double>(frames_total)
+               : 0.0;
+  }
+};
+
+class TvSystem {
+ public:
+  TvSystem(runtime::Scheduler& sched, runtime::EventBus& bus, faults::FaultInjector& injector,
+           TvConfig config = {});
+
+  /// Begin periodic frame processing.
+  void start();
+
+  /// Press a key on the remote (publishes "tv.input", routes commands).
+  void press(Key key);
+
+  /// Convenience: press keys for each digit of `channel`.
+  void enter_channel(int channel);
+
+  // --- Component access (tests, detectors, recovery) -------------------
+  const TvControl& control() const { return control_; }
+  TvControl& control_mut() { return control_; }
+  const Tuner& tuner() const { return tuner_; }
+  const AudioPipeline& audio() const { return audio_; }
+  const TeletextEngine& teletext() const { return teletext_; }
+  const OsdManager& osd() const { return osd_; }
+  const Swivel& swivel() const { return swivel_; }
+  const AvSwitch& av_switch() const { return av_; }
+  const ChannelLineup& lineup() const { return lineup_; }
+  Processor& cpu(int i) { return i == 0 ? cpu0_ : cpu1_; }
+  MemoryArbiter& arbiter() { return arbiter_; }
+  Bus& bus_resource() { return bus_res_; }
+  observation::ProbeRegistry& probes() { return probes_; }
+  const PipelineStats& stats() const { return stats_; }
+
+  // --- Actual (user-perceived) outputs ---------------------------------
+  /// What is really on the screen (from component reality, not beliefs).
+  std::string screen_output() const;
+  /// Audible sound level right now.
+  int sound_output() const;
+  /// Channel whose video is displayed.
+  int displayed_channel() const;
+  /// Quality of the last rendered frame [0,1]; 0 when dropped/off.
+  double last_frame_quality() const { return last_quality_; }
+  /// Mean quality over the last `n` frames.
+  double recent_quality(std::size_t n = 25) const;
+  /// True when the teletext engine serves pages of the tuned channel.
+  bool teletext_content_ok() const;
+
+  // --- Internal mode snapshot (for the mode-consistency checker) -------
+  std::map<std::string, runtime::Value> mode_snapshot() const;
+
+  // --- Recovery hooks (§4.5) -------------------------------------------
+  /// Components that have crashed (kCrash fault) and await restart.
+  const std::set<std::string>& crashed() const { return crashed_; }
+  /// Restart a component: reset it and replay the control unit's beliefs.
+  void restart_component(const std::string& name);
+  /// Which CPU runs the video decoder task (0 or 1).
+  int decoder_cpu() const { return decoder_cpu_; }
+  /// Migrate the decoder task between processors (load balancing, E6).
+  void set_decoder_cpu(int cpu);
+
+  /// Wait-for edges between components (non-empty only while a deadlock
+  /// fault manifests); polled by the deadlock detector.
+  std::vector<std::pair<std::string, std::string>> wait_edges() const;
+
+  /// Number of frame ticks executed.
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void frame_tick();
+  void route(const std::vector<Command>& cmds);
+  void apply(const Command& c);
+  void publish_outputs();
+  void publish_input(Key key);
+  double bad_signal_penalty() const;
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  faults::FaultInjector& injector_;
+  TvConfig config_;
+  runtime::Rng rng_;
+
+  ChannelLineup lineup_;
+  TvControl control_;
+  Tuner tuner_;
+  AudioPipeline audio_;
+  TeletextEngine teletext_;
+  OsdManager osd_;
+  Swivel swivel_;
+  AvSwitch av_;
+
+  Processor cpu0_;
+  Processor cpu1_;
+  Bus bus_res_;
+  MemoryArbiter arbiter_;
+  StreamBuffer video_buffer_;
+
+  observation::ProbeRegistry probes_;
+  PipelineStats stats_;
+
+  std::set<std::string> crashed_;
+  int decoder_cpu_ = 0;
+  double last_quality_ = 0.0;
+  std::vector<double> recent_;
+  std::uint64_t ticks_ = 0;
+  int glitch_ticks_ = 0;  ///< Strict decoder resync countdown.
+  bool desync_applied_ = false;
+  bool corruption_applied_ = false;
+  std::map<std::string, runtime::Value> last_published_;
+};
+
+}  // namespace trader::tv

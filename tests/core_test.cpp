@@ -1,0 +1,460 @@
+// Tests for the awareness framework (Fig. 2): observers, model executor,
+// comparator tolerance machinery, controller, and the full monitor
+// against a scripted SUO and against the real TV simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/model_impl.hpp"
+#include "core/monitor.hpp"
+#include "faults/injector.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/spec_model.hpp"
+#include "tv/tv_system.hpp"
+
+namespace core = trader::core;
+namespace sm = trader::statemachine;
+namespace rt = trader::runtime;
+namespace tv = trader::tv;
+namespace flt = trader::faults;
+
+namespace {
+
+// A trivial SUO: publishes input events and echo outputs.
+struct EchoSuo {
+  EchoSuo(rt::Scheduler& sched, rt::EventBus& bus) : sched_(sched), bus_(bus) {}
+
+  void input(const std::string& key) {
+    rt::Event ev;
+    ev.topic = "suo.in";
+    ev.name = "key";
+    ev.fields["key"] = key;
+    ev.timestamp = sched_.now();
+    bus_.publish(ev);
+  }
+
+  void output(const std::string& name, rt::Value v) {
+    rt::Event ev;
+    ev.topic = "suo.out";
+    ev.name = name;
+    ev.fields["value"] = std::move(v);
+    ev.timestamp = sched_.now();
+    bus_.publish(ev);
+  }
+
+  rt::Scheduler& sched_;
+  rt::EventBus& bus_;
+};
+
+// Spec model: counter increments on "inc"; emits expected count.
+sm::StateMachineDef counter_model() {
+  sm::StateMachineDef def("counter");
+  const auto s = def.add_state("S");
+  def.add_internal(s, "inc", nullptr, [](sm::ActionEnv& env) {
+    env.vars.set_int("n", env.vars.get_int("n") + 1);
+    env.emit("count", {{"value", env.vars.get_int("n")}});
+  });
+  def.add_internal(s, "hush", nullptr, [](sm::ActionEnv& env) {
+    env.vars.set_bool("nocompare:count", true);
+  });
+  def.add_internal(s, "talk", nullptr, [](sm::ActionEnv& env) {
+    env.vars.set_bool("nocompare:count", false);
+  });
+  return def;
+}
+
+core::AwarenessMonitor::Params counter_params(int max_consecutive = 1, double threshold = 0.0) {
+  core::AwarenessMonitor::Params params;
+  params.input_topic = "suo.in";
+  params.output_topics = {"suo.out"};
+  core::ObservableConfig oc;
+  oc.name = "count";
+  oc.threshold = threshold;
+  oc.max_consecutive = max_consecutive;
+  params.config.observables.push_back(oc);
+  params.config.comparison_period = rt::msec(10);
+  params.config.startup_grace = rt::msec(5);
+  params.config.input_channel.base_latency = rt::usec(100);
+  params.config.output_channel.base_latency = rt::usec(100);
+  return params;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Configuration
+
+TEST(Configuration, LookupAndOverride) {
+  core::AwarenessConfig cfg;
+  cfg.observables.push_back(core::ObservableConfig{"a", 1.0, 2, true, true});
+  core::Configuration config(cfg);
+  ASSERT_TRUE(config.lookup("a").has_value());
+  EXPECT_EQ(config.lookup("a")->max_consecutive, 2);
+  EXPECT_FALSE(config.lookup("b").has_value());
+  config.set_observable(core::ObservableConfig{"a", 5.0, 3, true, true});
+  EXPECT_EQ(config.lookup("a")->max_consecutive, 3);
+  config.set_observable(core::ObservableConfig{"b", 0.0, 1, true, true});
+  EXPECT_EQ(config.observable_names().size(), 2u);
+}
+
+TEST(ErrorReport, DescribeMentionsEverything) {
+  core::ErrorReport r{"obs", rt::Value{std::int64_t{3}}, rt::Value{std::int64_t{5}},
+                      2.0,   4,                          100,
+                      50};
+  const auto d = r.describe();
+  EXPECT_NE(d.find("obs"), std::string::npos);
+  EXPECT_NE(d.find("3"), std::string::npos);
+  EXPECT_NE(d.find("5"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Observers
+
+TEST(Observers, DefaultInputMapperUsesKeyField) {
+  rt::Event ev;
+  ev.name = "key";
+  ev.fields["key"] = std::string("volume_up");
+  const auto sm_ev = core::default_input_mapper(ev);
+  ASSERT_TRUE(sm_ev.has_value());
+  EXPECT_EQ(sm_ev->name, "volume_up");
+}
+
+TEST(Observers, DefaultInputMapperFallsBackToEventName) {
+  rt::Event ev;
+  ev.name = "play";
+  const auto sm_ev = core::default_input_mapper(ev);
+  ASSERT_TRUE(sm_ev.has_value());
+  EXPECT_EQ(sm_ev->name, "play");
+}
+
+TEST(Observers, DefaultOutputMapperNeedsValueField) {
+  rt::Event ev;
+  ev.name = "volume";
+  EXPECT_FALSE(core::default_output_mapper(ev).has_value());
+  ev.fields["value"] = std::int64_t{5};
+  const auto mapped = core::default_output_mapper(ev);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->first, "volume");
+}
+
+TEST(Observers, InputObserverDeliversThroughLatency) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  std::vector<std::pair<std::string, rt::SimTime>> received;
+  rt::ChannelConfig ch;
+  ch.base_latency = rt::usec(500);
+  core::InputObserver obs(sched, bus, "suo.in", ch, nullptr,
+                          [&](const sm::SmEvent& ev, rt::SimTime now) {
+                            received.emplace_back(ev.name, now);
+                          });
+  obs.start(0);
+  EchoSuo suo(sched, bus);
+  suo.input("go");
+  sched.run_all();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, "go");
+  EXPECT_EQ(received[0].second, 500);
+  EXPECT_EQ(obs.observed_events(), 1u);
+  obs.stop();
+  suo.input("go");
+  sched.run_all();
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST(Observers, OutputObserverKeepsLatestAndNotifies) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  rt::ChannelConfig ch;
+  core::OutputObserver obs(sched, bus, {"suo.out"}, ch, nullptr);
+  int fresh = 0;
+  obs.on_fresh([&](const std::string&, rt::SimTime) { ++fresh; });
+  obs.start(0);
+  EchoSuo suo(sched, bus);
+  suo.output("volume", std::int64_t{10});
+  suo.output("volume", std::int64_t{20});
+  sched.run_all();
+  EXPECT_EQ(fresh, 2);
+  const auto seen = obs.observed("volume");
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(seen->value), 20);
+  EXPECT_FALSE(obs.observed("other").has_value());
+}
+
+// --------------------------------------------------------------- ModelExecutor
+
+TEST(ModelExecutor, MaintainsExpectationTable) {
+  auto def = counter_model();
+  core::ModelExecutor exec(std::make_unique<core::InterpretedModel>(def));
+  exec.start(0);
+  EXPECT_FALSE(exec.expected("count").has_value());
+  exec.on_input(sm::SmEvent::named("inc"), 10);
+  auto e = exec.expected("count");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(e->value), 1);
+  EXPECT_EQ(e->at, 10);
+  exec.on_input(sm::SmEvent::named("inc"), 20);
+  EXPECT_EQ(std::get<std::int64_t>(exec.expected("count")->value), 2);
+  EXPECT_EQ(exec.inputs_processed(), 2u);
+}
+
+TEST(ModelExecutor, ComparisonEnableFollowsModelVars) {
+  auto def = counter_model();
+  core::ModelExecutor exec(std::make_unique<core::InterpretedModel>(def));
+  exec.start(0);
+  EXPECT_TRUE(exec.comparison_enabled("count"));
+  exec.on_input(sm::SmEvent::named("hush"), 5);
+  EXPECT_FALSE(exec.comparison_enabled("count"));
+  exec.on_input(sm::SmEvent::named("talk"), 6);
+  EXPECT_TRUE(exec.comparison_enabled("count"));
+}
+
+TEST(ModelExecutor, CompiledModelWorksToo) {
+  auto def = counter_model();
+  core::ModelExecutor exec(std::make_unique<core::CompiledModel>(def));
+  exec.start(0);
+  exec.on_input(sm::SmEvent::named("inc"), 1);
+  EXPECT_EQ(std::get<std::int64_t>(exec.expected("count")->value), 1);
+}
+
+// -------------------------------------------------- Monitor with a scripted SUO
+
+namespace {
+
+struct MonitorFixture {
+  explicit MonitorFixture(core::AwarenessMonitor::Params params)
+      : suo(sched, bus),
+        monitor(sched, bus, std::make_unique<core::InterpretedModel>(model_def), std::move(params)) {
+    monitor.start();
+  }
+
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  sm::StateMachineDef model_def = counter_model();
+  EchoSuo suo;
+  core::AwarenessMonitor monitor;
+};
+
+}  // namespace
+
+TEST(Monitor, NoErrorsWhenSystemMatchesModel) {
+  MonitorFixture f(counter_params());
+  for (int i = 1; i <= 5; ++i) {
+    f.suo.input("inc");
+    f.suo.output("count", std::int64_t{i});
+    f.sched.run_for(rt::msec(50));
+  }
+  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_GT(f.monitor.stats().comparisons, 0u);
+}
+
+TEST(Monitor, DetectsPersistentDeviation) {
+  MonitorFixture f(counter_params(/*max_consecutive=*/3));
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{1});
+  f.sched.run_for(rt::msec(50));
+  EXPECT_TRUE(f.monitor.errors().empty());
+  // SUO drops the second increment: model expects 2, system says 1.
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{1});
+  f.sched.run_for(rt::msec(200));
+  ASSERT_EQ(f.monitor.errors().size(), 1u);  // reported once per episode
+  const auto& err = f.monitor.errors()[0];
+  EXPECT_EQ(err.observable, "count");
+  EXPECT_EQ(std::get<std::int64_t>(err.expected), 2);
+  EXPECT_EQ(std::get<std::int64_t>(err.observed), 1);
+  EXPECT_GE(err.consecutive, 3);
+}
+
+TEST(Monitor, ThresholdTolerance) {
+  auto params = counter_params(/*max_consecutive=*/1, /*threshold=*/1.0);
+  MonitorFixture f(std::move(params));
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{2});  // off by one, within threshold
+  f.sched.run_for(rt::msec(100));
+  EXPECT_TRUE(f.monitor.errors().empty());
+  f.suo.input("inc");                       // expected 2
+  f.suo.output("count", std::int64_t{4});   // off by two, beyond threshold
+  f.sched.run_for(rt::msec(100));
+  EXPECT_EQ(f.monitor.errors().size(), 1u);
+}
+
+TEST(Monitor, ConsecutiveLimitSuppressesTransients) {
+  MonitorFixture f(counter_params(/*max_consecutive=*/5));
+  // Single transient mismatch, then corrected: with limit 5 the episode
+  // ends (event-based comparison agrees again) before an error fires.
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{0});  // transiently stale
+  f.sched.run_for(rt::msec(20));
+  f.suo.output("count", std::int64_t{1});  // caught up
+  f.sched.run_for(rt::msec(200));
+  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_GT(f.monitor.stats().deviations, 0u);
+}
+
+TEST(Monitor, StartupGraceSuppressesEarlyComparisons) {
+  auto params = counter_params();
+  params.config.startup_grace = rt::msec(500);
+  MonitorFixture f(std::move(params));
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{999});  // wild mismatch during grace
+  f.sched.run_for(rt::msec(400));
+  EXPECT_TRUE(f.monitor.errors().empty());
+  f.sched.run_for(rt::msec(400));  // grace over; mismatch persists
+  EXPECT_FALSE(f.monitor.errors().empty());
+}
+
+TEST(Monitor, EnableCompareWindowSuppresses) {
+  MonitorFixture f(counter_params());
+  f.suo.input("hush");  // model disables comparison of "count"
+  f.sched.run_for(rt::msec(20));
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{42});
+  f.sched.run_for(rt::msec(200));
+  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_GT(f.monitor.stats().suppressed, 0u);
+  f.suo.input("talk");
+  f.sched.run_for(rt::msec(200));
+  EXPECT_FALSE(f.monitor.errors().empty());
+}
+
+TEST(Monitor, RecoveryHandlerInvoked) {
+  MonitorFixture f(counter_params());
+  int recoveries = 0;
+  f.monitor.set_recovery_handler([&](const core::ErrorReport&) { ++recoveries; });
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{9});
+  f.sched.run_for(rt::msec(100));
+  EXPECT_EQ(recoveries, 1);
+}
+
+TEST(Monitor, ErrorsLoggedToTrace) {
+  MonitorFixture f(counter_params());
+  rt::TraceLog trace;
+  f.monitor.set_trace(&trace);
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{9});
+  f.sched.run_for(rt::msec(100));
+  EXPECT_GE(trace.count_at_least(rt::TraceLevel::kError), 1u);
+}
+
+TEST(Monitor, TimeBasedOnlyComparisonStillDetects) {
+  auto params = counter_params(3);
+  params.config.observables[0].event_based = false;
+  MonitorFixture f(std::move(params));
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{7});
+  f.sched.run_for(rt::msec(300));
+  EXPECT_EQ(f.monitor.errors().size(), 1u);
+}
+
+TEST(Monitor, StopFreezesObservation) {
+  MonitorFixture f(counter_params());
+  f.monitor.stop();
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{9});
+  f.sched.run_for(rt::msec(100));
+  EXPECT_TRUE(f.monitor.errors().empty());
+}
+
+TEST(Monitor, EpisodeResetAllowsNewReport) {
+  MonitorFixture f(counter_params());
+  f.suo.input("inc");
+  f.suo.output("count", std::int64_t{9});  // wrong -> error #1
+  f.sched.run_for(rt::msec(100));
+  f.suo.output("count", std::int64_t{1});  // agrees again
+  f.sched.run_for(rt::msec(100));
+  f.suo.output("count", std::int64_t{9});  // wrong again -> error #2
+  f.sched.run_for(rt::msec(100));
+  EXPECT_EQ(f.monitor.errors().size(), 2u);
+}
+
+// ----------------------------------------------- Monitor watching the real TV
+
+namespace {
+
+struct TvMonitorFixture {
+  TvMonitorFixture()
+      : injector(rt::Rng(7)),
+        set(sched, bus, injector),
+        spec_def(tv::build_tv_spec_model()) {
+    core::AwarenessMonitor::Params params;
+    params.input_topic = "tv.input";
+    params.output_topics = {"tv.output"};
+    params.config.comparison_period = rt::msec(20);
+    params.config.startup_grace = rt::msec(50);
+    params.config.input_channel.base_latency = rt::usec(200);
+    params.config.output_channel.base_latency = rt::usec(200);
+    for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
+      core::ObservableConfig oc;
+      oc.name = name;
+      oc.threshold = 0.0;
+      oc.max_consecutive = 3;
+      params.config.observables.push_back(oc);
+    }
+    monitor = std::make_unique<core::AwarenessMonitor>(
+        sched, bus, std::make_unique<core::InterpretedModel>(spec_def), std::move(params));
+    set.start();
+    monitor->start();
+  }
+
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector;
+  tv::TvSystem set;
+  sm::StateMachineDef spec_def;
+  std::unique_ptr<core::AwarenessMonitor> monitor;
+};
+
+}  // namespace
+
+TEST(TvMonitor, FaultFreeUsageProducesNoErrors) {
+  TvMonitorFixture f;
+  f.set.press(tv::Key::kPower);
+  f.sched.run_for(rt::msec(300));
+  for (tv::Key k : {tv::Key::kVolumeUp, tv::Key::kChannelUp, tv::Key::kMute, tv::Key::kTeletext,
+                    tv::Key::kBack, tv::Key::kMenu, tv::Key::kMenu}) {
+    f.set.press(k);
+    f.sched.run_for(rt::msec(300));
+  }
+  EXPECT_TRUE(f.monitor->errors().empty())
+      << (f.monitor->errors().empty() ? "" : f.monitor->errors()[0].describe());
+}
+
+TEST(TvMonitor, DetectsLostVolumeCommand) {
+  TvMonitorFixture f;
+  f.set.press(tv::Key::kPower);
+  f.sched.run_for(rt::msec(300));
+  f.injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", f.sched.now(),
+                                     0, 1.0, {}});
+  f.set.press(tv::Key::kVolumeUp);
+  f.sched.run_for(rt::msec(500));
+  ASSERT_FALSE(f.monitor->errors().empty());
+  EXPECT_EQ(f.monitor->errors()[0].observable, "sound_level");
+}
+
+TEST(TvMonitor, DetectsStuckAudioOnMute) {
+  TvMonitorFixture f;
+  f.set.press(tv::Key::kPower);
+  f.sched.run_for(rt::msec(300));
+  f.injector.schedule(flt::FaultSpec{flt::FaultKind::kStuckComponent, "audio", f.sched.now(), 0,
+                                     1.0, {}});
+  f.set.press(tv::Key::kMute);
+  f.sched.run_for(rt::msec(500));
+  ASSERT_FALSE(f.monitor->errors().empty());
+  EXPECT_EQ(f.monitor->errors()[0].observable, "sound_level");
+}
+
+TEST(TvMonitor, DetectionLatencyIsBoundedByComparatorSettings) {
+  TvMonitorFixture f;
+  f.set.press(tv::Key::kPower);
+  f.sched.run_for(rt::msec(300));
+  f.injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", f.sched.now(),
+                                     0, 1.0, {}});
+  f.set.press(tv::Key::kVolumeUp);
+  const rt::SimTime injected = f.sched.now();
+  f.sched.run_for(rt::sec(2));
+  ASSERT_FALSE(f.monitor->errors().empty());
+  const rt::SimTime detected = f.monitor->errors()[0].detected_at;
+  // 3 consecutive deviations at a 20 ms compare period plus transport:
+  // detection must land within ~200 ms of the fault manifesting.
+  EXPECT_LE(detected - injected, rt::msec(200));
+}

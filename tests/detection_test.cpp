@@ -1,0 +1,236 @@
+// Tests for the auxiliary detectors (§4.3): range checking, watchdog,
+// deadlock detection, and mode-consistency checking — including the
+// paper's teletext desync case against the real TV simulator.
+#include <gtest/gtest.h>
+
+#include "detection/detectors.hpp"
+#include "faults/injector.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/tv_system.hpp"
+
+namespace det = trader::detection;
+namespace rt = trader::runtime;
+namespace obs = trader::observation;
+namespace tv = trader::tv;
+namespace flt = trader::faults;
+
+// --------------------------------------------------------------- DetectionLog
+
+TEST(DetectionLog, CountsAndFirstTimes) {
+  det::DetectionLog log;
+  log.add(det::Detection{"mode", "rule-a", "m", 100});
+  log.add(det::Detection{"mode", "rule-a", "m", 200});
+  log.add(det::Detection{"range", "p", "m", 50});
+  EXPECT_EQ(log.count("mode"), 2u);
+  EXPECT_EQ(log.count("range"), 1u);
+  EXPECT_EQ(log.first("mode", "rule-a"), 100);
+  EXPECT_EQ(log.first("mode", "missing"), -1);
+  log.clear();
+  EXPECT_TRUE(log.all().empty());
+}
+
+// --------------------------------------------------------------- RangeChecker
+
+TEST(RangeChecker, DrainsViolationsOnce) {
+  obs::ProbeRegistry probes;
+  probes.set_range("v", 0, 10);
+  det::DetectionLog log;
+  det::RangeChecker checker(probes);
+  probes.update("v", 15.0, 100);
+  EXPECT_EQ(checker.poll(log), 1u);
+  EXPECT_EQ(checker.poll(log), 0u);  // idempotent
+  probes.update("v", 20.0, 200);
+  EXPECT_EQ(checker.poll(log), 1u);
+  EXPECT_EQ(log.count("range"), 2u);
+  EXPECT_EQ(log.first("range", "v"), 100);
+}
+
+TEST(RangeChecker, InRangeValuesAreQuiet) {
+  obs::ProbeRegistry probes;
+  probes.set_range("v", 0, 10);
+  det::DetectionLog log;
+  det::RangeChecker checker(probes);
+  for (int i = 0; i <= 10; ++i) probes.update("v", static_cast<double>(i), i);
+  EXPECT_EQ(checker.poll(log), 0u);
+}
+
+// ------------------------------------------------------------------- Watchdog
+
+TEST(Watchdog, FiresOnMissedHeartbeat) {
+  det::Watchdog dog;
+  det::DetectionLog log;
+  dog.register_component("decoder", rt::msec(100));
+  dog.kick("decoder", 0);
+  EXPECT_EQ(dog.check(rt::msec(100), log), 0u);
+  EXPECT_EQ(dog.check(rt::msec(101), log), 1u);
+  EXPECT_TRUE(dog.expired("decoder"));
+  // Only reported once until the next kick.
+  EXPECT_EQ(dog.check(rt::msec(500), log), 0u);
+  dog.kick("decoder", rt::msec(500));
+  EXPECT_FALSE(dog.expired("decoder"));
+  EXPECT_EQ(dog.check(rt::msec(700), log), 1u);
+}
+
+TEST(Watchdog, UnknownKickIgnored) {
+  det::Watchdog dog;
+  dog.kick("ghost", 10);  // must not crash or register
+  det::DetectionLog log;
+  EXPECT_EQ(dog.check(1000, log), 0u);
+}
+
+// ----------------------------------------------------------- DeadlockDetector
+
+TEST(Deadlock, DetectsTwoCycle) {
+  det::DeadlockDetector dd;
+  det::DetectionLog log;
+  const std::vector<std::pair<std::string, std::string>> edges = {{"a", "b"}, {"b", "a"}};
+  EXPECT_EQ(dd.check(edges, 10, log), 1u);
+  ASSERT_EQ(log.all().size(), 1u);
+  EXPECT_EQ(log.all()[0].detector, "deadlock");
+}
+
+TEST(Deadlock, NoCycleNoReport) {
+  det::DeadlockDetector dd;
+  det::DetectionLog log;
+  EXPECT_EQ(dd.check({{"a", "b"}, {"b", "c"}}, 10, log), 0u);
+  EXPECT_EQ(dd.check({}, 20, log), 0u);
+}
+
+TEST(Deadlock, SameCycleReportedOnceThenRearms) {
+  det::DeadlockDetector dd;
+  det::DetectionLog log;
+  const std::vector<std::pair<std::string, std::string>> edges = {{"a", "b"}, {"b", "a"}};
+  EXPECT_EQ(dd.check(edges, 10, log), 1u);
+  EXPECT_EQ(dd.check(edges, 20, log), 0u);  // still the same deadlock
+  EXPECT_EQ(dd.check({}, 30, log), 0u);     // resolved
+  EXPECT_EQ(dd.check(edges, 40, log), 1u);  // new occurrence
+}
+
+TEST(Deadlock, DetectsLongerCycleAmongChains) {
+  det::DeadlockDetector dd;
+  det::DetectionLog log;
+  const std::vector<std::pair<std::string, std::string>> edges = {
+      {"x", "a"}, {"a", "b"}, {"b", "c"}, {"c", "a"}};
+  EXPECT_EQ(dd.check(edges, 10, log), 1u);
+  EXPECT_NE(log.all()[0].subject.find("a"), std::string::npos);
+}
+
+// ---------------------------------------------------- ModeConsistencyChecker
+
+TEST(ModeChecker, DebouncesTransientInconsistency) {
+  det::ModeConsistencyChecker checker;
+  checker.add_rule(det::ModeRule{
+      "pair", "x must equal y",
+      [](const std::map<std::string, rt::Value>& m) {
+        return rt::deviation(m.at("x"), m.at("y")) == 0.0;
+      },
+      3});
+  det::DetectionLog log;
+  std::map<std::string, rt::Value> bad{{"x", std::int64_t{1}}, {"y", std::int64_t{2}}};
+  std::map<std::string, rt::Value> good{{"x", std::int64_t{1}}, {"y", std::int64_t{1}}};
+  EXPECT_EQ(checker.check(bad, 1, log), 0u);
+  EXPECT_EQ(checker.check(bad, 2, log), 0u);
+  EXPECT_EQ(checker.check(good, 3, log), 0u);  // debounce reset
+  EXPECT_EQ(checker.check(bad, 4, log), 0u);
+  EXPECT_EQ(checker.check(bad, 5, log), 0u);
+  EXPECT_EQ(checker.check(bad, 6, log), 1u);   // third consecutive
+  EXPECT_EQ(checker.check(bad, 7, log), 0u);   // episode already reported
+}
+
+TEST(ModeChecker, TvRulesAcceptHealthySnapshot) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(5));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(300));
+  det::ModeConsistencyChecker checker;
+  for (auto& rule : det::tv_mode_rules()) checker.add_rule(rule);
+  det::DetectionLog log;
+  for (int i = 0; i < 10; ++i) {
+    sched.run_for(rt::msec(20));
+    checker.check(set.mode_snapshot(), sched.now(), log);
+  }
+  EXPECT_TRUE(log.all().empty());
+}
+
+TEST(ModeChecker, DetectsTeletextDesyncOnRealTv) {
+  // The paper's §4.3 success story: a mode-consistency check catches
+  // teletext problems caused by a lost synchronization message.
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(5));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(200));
+  set.press(tv::Key::kTeletext);
+  sched.run_for(rt::msec(200));
+
+  det::ModeConsistencyChecker checker;
+  for (auto& rule : det::tv_mode_rules()) checker.add_rule(rule);
+  det::DetectionLog log;
+
+  injector.schedule(flt::FaultSpec{flt::FaultKind::kModeDesync, "teletext", sched.now(), 0, 1.0,
+                                   {}});
+  for (int i = 0; i < 20; ++i) {
+    sched.run_for(rt::msec(20));
+    checker.check(set.mode_snapshot(), sched.now(), log);
+  }
+  EXPECT_GE(log.count("mode"), 1u);
+  EXPECT_GE(log.first("mode", "ttx-channel-sync"), 0);
+}
+
+TEST(ModeChecker, DetectsVolumeBeliefDivergence) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(5));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(200));
+  injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", sched.now(), 0,
+                                   1.0, {}});
+  set.press(tv::Key::kVolumeUp);
+
+  det::ModeConsistencyChecker checker;
+  for (auto& rule : det::tv_mode_rules()) checker.add_rule(rule);
+  det::DetectionLog log;
+  for (int i = 0; i < 10; ++i) {
+    sched.run_for(rt::msec(20));
+    checker.check(set.mode_snapshot(), sched.now(), log);
+  }
+  EXPECT_GE(log.first("mode", "control-audio-volume"), 0);
+}
+
+TEST(ModeChecker, DeadlockFaultOnTvIsDetected) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(5));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(200));
+  injector.schedule(flt::FaultSpec{flt::FaultKind::kDeadlock, "av", sched.now(), 0, 1.0, {}});
+  sched.run_for(rt::msec(100));
+  det::DeadlockDetector dd;
+  det::DetectionLog log;
+  EXPECT_EQ(dd.check(set.wait_edges(), sched.now(), log), 1u);
+}
+
+TEST(RangeChecker, CatchesCorruptedVolumeProbeOnTv) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(5));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(200));
+  // Memory corruption writes an out-of-range volume into the probe.
+  set.probes().update("audio.volume", std::int64_t{250}, sched.now());
+  det::DetectionLog log;
+  det::RangeChecker checker(set.probes());
+  EXPECT_GE(checker.poll(log), 1u);
+}

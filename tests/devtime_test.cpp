@@ -1,0 +1,294 @@
+// Tests for the development-time research line (§4.7): resource eaters,
+// the stress harness, execution-likelihood warning prioritization, and
+// software FMEA.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devtime/eaters.hpp"
+#include "devtime/fmea.hpp"
+#include "devtime/priowarn.hpp"
+#include "devtime/stress.hpp"
+#include "tv/soc.hpp"
+
+namespace dev = trader::devtime;
+namespace tv = trader::tv;
+namespace rt = trader::runtime;
+
+// --------------------------------------------------------------------- Eaters
+
+TEST(CpuEater, StealsCapacityFromLowerPriorityTasks) {
+  tv::Processor cpu("p", 100.0);
+  cpu.add_task("decoder", 80.0, 2);
+  dev::CpuEater eater(cpu);
+  eater.activate(50.0);
+  cpu.service();
+  EXPECT_DOUBLE_EQ(cpu.last_fraction("cpu_eater"), 1.0);  // eater wins
+  EXPECT_LT(cpu.last_fraction("decoder"), 1.0);
+  eater.deactivate();
+  cpu.service();
+  EXPECT_DOUBLE_EQ(cpu.last_fraction("decoder"), 1.0);
+}
+
+TEST(CpuEater, DeactivatesOnDestruction) {
+  tv::Processor cpu("p", 100.0);
+  {
+    dev::CpuEater eater(cpu);
+    eater.activate(50.0);
+    EXPECT_TRUE(cpu.has_task("cpu_eater"));
+  }
+  EXPECT_FALSE(cpu.has_task("cpu_eater"));
+}
+
+TEST(BusEater, InjectsDemandPerTick) {
+  tv::Bus bus(100.0);
+  dev::BusEater eater(bus);
+  eater.activate(60.0);
+  eater.tick();
+  bus.request("decoder", 80.0);
+  bus.service();
+  EXPECT_LT(bus.last_fraction("decoder"), 1.0);
+  eater.deactivate();
+  eater.tick();
+  bus.request("decoder", 80.0);
+  bus.service();
+  EXPECT_DOUBLE_EQ(bus.last_fraction("decoder"), 1.0);
+}
+
+TEST(MemoryEater, RegistersOwnPort) {
+  tv::MemoryArbiter arb(100.0);
+  arb.add_port("video", 2);
+  dev::MemoryEater eater(arb, /*priority=*/5);
+  eater.activate(80.0);
+  eater.tick();
+  arb.request("video", 80.0);
+  arb.service();
+  EXPECT_LT(arb.last_fraction("video"), 1.0);  // eater outranks video
+}
+
+// ------------------------------------------------------------ Stress harness
+
+TEST(Stress, BaselineRunIsHealthy) {
+  dev::StressConfig cfg;
+  cfg.duration = rt::sec(8);
+  const auto point = dev::run_stress_point(0.0, cfg);
+  EXPECT_LT(point.drop_rate, 0.05);
+  EXPECT_GT(point.avg_quality, 0.6);
+  EXPECT_EQ(point.migrations, 0);
+}
+
+TEST(Stress, HeavyEaterDegradesOutput) {
+  dev::StressConfig cfg;
+  cfg.duration = rt::sec(8);
+  const auto healthy = dev::run_stress_point(0.0, cfg);
+  const auto stressed = dev::run_stress_point(60.0, cfg);
+  EXPECT_GT(stressed.drop_rate, healthy.drop_rate + 0.1);
+  EXPECT_GT(stressed.cpu_load, healthy.cpu_load);
+}
+
+TEST(Stress, SweepIsMonotoneInLoad) {
+  dev::StressConfig cfg;
+  cfg.duration = rt::sec(6);
+  const auto points = dev::stress_sweep({0.0, 30.0, 60.0, 90.0}, cfg);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].cpu_load, points[i - 1].cpu_load - 1e-9);
+    EXPECT_GE(points[i].drop_rate, points[i - 1].drop_rate - 0.02);
+  }
+}
+
+TEST(Stress, LoadBalancerActivatesUnderStress) {
+  dev::StressConfig cfg;
+  cfg.duration = rt::sec(10);
+  cfg.with_load_balancer = true;
+  const auto point = dev::run_stress_point(60.0, cfg);
+  EXPECT_GE(point.migrations, 1);
+  // The FT mechanism restores output after the spike (E9's observation
+  // that stress testing exposes fault-tolerant mechanisms at work).
+  dev::StressConfig no_ft = cfg;
+  no_ft.with_load_balancer = false;
+  const auto unprotected = dev::run_stress_point(60.0, no_ft);
+  EXPECT_GT(point.quality_recovered, unprotected.quality_recovered);
+}
+
+// -------------------------------------------------------------- SyntheticCfg
+
+TEST(Cfg, GeneratesRequestedSizeAndDag) {
+  const auto cfg = dev::SyntheticCfg::generate(500, 1);
+  EXPECT_EQ(cfg.size(), 500u);
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    for (std::size_t s : cfg.nodes()[i].succs) {
+      EXPECT_GT(s, i);  // forward edges only: acyclic by construction
+      EXPECT_LT(s, cfg.size());
+    }
+  }
+}
+
+TEST(Cfg, LikelihoodEntryIsOneAndBounded) {
+  const auto cfg = dev::SyntheticCfg::generate(500, 2);
+  const auto like = cfg.execution_likelihood();
+  EXPECT_DOUBLE_EQ(like[0], 1.0);
+  for (double v : like) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Cfg, BranchingCreatesLikelihoodSpread) {
+  const auto cfg = dev::SyntheticCfg::generate(1000, 3);
+  const auto like = cfg.execution_likelihood();
+  double lo = 1.0;
+  for (double v : like) lo = std::min(lo, v);
+  EXPECT_LT(lo, 0.5);  // some nodes are genuinely unlikely
+}
+
+TEST(Cfg, ProbabilitiesSumToOnePerNode) {
+  const auto cfg = dev::SyntheticCfg::generate(300, 4);
+  for (std::size_t i = 0; i + 1 < cfg.size(); ++i) {
+    double sum = 0.0;
+    for (double p : cfg.nodes()[i].probs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- Prioritization
+
+TEST(Priowarn, GeneratedWarningsAreWellFormed) {
+  const auto cfg = dev::SyntheticCfg::generate(400, 5);
+  const auto warnings = dev::generate_warnings(cfg, 200, 0.2, 6);
+  ASSERT_EQ(warnings.size(), 200u);
+  for (const auto& w : warnings) {
+    EXPECT_LT(w.node, cfg.size());
+    EXPECT_GE(w.severity, 1);
+    EXPECT_LE(w.severity, 9);
+  }
+}
+
+TEST(Priowarn, TruePositivesCorrelateWithLikelihood) {
+  const auto cfg = dev::SyntheticCfg::generate(2000, 7);
+  const auto like = cfg.execution_likelihood();
+  const auto warnings = dev::generate_warnings(cfg, 4000, 0.3, 8);
+  double tp_like = 0.0;
+  double fp_like = 0.0;
+  int tp = 0;
+  int fp = 0;
+  for (const auto& w : warnings) {
+    if (w.true_positive) {
+      tp_like += like[w.node];
+      ++tp;
+    } else {
+      fp_like += like[w.node];
+      ++fp;
+    }
+  }
+  ASSERT_GT(tp, 0);
+  ASSERT_GT(fp, 0);
+  EXPECT_GT(tp_like / tp, fp_like / fp);
+}
+
+TEST(Priowarn, OrderingsAreValidPermutations) {
+  const auto cfg = dev::SyntheticCfg::generate(300, 9);
+  const auto like = cfg.execution_likelihood();
+  const auto warnings = dev::generate_warnings(cfg, 100, 0.2, 10);
+  dev::WarningPrioritizer prio;
+  for (auto order : {dev::WarningOrder::kReportOrder, dev::WarningOrder::kSeverity,
+                     dev::WarningOrder::kLikelihood,
+                     dev::WarningOrder::kSeverityTimesLikelihood}) {
+    const auto idx = prio.prioritize(warnings, like, order);
+    std::set<std::size_t> seen(idx.begin(), idx.end());
+    EXPECT_EQ(seen.size(), warnings.size()) << dev::to_string(order);
+  }
+}
+
+TEST(Priowarn, LikelihoodOrderingBeatsReportOrder) {
+  const auto cfg = dev::SyntheticCfg::generate(2000, 11);
+  const auto like = cfg.execution_likelihood();
+  const auto warnings = dev::generate_warnings(cfg, 1000, 0.15, 12);
+  dev::WarningPrioritizer prio;
+  const auto by_like = prio.prioritize(warnings, like, dev::WarningOrder::kLikelihood);
+  const auto by_report = prio.prioritize(warnings, like, dev::WarningOrder::kReportOrder);
+  EXPECT_GT(dev::WarningPrioritizer::tp_auc(by_like, warnings),
+            dev::WarningPrioritizer::tp_auc(by_report, warnings));
+}
+
+TEST(Priowarn, EffortToFirstTpMetric) {
+  std::vector<dev::InspectionWarning> warnings(4);
+  warnings[2].true_positive = true;
+  const std::vector<std::size_t> order{0, 1, 2, 3};
+  EXPECT_EQ(dev::WarningPrioritizer::effort_to_first_tp(order, warnings), 3u);
+  const std::vector<std::size_t> reversed{3, 2, 1, 0};
+  EXPECT_EQ(dev::WarningPrioritizer::effort_to_first_tp(reversed, warnings), 2u);
+  std::vector<dev::InspectionWarning> none(4);
+  EXPECT_EQ(dev::WarningPrioritizer::effort_to_first_tp(order, none), 5u);
+}
+
+TEST(Priowarn, AucBoundaries) {
+  std::vector<dev::InspectionWarning> warnings(10);
+  warnings[0].true_positive = true;
+  std::vector<std::size_t> first{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<std::size_t> last{1, 2, 3, 4, 5, 6, 7, 8, 9, 0};
+  EXPECT_GT(dev::WarningPrioritizer::tp_auc(first, warnings), 0.9);
+  EXPECT_LT(dev::WarningPrioritizer::tp_auc(last, warnings), 0.1);
+}
+
+// ----------------------------------------------------------------------- FMEA
+
+TEST(Fmea, RpnIsProductOfScores) {
+  dev::FailureMode fm{"c", "m", "e", 7, 5, 4};
+  EXPECT_EQ(fm.rpn(), 140);
+}
+
+TEST(Fmea, RankedSortsByRpn) {
+  dev::FmeaAnalyzer fmea;
+  fmea.add({"a", "m1", "e", 2, 2, 2});   // 8
+  fmea.add({"b", "m2", "e", 9, 9, 9});   // 729
+  fmea.add({"c", "m3", "e", 5, 5, 5});   // 125
+  const auto ranked = fmea.ranked();
+  EXPECT_EQ(ranked[0].component, "b");
+  EXPECT_EQ(ranked[1].component, "c");
+  EXPECT_EQ(ranked[2].component, "a");
+  EXPECT_EQ(fmea.top(1).size(), 1u);
+}
+
+TEST(Fmea, ComponentRiskAggregates) {
+  dev::FmeaAnalyzer fmea;
+  fmea.add({"a", "m1", "e", 2, 2, 2});
+  fmea.add({"a", "m2", "e", 3, 1, 1});
+  fmea.add({"b", "m3", "e", 1, 1, 1});
+  const auto risk = fmea.component_risk();
+  EXPECT_EQ(risk.at("a"), 8 + 3);
+  EXPECT_EQ(risk.at("b"), 1);
+}
+
+TEST(Fmea, DetectionImprovementLowersRpn) {
+  dev::FmeaAnalyzer fmea;
+  for (auto& fm : dev::tv_failure_modes()) fmea.add(fm);
+  const int before = fmea.component_risk().at("teletext");
+  // Adding an awareness monitor to teletext improves detectability.
+  EXPECT_GT(fmea.apply_detection_improvement("teletext", 2), 0u);
+  const int after = fmea.component_risk().at("teletext");
+  EXPECT_LT(after, before);
+  // Already-better detection scores are not made worse.
+  EXPECT_EQ(fmea.apply_detection_improvement("teletext", 9), 0u);
+}
+
+TEST(Fmea, TvInventoryRanksDesyncDetectabilityHigh) {
+  dev::FmeaAnalyzer fmea;
+  for (auto& fm : dev::tv_failure_modes()) fmea.add(fm);
+  // The teletext desync (hard to detect without a monitor) must appear
+  // in the top-3 risks — the motivation for the §4.3 mode checker.
+  const auto top = fmea.top(3);
+  bool found = false;
+  for (const auto& fm : top) {
+    if (fm.component == "teletext" && fm.mode == "channel desync") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Fmea, SystemFailureRateWeightsUsage) {
+  const std::map<std::string, double> rates{{"a", 0.01}, {"b", 0.10}};
+  const std::map<std::string, double> usage{{"a", 1.0}, {"b", 0.1}};
+  EXPECT_NEAR(dev::FmeaAnalyzer::system_failure_rate(rates, usage), 0.02, 1e-12);
+  // Missing usage weight defaults to 1.
+  EXPECT_NEAR(dev::FmeaAnalyzer::system_failure_rate(rates, {}), 0.11, 1e-12);
+}

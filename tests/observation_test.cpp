@@ -1,0 +1,283 @@
+// Tests for the observation layer (§4.1): probes, call-stack tracing,
+// aspect hooks, resource monitoring — plus the fault-injection plan.
+#include <gtest/gtest.h>
+
+#include "faults/injector.hpp"
+#include "observation/aspect.hpp"
+#include "observation/call_stack.hpp"
+#include "observation/probes.hpp"
+#include "observation/resource_monitor.hpp"
+
+namespace obs = trader::observation;
+namespace rt = trader::runtime;
+namespace flt = trader::faults;
+
+// --------------------------------------------------------------------- Probes
+
+TEST(Probes, StoresLatestValueAndTimestamp) {
+  obs::ProbeRegistry reg;
+  EXPECT_FALSE(reg.value("x").has_value());
+  EXPECT_EQ(reg.last_update("x"), -1);
+  reg.update("x", std::int64_t{5}, 100);
+  reg.update("x", std::int64_t{9}, 200);
+  ASSERT_TRUE(reg.value("x").has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*reg.value("x")), 9);
+  EXPECT_EQ(reg.last_update("x"), 200);
+  EXPECT_EQ(reg.update_count(), 2u);
+}
+
+TEST(Probes, NumCoercesTypes) {
+  obs::ProbeRegistry reg;
+  reg.update("i", std::int64_t{4}, 0);
+  reg.update("d", 2.5, 0);
+  reg.update("b", true, 0);
+  reg.update("s", std::string("nope"), 0);
+  EXPECT_DOUBLE_EQ(reg.num("i"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.num("d"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.num("b"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.num("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(reg.num("missing", 7.0), 7.0);
+}
+
+TEST(Probes, RangeViolationsRecorded) {
+  obs::ProbeRegistry reg;
+  reg.set_range("v", 0.0, 10.0);
+  reg.update("v", 5.0, 1);
+  reg.update("v", 11.0, 2);
+  reg.update("v", -1.0, 3);
+  ASSERT_EQ(reg.violations().size(), 2u);
+  EXPECT_EQ(reg.violations()[0].time, 2);
+  EXPECT_DOUBLE_EQ(reg.violations()[1].value, -1.0);
+  reg.clear_violations();
+  EXPECT_TRUE(reg.violations().empty());
+}
+
+TEST(Probes, NonNumericValuesBypassRangeCheck) {
+  obs::ProbeRegistry reg;
+  reg.set_range("v", 0.0, 10.0);
+  reg.update("v", std::string("text"), 1);
+  EXPECT_TRUE(reg.violations().empty());
+}
+
+TEST(Probes, UpdateHandlersNotified) {
+  obs::ProbeRegistry reg;
+  std::vector<std::string> seen;
+  reg.on_update([&](const std::string& name, const rt::Value&, rt::SimTime) {
+    seen.push_back(name);
+  });
+  reg.update("a", std::int64_t{1}, 0);
+  reg.update("b", std::int64_t{2}, 0);
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Probes, NamesListsAllProbes) {
+  obs::ProbeRegistry reg;
+  reg.update("a", std::int64_t{1}, 0);
+  reg.set_range("b", 0, 1);  // declared via range only
+  const auto names = reg.names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+// ------------------------------------------------------------------ CallStack
+
+TEST(CallStack, TracksDepthAndRecords) {
+  obs::CallStackTracer tracer;
+  tracer.enter("main", {}, 0);
+  tracer.enter("decode", {{"frame", std::int64_t{1}}}, 10);
+  EXPECT_EQ(tracer.depth(), 2u);
+  EXPECT_EQ(tracer.stack(), (std::vector<std::string>{"main", "decode"}));
+  tracer.exit(30, std::int64_t{0});
+  tracer.exit(40);
+  EXPECT_EQ(tracer.depth(), 0u);
+  EXPECT_EQ(tracer.max_depth_seen(), 2u);
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].function, "decode");
+  EXPECT_EQ(tracer.records()[0].exited - tracer.records()[0].entered, 20);
+}
+
+TEST(CallStack, StatsAggregatePerFunction) {
+  obs::CallStackTracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    tracer.enter("f", {}, i * 100);
+    tracer.exit(i * 100 + 10);
+  }
+  EXPECT_EQ(tracer.calls_to("f"), 3u);
+  EXPECT_EQ(tracer.stats().at("f").total_time, 30);
+  EXPECT_EQ(tracer.calls_to("ghost"), 0u);
+}
+
+TEST(CallStack, UnbalancedExitTolerated) {
+  obs::CallStackTracer tracer;
+  tracer.exit(10);  // nothing on the stack
+  EXPECT_EQ(tracer.depth(), 0u);
+}
+
+TEST(CallStack, ScopedCallIsRaii) {
+  obs::CallStackTracer tracer;
+  {
+    obs::ScopedCall call(tracer, "scoped", 5);
+    EXPECT_EQ(tracer.depth(), 1u);
+  }
+  EXPECT_EQ(tracer.depth(), 0u);
+  EXPECT_EQ(tracer.calls_to("scoped"), 1u);
+}
+
+TEST(CallStack, RecordCapRespected) {
+  obs::CallStackTracer tracer(2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.enter("f", {}, i);
+    tracer.exit(i);
+  }
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.calls_to("f"), 5u);  // stats still complete
+}
+
+// --------------------------------------------------------------------- Aspect
+
+TEST(Aspect, BeforeAndAfterAdviceRun) {
+  obs::AspectRegistry reg;
+  std::vector<std::string> order;
+  reg.before("jp", [&](obs::JoinPointCall&) { order.push_back("before"); });
+  reg.after("jp", [&](const obs::JoinPointCall&, const rt::Value&) { order.push_back("after"); });
+  const auto result = reg.dispatch("jp", {}, 0, [&] {
+    order.push_back("body");
+    return rt::Value{std::int64_t{42}};
+  });
+  EXPECT_EQ(order, (std::vector<std::string>{"before", "body", "after"}));
+  EXPECT_EQ(std::get<std::int64_t>(result), 42);
+  EXPECT_EQ(reg.dispatch_count("jp"), 1u);
+}
+
+TEST(Aspect, BeforeAdviceCanVetoBody) {
+  obs::AspectRegistry reg;
+  bool body_ran = false;
+  reg.before("jp", [](obs::JoinPointCall& call) { call.proceed = false; });
+  reg.dispatch("jp", {}, 0, [&] {
+    body_ran = true;
+    return rt::Value{std::int64_t{1}};
+  });
+  EXPECT_FALSE(body_ran);
+}
+
+TEST(Aspect, UnadvisedJoinPointJustRunsBody) {
+  obs::AspectRegistry reg;
+  const auto result = reg.dispatch("plain", {}, 0, [] { return rt::Value{std::int64_t{7}}; });
+  EXPECT_EQ(std::get<std::int64_t>(result), 7);
+}
+
+TEST(Aspect, AdviceSeesArguments) {
+  obs::AspectRegistry reg;
+  std::int64_t seen = 0;
+  reg.before("jp", [&](obs::JoinPointCall& call) {
+    seen = std::get<std::int64_t>(call.args.at("n"));
+  });
+  reg.dispatch("jp", {{"n", std::int64_t{13}}}, 0, nullptr);
+  EXPECT_EQ(seen, 13);
+}
+
+TEST(Aspect, AdvisedJoinPointsListed) {
+  obs::AspectRegistry reg;
+  reg.before("a", [](obs::JoinPointCall&) {});
+  reg.after("b", [](const obs::JoinPointCall&, const rt::Value&) {});
+  const auto jps = reg.advised_join_points();
+  EXPECT_EQ(jps.size(), 2u);
+}
+
+// ------------------------------------------------------------ ResourceMonitor
+
+TEST(ResourceMonitor, TimeWeightedUtilization) {
+  obs::ResourceMonitor mon(rt::msec(100));
+  mon.sample("cpu", 0.0, 0);
+  mon.sample("cpu", 1.0, rt::msec(50));
+  // Window [0,100]: half at 0.0, half at 1.0.
+  EXPECT_NEAR(mon.utilization("cpu", rt::msec(100)), 0.5, 0.02);
+}
+
+TEST(ResourceMonitor, PeakAndCurrent) {
+  obs::ResourceMonitor mon(rt::msec(100));
+  mon.sample("cpu", 0.3, 0);
+  mon.sample("cpu", 0.9, rt::msec(10));
+  mon.sample("cpu", 0.2, rt::msec(20));
+  EXPECT_DOUBLE_EQ(mon.peak("cpu", rt::msec(30)), 0.9);
+  EXPECT_DOUBLE_EQ(mon.current("cpu"), 0.2);
+}
+
+TEST(ResourceMonitor, OldSamplesFallOutOfWindow) {
+  obs::ResourceMonitor mon(rt::msec(100));
+  mon.sample("cpu", 1.0, 0);
+  mon.sample("cpu", 0.0, rt::msec(10));
+  // At t=200 the window [100,200] only sees the 0.0 level.
+  EXPECT_NEAR(mon.utilization("cpu", rt::msec(200)), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mon.peak("cpu", rt::msec(200)), 0.0);
+}
+
+TEST(ResourceMonitor, UnknownResourceIsZero) {
+  obs::ResourceMonitor mon;
+  EXPECT_DOUBLE_EQ(mon.utilization("ghost", 100), 0.0);
+  EXPECT_DOUBLE_EQ(mon.current("ghost"), 0.0);
+}
+
+TEST(ResourceMonitor, ResourceListing) {
+  obs::ResourceMonitor mon;
+  mon.sample("a", 0.1, 0);
+  mon.sample("b", 0.2, 0);
+  EXPECT_EQ(mon.resources().size(), 2u);
+}
+
+// --------------------------------------------------------------------- Faults
+
+TEST(Faults, SpecActivationWindow) {
+  flt::FaultSpec spec;
+  spec.activate_at = 100;
+  spec.duration = 50;
+  EXPECT_FALSE(spec.active_at(99));
+  EXPECT_TRUE(spec.active_at(100));
+  EXPECT_TRUE(spec.active_at(149));
+  EXPECT_FALSE(spec.active_at(150));
+  spec.duration = 0;  // permanent
+  EXPECT_TRUE(spec.active_at(1'000'000'000));
+}
+
+TEST(Faults, InjectorActiveQueries) {
+  flt::FaultInjector inj;
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kCrash, "audio", 100, 0, 1.0, {}});
+  EXPECT_FALSE(inj.is_active(flt::FaultKind::kCrash, "audio", 50));
+  EXPECT_TRUE(inj.is_active(flt::FaultKind::kCrash, "audio", 150));
+  EXPECT_FALSE(inj.is_active(flt::FaultKind::kCrash, "video", 150));
+  EXPECT_FALSE(inj.is_active(flt::FaultKind::kDeadlock, "audio", 150));
+  ASSERT_TRUE(inj.active_spec(flt::FaultKind::kCrash, "audio", 150).has_value());
+}
+
+TEST(Faults, FiresRespectsIntensityExtremes) {
+  flt::FaultInjector inj;
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "ch", 0, 0, 0.0, {}});
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(inj.fires(flt::FaultKind::kMessageLoss, "ch", 10));
+  flt::FaultInjector inj2;
+  inj2.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "ch", 0, 0, 1.0, {}});
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(inj2.fires(flt::FaultKind::kMessageLoss, "ch", 10));
+  EXPECT_EQ(inj2.activations().size(), 50u);
+}
+
+TEST(Faults, GroundTruthTimes) {
+  flt::FaultInjector inj;
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "ch", 0, 0, 1.0, {}});
+  EXPECT_EQ(inj.first_activation("ch"), -1);
+  inj.fires(flt::FaultKind::kMessageLoss, "ch", 500);
+  inj.fires(flt::FaultKind::kMessageLoss, "ch", 900);
+  EXPECT_EQ(inj.first_activation("ch"), 500);
+  EXPECT_EQ(inj.first_planned(), 0);
+}
+
+TEST(Faults, ExternalClassification) {
+  EXPECT_TRUE(flt::is_external(flt::FaultKind::kBadSignal));
+  EXPECT_TRUE(flt::is_external(flt::FaultKind::kCodingDeviation));
+  EXPECT_FALSE(flt::is_external(flt::FaultKind::kCrash));
+}
+
+TEST(Faults, KindNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(flt::FaultKind::kMemoryCorruption); ++i) {
+    names.insert(flt::to_string(static_cast<flt::FaultKind>(i)));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}

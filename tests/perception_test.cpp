@@ -1,0 +1,180 @@
+// Tests for the user-perception model (§4.6): irritation mechanism
+// properties and the stated-vs-observed inversion driven by attribution.
+#include <gtest/gtest.h>
+
+#include "perception/perception.hpp"
+
+namespace per = trader::perception;
+namespace rt = trader::runtime;
+
+namespace {
+
+per::ProductFunction fn(double importance, double usage,
+                        per::Attribution att = per::Attribution::kProduct) {
+  return per::ProductFunction{"f", importance, usage, att};
+}
+
+per::FailureStimulus stim(double severity, rt::SimDuration dur = rt::sec(30)) {
+  return per::FailureStimulus{"f", severity, dur};
+}
+
+}  // namespace
+
+TEST(Irritation, WithinUnitInterval) {
+  per::IrritationModel model;
+  for (double imp : {0.0, 0.5, 1.0}) {
+    for (double sev : {0.0, 0.5, 1.0}) {
+      const double irr = model.irritation(fn(imp, 5.0), stim(sev), per::UserGroup::kCasual,
+                                          per::Attribution::kProduct);
+      EXPECT_GE(irr, 0.0);
+      EXPECT_LE(irr, 1.0);
+    }
+  }
+}
+
+TEST(Irritation, IncreasesWithImportance) {
+  per::IrritationModel model;
+  const double low = model.irritation(fn(0.2, 5.0), stim(0.5), per::UserGroup::kCasual,
+                                      per::Attribution::kProduct);
+  const double high = model.irritation(fn(0.9, 5.0), stim(0.5), per::UserGroup::kCasual,
+                                       per::Attribution::kProduct);
+  EXPECT_GT(high, low);
+}
+
+TEST(Irritation, IncreasesWithSeverity) {
+  per::IrritationModel model;
+  const double low = model.irritation(fn(0.5, 5.0), stim(0.2), per::UserGroup::kCasual,
+                                      per::Attribution::kProduct);
+  const double high = model.irritation(fn(0.5, 5.0), stim(0.9), per::UserGroup::kCasual,
+                                       per::Attribution::kProduct);
+  EXPECT_GT(high, low);
+}
+
+TEST(Irritation, IncreasesWithUsage) {
+  per::IrritationModel model;
+  const double rare = model.irritation(fn(0.5, 0.2), stim(0.5), per::UserGroup::kCasual,
+                                       per::Attribution::kProduct);
+  const double frequent = model.irritation(fn(0.5, 20.0), stim(0.5), per::UserGroup::kCasual,
+                                           per::Attribution::kProduct);
+  EXPECT_GT(frequent, rare);
+}
+
+TEST(Irritation, LongerFailuresIrritateMore) {
+  per::IrritationModel model;
+  const double brief = model.irritation(fn(0.5, 5.0), stim(0.5, rt::sec(2)),
+                                        per::UserGroup::kCasual, per::Attribution::kProduct);
+  const double lasting = model.irritation(fn(0.5, 5.0), stim(0.5, rt::sec(120)),
+                                          per::UserGroup::kCasual, per::Attribution::kProduct);
+  EXPECT_GT(lasting, brief);
+}
+
+TEST(Irritation, ExternalAttributionDiscountsHeavily) {
+  per::IrritationModel model;
+  const double blamed = model.irritation(fn(0.9, 10.0), stim(0.7), per::UserGroup::kCasual,
+                                         per::Attribution::kProduct);
+  const double excused = model.irritation(fn(0.9, 10.0), stim(0.7), per::UserGroup::kCasual,
+                                          per::Attribution::kExternal);
+  EXPECT_LT(excused, blamed * 0.5);
+}
+
+TEST(Irritation, EnthusiastsAreMoreSensitive) {
+  per::IrritationModel model;
+  const double casual = model.irritation(fn(0.5, 5.0), stim(0.5), per::UserGroup::kCasual,
+                                         per::Attribution::kProduct);
+  const double enthusiast = model.irritation(fn(0.5, 5.0), stim(0.5),
+                                             per::UserGroup::kEnthusiast,
+                                             per::Attribution::kProduct);
+  EXPECT_GT(enthusiast, casual);
+}
+
+TEST(Irritation, EnumNames) {
+  EXPECT_STREQ(per::to_string(per::UserGroup::kSenior), "senior");
+  EXPECT_STREQ(per::to_string(per::Attribution::kExternal), "external");
+}
+
+// ------------------------------------------------------------------ UserPanel
+
+TEST(Panel, DeterministicForSameSeed) {
+  per::UserPanel p1(100, 42);
+  per::UserPanel p2(100, 42);
+  const auto r1 = p1.run(per::tv_functions(), per::tv_failure_stimuli());
+  const auto r2 = p2.run(per::tv_functions(), per::tv_failure_stimuli());
+  ASSERT_EQ(r1.outcomes.size(), r2.outcomes.size());
+  for (std::size_t i = 0; i < r1.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.outcomes[i].observed_irritation, r2.outcomes[i].observed_irritation);
+  }
+}
+
+TEST(Panel, RanksAreAPermutation) {
+  per::UserPanel panel(50, 7);
+  const auto result = panel.run(per::tv_functions(), per::tv_failure_stimuli());
+  std::set<std::size_t> stated;
+  std::set<std::size_t> observed;
+  for (const auto& o : result.outcomes) {
+    stated.insert(o.stated_rank);
+    observed.insert(o.observed_rank);
+  }
+  EXPECT_EQ(stated.size(), result.outcomes.size());
+  EXPECT_EQ(observed.size(), result.outcomes.size());
+  EXPECT_EQ(*stated.begin(), 1u);
+}
+
+TEST(Panel, OfLooksUpByName) {
+  per::UserPanel panel(50, 7);
+  const auto result = panel.run(per::tv_functions(), per::tv_failure_stimuli());
+  EXPECT_EQ(result.of("swivel").function, "swivel");
+  EXPECT_THROW(result.of("warp-drive"), std::out_of_range);
+}
+
+TEST(Panel, StatedSurveyTracksIntrinsicImportance) {
+  per::UserPanel panel(400, 11);
+  const auto result = panel.run(per::tv_functions(), per::tv_failure_stimuli());
+  // Stated importance must be close to the intrinsic values, regardless
+  // of attribution (surveys don't see attribution).
+  EXPECT_NEAR(result.of("image_quality").stated_importance, 0.92, 0.05);
+  EXPECT_NEAR(result.of("swivel").stated_importance, 0.88, 0.05);
+  EXPECT_NEAR(result.of("sleep_timer").stated_importance, 0.25, 0.05);
+}
+
+TEST(Panel, TheAttributionInversion) {
+  // The paper's headline §4.6 finding: stated importance puts image
+  // quality and the swivel together at the top, but under observation
+  // users tolerate bad image quality (external attribution) and are
+  // irritated by the swivel.
+  per::UserPanel panel(400, 11);
+  const auto result = panel.run(per::tv_functions(), per::tv_failure_stimuli());
+  const auto& iq = result.of("image_quality");
+  const auto& swivel = result.of("swivel");
+  // Stated: both in the top ranks, close together.
+  EXPECT_LE(iq.stated_rank, 2u);
+  EXPECT_LE(swivel.stated_rank, 3u);
+  // Observed: the swivel irritates far more than image quality.
+  EXPECT_GT(swivel.observed_irritation, 2.0 * iq.observed_irritation);
+  EXPECT_LT(swivel.observed_rank, iq.observed_rank);
+}
+
+TEST(Panel, ProductAttributedFunctionsKeepTheirRank) {
+  per::UserPanel panel(400, 11);
+  const auto result = panel.run(per::tv_functions(), per::tv_failure_stimuli());
+  // Audio is important, frequently used and blamed on the product: it
+  // must stay highly irritating under observation.
+  EXPECT_LE(result.of("audio").observed_rank, 2u);
+}
+
+TEST(Panel, LargerPanelsReduceSurveyNoise) {
+  per::UserPanel small(10, 3);
+  per::UserPanel large(1000, 3);
+  const auto rs = small.run(per::tv_functions(), per::tv_failure_stimuli());
+  const auto rl = large.run(per::tv_functions(), per::tv_failure_stimuli());
+  const double err_small = std::abs(rs.of("teletext").stated_importance - 0.55);
+  const double err_large = std::abs(rl.of("teletext").stated_importance - 0.55);
+  EXPECT_LE(err_large, err_small + 0.02);
+}
+
+TEST(Panel, StimulusFreeFunctionsScoreZeroIrritation) {
+  per::UserPanel panel(50, 5);
+  const auto result = panel.run(per::tv_functions(), {});  // no stimuli at all
+  for (const auto& o : result.outcomes) {
+    EXPECT_DOUBLE_EQ(o.observed_irritation, 0.0);
+  }
+}

@@ -1,0 +1,434 @@
+// Tests for the recovery framework (§4.5): recoverable units,
+// communication/recovery managers, load balancing, adaptive arbitration.
+#include <gtest/gtest.h>
+
+#include "faults/injector.hpp"
+#include "recovery/adaptive_arbiter.hpp"
+#include "recovery/load_balancer.hpp"
+#include "recovery/managers.hpp"
+#include "recovery/recoverable_unit.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/soc.hpp"
+#include "tv/tv_system.hpp"
+
+namespace rec = trader::recovery;
+namespace rt = trader::runtime;
+namespace tv = trader::tv;
+namespace flt = trader::faults;
+
+namespace {
+
+rt::Event msg(const std::string& name, std::int64_t n = 0) {
+  rt::Event ev;
+  ev.topic = "unit";
+  ev.name = name;
+  ev.fields["n"] = n;
+  return ev;
+}
+
+// Counting unit: tallies received messages into its state store.
+rec::UnitHandler counting_handler() {
+  return [](rec::RecoverableUnit& self, const rt::Event&) {
+    self.set_var("count", self.var_int("count") + 1);
+  };
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- RecoverableUnit
+
+TEST(Unit, ProcessesWhileRunning) {
+  rec::RecoverableUnit u("a", rt::msec(50));
+  u.set_handler(counting_handler());
+  EXPECT_TRUE(u.deliver(msg("m")));
+  EXPECT_TRUE(u.deliver(msg("m")));
+  EXPECT_EQ(u.var_int("count"), 2);
+  EXPECT_EQ(u.processed(), 2u);
+}
+
+TEST(Unit, KillDropsVolatileStateAndIgnoresMessages) {
+  rec::RecoverableUnit u("a", rt::msec(50));
+  u.set_handler(counting_handler());
+  u.deliver(msg("m"));
+  u.kill(100);
+  EXPECT_EQ(u.state(), rec::RecoverableUnit::State::kFailed);
+  EXPECT_FALSE(u.deliver(msg("m")));
+  EXPECT_EQ(u.var_int("count"), 0);  // volatile state gone
+}
+
+TEST(Unit, RestartRestoresCheckpoint) {
+  rec::RecoverableUnit u("a", rt::msec(50));
+  u.set_handler(counting_handler());
+  u.deliver(msg("m"));
+  u.deliver(msg("m"));
+  u.checkpoint();
+  u.deliver(msg("m"));
+  EXPECT_EQ(u.var_int("count"), 3);
+  u.kill(100);
+  u.begin_restart(100);
+  u.complete_restart(150);
+  EXPECT_TRUE(u.running());
+  EXPECT_EQ(u.var_int("count"), 2);  // checkpointed value, not 3
+  EXPECT_EQ(u.restarts(), 1u);
+  EXPECT_EQ(u.total_downtime(), 50);
+}
+
+TEST(Unit, DowntimeAccumulatesAcrossFailures) {
+  rec::RecoverableUnit u("a", rt::msec(10));
+  u.kill(100);
+  u.complete_restart(150);
+  u.kill(200);
+  u.complete_restart(300);
+  EXPECT_EQ(u.total_downtime(), 50 + 100);
+  EXPECT_EQ(u.restarts(), 2u);
+}
+
+TEST(Unit, StateNames) {
+  EXPECT_STREQ(rec::to_string(rec::RecoverableUnit::State::kRunning), "running");
+  EXPECT_STREQ(rec::to_string(rec::RecoverableUnit::State::kFailed), "failed");
+}
+
+// ------------------------------------------------------ CommunicationManager
+
+TEST(Comm, DeliversToRunningUnits) {
+  rt::Scheduler sched;
+  rec::CommunicationManager comm(sched);
+  rec::RecoverableUnit a("a", rt::msec(10));
+  a.set_handler(counting_handler());
+  comm.register_unit(&a);
+  comm.send("a", msg("m"));
+  EXPECT_EQ(a.var_int("count"), 1);
+  EXPECT_EQ(comm.delivered(), 1u);
+}
+
+TEST(Comm, QuarantinesDuringRecoveryAndFlushes) {
+  rt::Scheduler sched;
+  rec::CommunicationManager comm(sched);
+  rec::RecoverableUnit a("a", rt::msec(10));
+  a.set_handler(counting_handler());
+  a.checkpoint();
+  comm.register_unit(&a);
+  a.kill(0);
+  comm.send("a", msg("m"));
+  comm.send("a", msg("m"));
+  EXPECT_EQ(comm.quarantined(), 2u);
+  EXPECT_EQ(comm.pending("a"), 2u);
+  EXPECT_EQ(a.var_int("count"), 0);
+  a.complete_restart(10);
+  comm.flush("a");
+  EXPECT_EQ(a.var_int("count"), 2);  // nothing lost
+  EXPECT_EQ(comm.pending("a"), 0u);
+}
+
+TEST(Comm, UnknownTargetDropped) {
+  rt::Scheduler sched;
+  rec::CommunicationManager comm(sched);
+  comm.send("ghost", msg("m"));
+  EXPECT_EQ(comm.dropped(), 1u);
+}
+
+TEST(Comm, QuarantineCapDropsOverflow) {
+  rt::Scheduler sched;
+  rec::CommunicationManager comm(sched, /*quarantine_cap=*/2);
+  rec::RecoverableUnit a("a", rt::msec(10));
+  comm.register_unit(&a);
+  a.kill(0);
+  for (int i = 0; i < 5; ++i) comm.send("a", msg("m"));
+  EXPECT_EQ(comm.quarantined(), 2u);
+  EXPECT_EQ(comm.dropped(), 3u);
+}
+
+// ------------------------------------------------------------ RecoveryManager
+
+namespace {
+
+struct Cluster {
+  Cluster()
+      : comm(sched),
+        mgr(sched, comm),
+        a("a", rt::msec(20)),
+        b("b", rt::msec(30)),
+        c("c", rt::msec(40)) {
+    for (auto* u : {&a, &b, &c}) {
+      u->set_handler(counting_handler());
+      u->checkpoint();
+      comm.register_unit(u);
+    }
+  }
+
+  rt::Scheduler sched;
+  rec::CommunicationManager comm;
+  rec::RecoveryManager mgr;
+  rec::RecoverableUnit a, b, c;
+};
+
+}  // namespace
+
+TEST(RecoveryMgr, PartialRecoveryRestartsOnlyFailedUnit) {
+  Cluster cl;
+  cl.mgr.set_policy(rec::RecoveryPolicy::kRestartUnit);
+  EXPECT_EQ(cl.mgr.notify_failure("a", cl.sched.now()), 1u);
+  EXPECT_FALSE(cl.a.running());
+  EXPECT_TRUE(cl.b.running());
+  EXPECT_TRUE(cl.c.running());
+  cl.sched.run_for(rt::msec(25));
+  EXPECT_TRUE(cl.a.running());
+  EXPECT_EQ(cl.mgr.units_restarted(), 1u);
+}
+
+TEST(RecoveryMgr, DependentsPolicyRestartsClosure) {
+  Cluster cl;
+  cl.mgr.set_policy(rec::RecoveryPolicy::kRestartDependents);
+  cl.mgr.add_dependency("b", "a");  // b depends on a
+  cl.mgr.add_dependency("c", "b");  // c depends on b (transitive)
+  EXPECT_EQ(cl.mgr.notify_failure("a", cl.sched.now()), 3u);
+  EXPECT_FALSE(cl.a.running());
+  EXPECT_FALSE(cl.b.running());
+  EXPECT_FALSE(cl.c.running());
+}
+
+TEST(RecoveryMgr, DependentsPolicyLeavesUnrelatedAlone) {
+  Cluster cl;
+  cl.mgr.set_policy(rec::RecoveryPolicy::kRestartDependents);
+  cl.mgr.add_dependency("b", "a");
+  EXPECT_EQ(cl.mgr.notify_failure("a", cl.sched.now()), 2u);
+  EXPECT_TRUE(cl.c.running());
+}
+
+TEST(RecoveryMgr, FullRestartTakesEverythingDown) {
+  Cluster cl;
+  cl.mgr.set_policy(rec::RecoveryPolicy::kFullRestart);
+  EXPECT_EQ(cl.mgr.notify_failure("a", cl.sched.now()), 3u);
+  EXPECT_FALSE(cl.b.running());
+  cl.sched.run_for(rt::msec(50));
+  EXPECT_TRUE(cl.a.running());
+  EXPECT_TRUE(cl.b.running());
+  EXPECT_TRUE(cl.c.running());
+}
+
+TEST(RecoveryMgr, MessagesDuringRecoveryAreDeliveredAfterFlush) {
+  Cluster cl;
+  cl.mgr.set_policy(rec::RecoveryPolicy::kRestartUnit);
+  cl.mgr.notify_failure("a", cl.sched.now());
+  cl.comm.send("a", msg("m"));
+  cl.comm.send("b", msg("m"));  // neighbour keeps working
+  EXPECT_EQ(cl.b.var_int("count"), 1);
+  cl.sched.run_for(rt::msec(25));  // restart completes; auto-flush
+  EXPECT_EQ(cl.a.var_int("count"), 1);
+}
+
+TEST(RecoveryMgr, UnknownUnitIsNoop) {
+  Cluster cl;
+  EXPECT_EQ(cl.mgr.notify_failure("ghost", 0), 0u);
+  EXPECT_EQ(cl.mgr.recoveries(), 0u);
+}
+
+TEST(RecoveryMgr, PolicyNames) {
+  EXPECT_STREQ(rec::to_string(rec::RecoveryPolicy::kRestartUnit), "restart-unit");
+  EXPECT_STREQ(rec::to_string(rec::RecoveryPolicy::kFullRestart), "full-restart");
+}
+
+// --------------------------------------------------------------- LoadBalancer
+
+namespace {
+
+struct FakeCluster {
+  std::vector<double> loads{1.4, 0.2};
+  double task_load = 0.5;
+  int location = 0;
+  std::vector<int> moves;
+
+  rec::LoadBalancer make(rec::LoadBalancerConfig cfg) {
+    return rec::LoadBalancer(
+        cfg, location, static_cast<int>(loads.size()),
+        [this](int loc) { return loads[static_cast<std::size_t>(loc)]; },
+        [this](int) { return task_load; },
+        [this](int loc) {
+          moves.push_back(loc);
+          loads[static_cast<std::size_t>(location)] -= task_load;
+          loads[static_cast<std::size_t>(loc)] += task_load;
+          location = loc;
+        });
+  }
+};
+
+}  // namespace
+
+TEST(LoadBalancer, MigratesAfterSustainedOverload) {
+  FakeCluster fc;
+  rec::LoadBalancerConfig cfg;
+  cfg.sustain_ticks = 3;
+  auto lb = fc.make(cfg);
+  lb.tick(0);
+  lb.tick(1000);
+  EXPECT_TRUE(fc.moves.empty());  // not sustained yet
+  lb.tick(2000);
+  ASSERT_EQ(fc.moves.size(), 1u);
+  EXPECT_EQ(fc.moves[0], 1);
+  EXPECT_EQ(lb.location(), 1);
+}
+
+TEST(LoadBalancer, TransientOverloadDoesNotMigrate) {
+  FakeCluster fc;
+  rec::LoadBalancerConfig cfg;
+  cfg.sustain_ticks = 3;
+  auto lb = fc.make(cfg);
+  lb.tick(0);
+  fc.loads[0] = 0.5;  // overload vanished
+  lb.tick(1000);
+  fc.loads[0] = 1.4;
+  lb.tick(2000);
+  lb.tick(3000);
+  EXPECT_TRUE(fc.moves.empty());  // streak was broken
+}
+
+TEST(LoadBalancer, RequiresHeadroomAtTarget) {
+  FakeCluster fc;
+  fc.loads = {1.4, 0.9};  // target would exceed headroom with +0.5
+  rec::LoadBalancerConfig cfg;
+  cfg.sustain_ticks = 1;
+  auto lb = fc.make(cfg);
+  for (int i = 0; i < 10; ++i) lb.tick(i * 1000);
+  EXPECT_TRUE(fc.moves.empty());
+}
+
+TEST(LoadBalancer, CooldownPreventsPingPong) {
+  FakeCluster fc;
+  rec::LoadBalancerConfig cfg;
+  cfg.sustain_ticks = 1;
+  cfg.cooldown = rt::sec(10);
+  auto lb = fc.make(cfg);
+  lb.tick(0);
+  ASSERT_EQ(fc.moves.size(), 1u);
+  // New overload at the new location immediately after.
+  fc.loads = {0.2, 1.6};
+  lb.tick(1000);
+  lb.tick(2000);
+  EXPECT_EQ(fc.moves.size(), 1u);  // cooldown holds
+  lb.tick(rt::sec(11));
+  EXPECT_EQ(fc.moves.size(), 2u);
+}
+
+TEST(LoadBalancer, PicksLeastLoadedTarget) {
+  FakeCluster fc;
+  fc.loads = {1.5, 0.4, 0.1};
+  rec::LoadBalancerConfig cfg;
+  cfg.sustain_ticks = 1;
+  auto lb = rec::LoadBalancer(
+      cfg, 0, 3, [&fc](int loc) { return fc.loads[static_cast<std::size_t>(loc)]; },
+      [&fc](int) { return fc.task_load; }, [&fc](int loc) { fc.moves.push_back(loc); });
+  lb.tick(0);
+  ASSERT_EQ(fc.moves.size(), 1u);
+  EXPECT_EQ(fc.moves[0], 2);
+}
+
+// ----------------------------------------------------- AdaptiveArbiter
+
+TEST(AdaptiveArbiter, BoostsStarvingPortThenRestores) {
+  tv::MemoryArbiter arb(100.0);
+  arb.add_port("video", 1);
+  arb.add_port("hog", 3);
+  rec::AdaptiveArbiterConfig cfg;
+  cfg.starvation_ticks_to_boost = 3;
+  cfg.healthy_ticks_to_restore = 2;
+  rec::AdaptiveArbiterController ctrl(arb, "video", cfg);
+
+  // Starve the video port behind the hog.
+  for (int i = 0; i < 3; ++i) {
+    arb.request("hog", 90.0);
+    arb.request("video", 50.0);
+    arb.service();
+    ctrl.tick(i);
+  }
+  EXPECT_TRUE(ctrl.boosted());
+  EXPECT_EQ(arb.priority("video"), cfg.boost_priority);
+
+  // With the boost, video is served fully; after the healthy streak the
+  // base priority returns.
+  for (int i = 3; i < 6; ++i) {
+    arb.request("hog", 90.0);
+    arb.request("video", 50.0);
+    arb.service();
+    ctrl.tick(i);
+  }
+  EXPECT_FALSE(ctrl.boosted());
+  EXPECT_EQ(arb.priority("video"), 1);
+  EXPECT_EQ(ctrl.boosts(), 1u);
+  EXPECT_EQ(ctrl.restores(), 1u);
+}
+
+TEST(AdaptiveArbiter, HealthyPortNeverBoosted) {
+  tv::MemoryArbiter arb(100.0);
+  arb.add_port("video", 3);
+  rec::AdaptiveArbiterController ctrl(arb, "video");
+  for (int i = 0; i < 20; ++i) {
+    arb.request("video", 50.0);
+    arb.service();
+    ctrl.tick(i);
+  }
+  EXPECT_FALSE(ctrl.boosted());
+  EXPECT_EQ(ctrl.boosts(), 0u);
+}
+
+// ------------------------------------------- Recovery integrated with the TV
+
+TEST(RecoveryIntegration, CrashDetectThenPartialRestartHealsTeletext) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  flt::FaultInjector injector(rt::Rng(3));
+  tv::TvSystem set(sched, bus, injector);
+  set.start();
+  set.press(tv::Key::kPower);
+  sched.run_for(rt::msec(200));
+  set.press(tv::Key::kTeletext);
+  sched.run_for(rt::msec(200));
+
+  injector.schedule(flt::FaultSpec{flt::FaultKind::kCrash, "teletext", sched.now(),
+                                   rt::msec(100), 1.0, {}});
+  sched.run_for(rt::msec(150));  // fault window passed, crash latched
+  ASSERT_TRUE(set.crashed().count("teletext"));
+
+  // Partial recovery: restart only the teletext engine.
+  set.restart_component("teletext");
+  sched.run_for(rt::msec(200));
+  EXPECT_FALSE(set.crashed().count("teletext"));
+  EXPECT_EQ(set.teletext().mode(), tv::TeletextEngine::Mode::kVisible);
+  EXPECT_TRUE(set.teletext_content_ok());
+  // The rest of the system never stopped.
+  EXPECT_EQ(set.sound_output(), 30);
+}
+
+TEST(RecoveryIntegration, LoadBalancerImprovesQualityUnderBadSignal) {
+  // E6 shape: bad signal -> error-correction overload -> migration to the
+  // second CPU restores frame production.
+  auto run = [](bool with_lb) {
+    rt::Scheduler sched;
+    rt::EventBus bus;
+    flt::FaultInjector injector(rt::Rng(3));
+    tv::TvConfig config;
+    config.cpu1_capacity = 140.0;  // second media-capable processor (IMEC setup)
+    tv::TvSystem set(sched, bus, injector, config);
+    set.start();
+    set.press(tv::Key::kPower);
+    injector.schedule(flt::FaultSpec{flt::FaultKind::kBadSignal, "tuner", rt::sec(2), 0, 0.55,
+                                     {}});
+    std::unique_ptr<rec::LoadBalancer> lb;
+    if (with_lb) {
+      rec::LoadBalancerConfig cfg;
+      cfg.sustain_ticks = 5;
+      lb = std::make_unique<rec::LoadBalancer>(
+          cfg, 0, 2, [&set](int cpu) { return set.cpu(cpu).load(); },
+          [&set](int cpu) {
+            return set.cpu(set.decoder_cpu()).task_cost("decoder") / set.cpu(cpu).capacity();
+          },
+          [&set](int cpu) { set.set_decoder_cpu(cpu); });
+      sched.schedule_every(rt::msec(20), [&sched, &lb] { lb->tick(sched.now()); });
+    }
+    sched.run_until(rt::sec(10));
+    return set.stats().drop_rate();
+  };
+  const double drop_without = run(false);
+  const double drop_with = run(true);
+  EXPECT_LT(drop_with, drop_without);
+}

@@ -1,0 +1,564 @@
+// Tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/channel.hpp"
+#include "runtime/event.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace rt = trader::runtime;
+
+// ------------------------------------------------------------------- SimTime
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_EQ(rt::usec(5), 5);
+  EXPECT_EQ(rt::msec(5), 5000);
+  EXPECT_EQ(rt::sec(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(rt::to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(rt::to_sec(2'500'000), 2.5);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  rt::Rng a(42);
+  rt::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rt::Rng a(1);
+  rt::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rt::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  rt::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  rt::Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  rt::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  rt::Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  rt::Rng rng(13);
+  rt::StatAccumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  rt::Rng rng(17);
+  rt::StatAccumulator acc;
+  for (int i = 0; i < 30000; ++i) acc.add(rng.exponential(5.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.25);
+}
+
+TEST(Rng, ForkIsIndependentOfLaterParentUse) {
+  rt::Rng parent1(5);
+  rt::Rng parent2(5);
+  rt::Rng child1 = parent1.fork();
+  rt::Rng child2 = parent2.fork();
+  // Children from identically seeded parents agree.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // And differ from the parent stream.
+  EXPECT_NE(parent1.next_u64(), child1.next_u64());
+}
+
+// -------------------------------------------------------------------- Values
+
+TEST(Value, ToStringRendersAllAlternatives) {
+  EXPECT_EQ(rt::to_string(rt::Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(rt::to_string(rt::Value{std::string("hi")}), "hi");
+  EXPECT_EQ(rt::to_string(rt::Value{true}), "true");
+  EXPECT_EQ(rt::to_string(rt::Value{false}), "false");
+}
+
+TEST(Value, NumericDeviation) {
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{std::int64_t{10}}, rt::Value{std::int64_t{4}}), 6.0);
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{2.5}, rt::Value{std::int64_t{2}}), 0.5);
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{true}, rt::Value{false}), 1.0);
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{true}, rt::Value{std::int64_t{1}}), 0.0);
+}
+
+TEST(Value, StringDeviationIsCategorical) {
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{std::string("a")}, rt::Value{std::string("a")}), 0.0);
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{std::string("a")}, rt::Value{std::string("b")}), 1.0);
+}
+
+TEST(Value, MismatchedCategoriesAreMaximallyDeviant) {
+  EXPECT_DOUBLE_EQ(rt::deviation(rt::Value{std::string("a")}, rt::Value{std::int64_t{1}}), 1.0);
+}
+
+TEST(Value, BothNumeric) {
+  EXPECT_TRUE(rt::both_numeric(rt::Value{std::int64_t{1}}, rt::Value{2.0}));
+  EXPECT_TRUE(rt::both_numeric(rt::Value{true}, rt::Value{1.5}));
+  EXPECT_FALSE(rt::both_numeric(rt::Value{std::string("x")}, rt::Value{1.5}));
+}
+
+TEST(Event, FieldAccessors) {
+  rt::Event ev;
+  ev.topic = "t";
+  ev.name = "n";
+  ev.fields["i"] = std::int64_t{7};
+  ev.fields["d"] = 2.5;
+  ev.fields["s"] = std::string("str");
+  ev.fields["b"] = true;
+  EXPECT_EQ(ev.int_field("i"), 7);
+  EXPECT_EQ(ev.int_field("d"), 2);
+  EXPECT_EQ(ev.int_field("b"), 1);
+  EXPECT_EQ(ev.int_field("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(ev.num_field("d"), 2.5);
+  EXPECT_DOUBLE_EQ(ev.num_field("i"), 7.0);
+  EXPECT_EQ(ev.str_field("s"), "str");
+  EXPECT_EQ(ev.str_field("i", "dflt"), "dflt");
+  EXPECT_FALSE(ev.field("nope").has_value());
+  EXPECT_TRUE(ev.field("i").has_value());
+}
+
+TEST(Event, DescribeMentionsTopicNameAndFields) {
+  rt::Event ev;
+  ev.topic = "tv.output";
+  ev.name = "volume";
+  ev.fields["value"] = std::int64_t{30};
+  ev.timestamp = 123;
+  const std::string d = ev.describe();
+  EXPECT_NE(d.find("tv.output"), std::string::npos);
+  EXPECT_NE(d.find("volume"), std::string::npos);
+  EXPECT_NE(d.find("30"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Scheduler
+
+TEST(Scheduler, RunsCallbacksInTimeOrder) {
+  rt::Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(300, [&] { order.push_back(3); });
+  sched.schedule_at(100, [&] { order.push_back(1); });
+  sched.schedule_at(200, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 300);
+}
+
+TEST(Scheduler, FifoForSameTimestamp) {
+  rt::Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  rt::Scheduler sched;
+  rt::SimTime seen = -1;
+  sched.schedule_at(100, [&] {
+    sched.schedule_after(50, [&] { seen = sched.now(); });
+  });
+  sched.run_all();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  rt::Scheduler sched;
+  sched.run_until(1000);
+  rt::SimTime seen = -1;
+  sched.schedule_at(10, [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(seen, 1000);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  rt::Scheduler sched;
+  int count = 0;
+  sched.schedule_at(100, [&] { ++count; });
+  sched.schedule_at(200, [&] { ++count; });
+  sched.schedule_at(201, [&] { ++count; });
+  sched.run_until(200);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), 200);
+  sched.run_until(300);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  rt::Scheduler sched;
+  int count = 0;
+  auto h = sched.schedule_at(100, [&] { ++count; });
+  sched.cancel(h);
+  sched.run_all();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Scheduler, CancelTwiceIsSafe) {
+  rt::Scheduler sched;
+  auto h = sched.schedule_at(100, [] {});
+  sched.cancel(h);
+  sched.cancel(h);
+  sched.run_all();
+  SUCCEED();
+}
+
+TEST(Scheduler, PeriodicFiresRepeatedly) {
+  rt::Scheduler sched;
+  std::vector<rt::SimTime> fires;
+  sched.schedule_every(100, [&] { fires.push_back(sched.now()); });
+  sched.run_until(450);
+  EXPECT_EQ(fires, (std::vector<rt::SimTime>{100, 200, 300, 400}));
+}
+
+TEST(Scheduler, PeriodicCancelStopsFutureFires) {
+  rt::Scheduler sched;
+  int count = 0;
+  rt::TaskHandle h = sched.schedule_every(100, [&] { ++count; });
+  sched.run_until(250);
+  EXPECT_EQ(count, 2);
+  sched.cancel(h);
+  sched.run_until(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, PeriodicCanCancelItself) {
+  rt::Scheduler sched;
+  int count = 0;
+  rt::TaskHandle h;
+  h = sched.schedule_every(100, [&] {
+    ++count;
+    if (count == 3) sched.cancel(h);
+  });
+  sched.run_until(2000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  rt::Scheduler sched;
+  EXPECT_FALSE(sched.step());
+  sched.schedule_at(10, [] {});
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(Scheduler, ExecutedCounterCounts) {
+  rt::Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.schedule_at(i, [] {});
+  sched.run_all();
+  EXPECT_EQ(sched.executed(), 7u);
+}
+
+TEST(Scheduler, NestedSchedulingWithinCallback) {
+  rt::Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10, [&] {
+    order.push_back(1);
+    sched.schedule_at(10, [&] { order.push_back(2); });  // same instant
+  });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ------------------------------------------------------------------- EventBus
+
+TEST(EventBus, DeliversToMatchingTopic) {
+  rt::EventBus bus;
+  int count = 0;
+  bus.subscribe("a", [&](const rt::Event&) { ++count; });
+  rt::Event ev;
+  ev.topic = "a";
+  bus.publish(ev);
+  ev.topic = "b";
+  bus.publish(ev);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, WildcardSubscriberSeesEverything) {
+  rt::EventBus bus;
+  int count = 0;
+  bus.subscribe("", [&](const rt::Event&) { ++count; });
+  rt::Event ev;
+  ev.topic = "x";
+  bus.publish(ev);
+  ev.topic = "y";
+  bus.publish(ev);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventBus, TopicSubscribersBeforeWildcard) {
+  rt::EventBus bus;
+  std::vector<std::string> order;
+  bus.subscribe("", [&](const rt::Event&) { order.push_back("wild"); });
+  bus.subscribe("t", [&](const rt::Event&) { order.push_back("topic"); });
+  rt::Event ev;
+  ev.topic = "t";
+  bus.publish(ev);
+  EXPECT_EQ(order, (std::vector<std::string>{"topic", "wild"}));
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  rt::EventBus bus;
+  int count = 0;
+  auto sub = bus.subscribe("a", [&](const rt::Event&) { ++count; });
+  rt::Event ev;
+  ev.topic = "a";
+  bus.publish(ev);
+  bus.unsubscribe(sub);
+  bus.publish(ev);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, HandlerMaySubscribeDuringDelivery) {
+  rt::EventBus bus;
+  int late = 0;
+  bus.subscribe("a", [&](const rt::Event&) {
+    bus.subscribe("a", [&](const rt::Event&) { ++late; });
+  });
+  rt::Event ev;
+  ev.topic = "a";
+  bus.publish(ev);  // must not deliver to the handler added mid-publish
+  EXPECT_EQ(late, 0);
+  bus.publish(ev);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(EventBus, CountsPublishesAndSubscribers) {
+  rt::EventBus bus;
+  auto s1 = bus.subscribe("a", [](const rt::Event&) {});
+  bus.subscribe("b", [](const rt::Event&) {});
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+  bus.unsubscribe(s1);
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+  rt::Event ev;
+  ev.topic = "a";
+  bus.publish(ev);
+  bus.publish(ev);
+  EXPECT_EQ(bus.published(), 2u);
+}
+
+// ------------------------------------------------------------- LatencyChannel
+
+TEST(LatencyChannel, DelaysByBaseLatency) {
+  rt::Scheduler sched;
+  std::vector<rt::SimTime> deliveries;
+  rt::ChannelConfig cfg;
+  cfg.base_latency = 500;
+  rt::LatencyChannel ch(sched, rt::Rng(1), cfg,
+                        [&](const rt::Event& ev) { deliveries.push_back(ev.timestamp); });
+  rt::Event ev;
+  ch.send(ev);
+  sched.run_all();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 500);
+}
+
+TEST(LatencyChannel, JitterStaysWithinBounds) {
+  rt::Scheduler sched;
+  std::vector<rt::SimTime> deliveries;
+  rt::ChannelConfig cfg;
+  cfg.base_latency = 100;
+  cfg.jitter = 400;
+  cfg.preserve_order = false;
+  rt::LatencyChannel ch(sched, rt::Rng(2), cfg,
+                        [&](const rt::Event& ev) { deliveries.push_back(ev.timestamp); });
+  rt::Event ev;
+  for (int i = 0; i < 200; ++i) ch.send(ev);
+  sched.run_all();
+  ASSERT_EQ(deliveries.size(), 200u);
+  for (auto t : deliveries) {
+    EXPECT_GE(t, 100);
+    EXPECT_LE(t, 500);
+  }
+}
+
+TEST(LatencyChannel, PreservesFifoUnderJitter) {
+  rt::Scheduler sched;
+  std::vector<int> order;
+  rt::ChannelConfig cfg;
+  cfg.base_latency = 100;
+  cfg.jitter = 1000;
+  cfg.preserve_order = true;
+  rt::LatencyChannel ch(sched, rt::Rng(3), cfg, [&](const rt::Event& ev) {
+    order.push_back(static_cast<int>(ev.int_field("seq")));
+  });
+  for (int i = 0; i < 50; ++i) {
+    rt::Event ev;
+    ev.fields["seq"] = std::int64_t{i};
+    ch.send(ev);
+    sched.run_for(10);
+  }
+  sched.run_all();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(LatencyChannel, DropsPerProbability) {
+  rt::Scheduler sched;
+  int delivered = 0;
+  rt::ChannelConfig cfg;
+  cfg.drop_probability = 1.0;
+  rt::LatencyChannel ch(sched, rt::Rng(4), cfg, [&](const rt::Event&) { ++delivered; });
+  rt::Event ev;
+  for (int i = 0; i < 10; ++i) ch.send(ev);
+  sched.run_all();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ch.dropped(), 10u);
+  EXPECT_EQ(ch.sent(), 10u);
+}
+
+TEST(LatencyChannel, CountersTrackDelivery) {
+  rt::Scheduler sched;
+  rt::ChannelConfig cfg;
+  rt::LatencyChannel ch(sched, rt::Rng(5), cfg, [](const rt::Event&) {});
+  rt::Event ev;
+  ch.send(ev);
+  ch.send(ev);
+  sched.run_all();
+  EXPECT_EQ(ch.sent(), 2u);
+  EXPECT_EQ(ch.delivered(), 2u);
+  EXPECT_EQ(ch.dropped(), 0u);
+}
+
+TEST(LatencyChannel, ReconfigurableMidRun) {
+  rt::Scheduler sched;
+  std::vector<rt::SimTime> deliveries;
+  rt::ChannelConfig cfg;
+  cfg.base_latency = 100;
+  rt::LatencyChannel ch(sched, rt::Rng(6), cfg,
+                        [&](const rt::Event& ev) { deliveries.push_back(ev.timestamp); });
+  rt::Event ev;
+  ch.send(ev);
+  sched.run_all();
+  cfg.base_latency = 900;
+  ch.set_config(cfg);
+  ch.send(ev);
+  sched.run_all();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 100);
+  EXPECT_EQ(deliveries[1], 100 + 900);
+}
+
+// ------------------------------------------------------------------- TraceLog
+
+TEST(TraceLog, StoresAndQueries) {
+  rt::TraceLog log;
+  log.log(10, rt::TraceLevel::kInfo, "a", "hello");
+  log.log(20, rt::TraceLevel::kError, "b", "bad");
+  log.log(30, rt::TraceLevel::kWarning, "a", "warn");
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.count_component("a"), 2u);
+  EXPECT_EQ(log.count_at_least(rt::TraceLevel::kWarning), 2u);
+  const auto errors =
+      log.query([](const rt::TraceRecord& r) { return r.level == rt::TraceLevel::kError; });
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].message, "bad");
+}
+
+TEST(TraceLog, EvictsBeyondCapacityButCountsTotal) {
+  rt::TraceLog log(4);
+  for (int i = 0; i < 10; ++i) log.log(i, rt::TraceLevel::kDebug, "c", "m");
+  EXPECT_EQ(log.records().size(), 4u);
+  EXPECT_EQ(log.total_logged(), 10u);
+  EXPECT_EQ(log.records().front().time, 6);
+}
+
+TEST(TraceLog, LevelNames) {
+  EXPECT_STREQ(rt::to_string(rt::TraceLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(rt::to_string(rt::TraceLevel::kError), "ERROR");
+}
+
+// ---------------------------------------------------------------------- Stats
+
+TEST(Stats, AccumulatorBasics) {
+  rt::StatAccumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  rt::StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  rt::PercentileAccumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_NEAR(acc.median(), 50.5, 1e-9);
+  EXPECT_NEAR(acc.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(acc.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(acc.percentile(95), 95.05, 0.2);
+}
+
+TEST(Stats, PercentileOfEmptyIsZero) {
+  rt::PercentileAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
+}
+
+TEST(Stats, PercentileAfterLateAdd) {
+  rt::PercentileAccumulator acc;
+  acc.add(10.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 10.0);
+  acc.add(20.0);
+  EXPECT_DOUBLE_EQ(acc.median(), 15.0);
+}
