@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mediaplayer.dir/bench_mediaplayer.cpp.o"
+  "CMakeFiles/bench_mediaplayer.dir/bench_mediaplayer.cpp.o.d"
+  "bench_mediaplayer"
+  "bench_mediaplayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mediaplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

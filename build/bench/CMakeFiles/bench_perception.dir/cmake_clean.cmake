@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perception.dir/bench_perception.cpp.o"
+  "CMakeFiles/bench_perception.dir/bench_perception.cpp.o.d"
+  "bench_perception"
+  "bench_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_printer.dir/bench_printer.cpp.o"
+  "CMakeFiles/bench_printer.dir/bench_printer.cpp.o.d"
+  "bench_printer"
+  "bench_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

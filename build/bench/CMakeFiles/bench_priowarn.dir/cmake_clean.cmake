@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priowarn.dir/bench_priowarn.cpp.o"
+  "CMakeFiles/bench_priowarn.dir/bench_priowarn.cpp.o.d"
+  "bench_priowarn"
+  "bench_priowarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priowarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escalating_recovery.dir/escalating_recovery.cpp.o"
+  "CMakeFiles/escalating_recovery.dir/escalating_recovery.cpp.o.d"
+  "escalating_recovery"
+  "escalating_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escalating_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediaplayer_awareness.dir/mediaplayer_awareness.cpp.o"
+  "CMakeFiles/mediaplayer_awareness.dir/mediaplayer_awareness.cpp.o.d"
+  "mediaplayer_awareness"
+  "mediaplayer_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediaplayer_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_awareness.dir/printer_awareness.cpp.o"
+  "CMakeFiles/printer_awareness.dir/printer_awareness.cpp.o.d"
+  "printer_awareness"
+  "printer_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_and_perception.dir/stress_and_perception.cpp.o"
+  "CMakeFiles/stress_and_perception.dir/stress_and_perception.cpp.o.d"
+  "stress_and_perception"
+  "stress_and_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_and_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teletext_diagnosis.dir/teletext_diagnosis.cpp.o"
+  "CMakeFiles/teletext_diagnosis.dir/teletext_diagnosis.cpp.o.d"
+  "teletext_diagnosis"
+  "teletext_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teletext_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

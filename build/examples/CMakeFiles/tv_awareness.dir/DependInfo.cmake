@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tv_awareness.cpp" "examples/CMakeFiles/tv_awareness.dir/tv_awareness.cpp.o" "gcc" "examples/CMakeFiles/tv_awareness.dir/tv_awareness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/trader_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/trader_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/trader_detection.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/trader_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/trader_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trader_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/trader_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/devtime/CMakeFiles/trader_devtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediaplayer/CMakeFiles/trader_mediaplayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/printer/CMakeFiles/trader_printer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_awareness.dir/tv_awareness.cpp.o"
+  "CMakeFiles/tv_awareness.dir/tv_awareness.cpp.o.d"
+  "tv_awareness"
+  "tv_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

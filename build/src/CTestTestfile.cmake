@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("runtime")
+subdirs("statemachine")
+subdirs("observation")
+subdirs("faults")
+subdirs("tv")
+subdirs("detection")
+subdirs("diagnosis")
+subdirs("recovery")
+subdirs("core")
+subdirs("perception")
+subdirs("devtime")
+subdirs("mediaplayer")
+subdirs("printer")

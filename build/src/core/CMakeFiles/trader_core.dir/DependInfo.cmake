@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparator.cpp" "src/core/CMakeFiles/trader_core.dir/comparator.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/comparator.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/trader_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/trader_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/model_executor.cpp" "src/core/CMakeFiles/trader_core.dir/model_executor.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/model_executor.cpp.o.d"
+  "/root/repo/src/core/model_impl.cpp" "src/core/CMakeFiles/trader_core.dir/model_impl.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/model_impl.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/trader_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/observers.cpp" "src/core/CMakeFiles/trader_core.dir/observers.cpp.o" "gcc" "src/core/CMakeFiles/trader_core.dir/observers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_core.dir/comparator.cpp.o"
+  "CMakeFiles/trader_core.dir/comparator.cpp.o.d"
+  "CMakeFiles/trader_core.dir/configuration.cpp.o"
+  "CMakeFiles/trader_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/trader_core.dir/fleet.cpp.o"
+  "CMakeFiles/trader_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/trader_core.dir/model_executor.cpp.o"
+  "CMakeFiles/trader_core.dir/model_executor.cpp.o.d"
+  "CMakeFiles/trader_core.dir/model_impl.cpp.o"
+  "CMakeFiles/trader_core.dir/model_impl.cpp.o.d"
+  "CMakeFiles/trader_core.dir/monitor.cpp.o"
+  "CMakeFiles/trader_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/trader_core.dir/observers.cpp.o"
+  "CMakeFiles/trader_core.dir/observers.cpp.o.d"
+  "libtrader_core.a"
+  "libtrader_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

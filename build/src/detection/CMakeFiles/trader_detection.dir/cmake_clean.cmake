@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_detection.dir/detectors.cpp.o"
+  "CMakeFiles/trader_detection.dir/detectors.cpp.o.d"
+  "CMakeFiles/trader_detection.dir/response_time.cpp.o"
+  "CMakeFiles/trader_detection.dir/response_time.cpp.o.d"
+  "libtrader_detection.a"
+  "libtrader_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

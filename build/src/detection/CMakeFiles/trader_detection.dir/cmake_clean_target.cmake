@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrader_detection.a"
+)

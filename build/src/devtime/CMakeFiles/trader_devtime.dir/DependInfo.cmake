@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devtime/eaters.cpp" "src/devtime/CMakeFiles/trader_devtime.dir/eaters.cpp.o" "gcc" "src/devtime/CMakeFiles/trader_devtime.dir/eaters.cpp.o.d"
+  "/root/repo/src/devtime/fmea.cpp" "src/devtime/CMakeFiles/trader_devtime.dir/fmea.cpp.o" "gcc" "src/devtime/CMakeFiles/trader_devtime.dir/fmea.cpp.o.d"
+  "/root/repo/src/devtime/priowarn.cpp" "src/devtime/CMakeFiles/trader_devtime.dir/priowarn.cpp.o" "gcc" "src/devtime/CMakeFiles/trader_devtime.dir/priowarn.cpp.o.d"
+  "/root/repo/src/devtime/stress.cpp" "src/devtime/CMakeFiles/trader_devtime.dir/stress.cpp.o" "gcc" "src/devtime/CMakeFiles/trader_devtime.dir/stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/trader_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/trader_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/trader_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_devtime.dir/eaters.cpp.o"
+  "CMakeFiles/trader_devtime.dir/eaters.cpp.o.d"
+  "CMakeFiles/trader_devtime.dir/fmea.cpp.o"
+  "CMakeFiles/trader_devtime.dir/fmea.cpp.o.d"
+  "CMakeFiles/trader_devtime.dir/priowarn.cpp.o"
+  "CMakeFiles/trader_devtime.dir/priowarn.cpp.o.d"
+  "CMakeFiles/trader_devtime.dir/stress.cpp.o"
+  "CMakeFiles/trader_devtime.dir/stress.cpp.o.d"
+  "libtrader_devtime.a"
+  "libtrader_devtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_devtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

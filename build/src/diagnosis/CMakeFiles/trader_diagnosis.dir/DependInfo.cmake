@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/component_ranker.cpp" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/component_ranker.cpp.o" "gcc" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/component_ranker.cpp.o.d"
+  "/root/repo/src/diagnosis/spectrum.cpp" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/spectrum.cpp.o" "gcc" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/spectrum.cpp.o.d"
+  "/root/repo/src/diagnosis/synthetic_program.cpp" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/synthetic_program.cpp.o" "gcc" "src/diagnosis/CMakeFiles/trader_diagnosis.dir/synthetic_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_diagnosis.dir/component_ranker.cpp.o"
+  "CMakeFiles/trader_diagnosis.dir/component_ranker.cpp.o.d"
+  "CMakeFiles/trader_diagnosis.dir/spectrum.cpp.o"
+  "CMakeFiles/trader_diagnosis.dir/spectrum.cpp.o.d"
+  "CMakeFiles/trader_diagnosis.dir/synthetic_program.cpp.o"
+  "CMakeFiles/trader_diagnosis.dir/synthetic_program.cpp.o.d"
+  "libtrader_diagnosis.a"
+  "libtrader_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

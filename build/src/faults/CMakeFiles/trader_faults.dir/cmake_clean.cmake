@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_faults.dir/fault.cpp.o"
+  "CMakeFiles/trader_faults.dir/fault.cpp.o.d"
+  "CMakeFiles/trader_faults.dir/injector.cpp.o"
+  "CMakeFiles/trader_faults.dir/injector.cpp.o.d"
+  "libtrader_faults.a"
+  "libtrader_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_mediaplayer.dir/player.cpp.o"
+  "CMakeFiles/trader_mediaplayer.dir/player.cpp.o.d"
+  "libtrader_mediaplayer.a"
+  "libtrader_mediaplayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_mediaplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

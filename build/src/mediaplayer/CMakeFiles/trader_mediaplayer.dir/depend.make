@@ -1,0 +1,2 @@
+# Empty dependencies file for trader_mediaplayer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/observation/aspect.cpp" "src/observation/CMakeFiles/trader_observation.dir/aspect.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/aspect.cpp.o.d"
+  "/root/repo/src/observation/call_stack.cpp" "src/observation/CMakeFiles/trader_observation.dir/call_stack.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/call_stack.cpp.o.d"
+  "/root/repo/src/observation/coverage.cpp" "src/observation/CMakeFiles/trader_observation.dir/coverage.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/coverage.cpp.o.d"
+  "/root/repo/src/observation/probes.cpp" "src/observation/CMakeFiles/trader_observation.dir/probes.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/probes.cpp.o.d"
+  "/root/repo/src/observation/resource_monitor.cpp" "src/observation/CMakeFiles/trader_observation.dir/resource_monitor.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/observation/scenario.cpp" "src/observation/CMakeFiles/trader_observation.dir/scenario.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/scenario.cpp.o.d"
+  "/root/repo/src/observation/soc_trace.cpp" "src/observation/CMakeFiles/trader_observation.dir/soc_trace.cpp.o" "gcc" "src/observation/CMakeFiles/trader_observation.dir/soc_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

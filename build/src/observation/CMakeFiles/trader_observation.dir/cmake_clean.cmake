@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_observation.dir/aspect.cpp.o"
+  "CMakeFiles/trader_observation.dir/aspect.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/call_stack.cpp.o"
+  "CMakeFiles/trader_observation.dir/call_stack.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/coverage.cpp.o"
+  "CMakeFiles/trader_observation.dir/coverage.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/probes.cpp.o"
+  "CMakeFiles/trader_observation.dir/probes.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/resource_monitor.cpp.o"
+  "CMakeFiles/trader_observation.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/scenario.cpp.o"
+  "CMakeFiles/trader_observation.dir/scenario.cpp.o.d"
+  "CMakeFiles/trader_observation.dir/soc_trace.cpp.o"
+  "CMakeFiles/trader_observation.dir/soc_trace.cpp.o.d"
+  "libtrader_observation.a"
+  "libtrader_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

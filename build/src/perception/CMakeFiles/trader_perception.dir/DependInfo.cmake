@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/impact.cpp" "src/perception/CMakeFiles/trader_perception.dir/impact.cpp.o" "gcc" "src/perception/CMakeFiles/trader_perception.dir/impact.cpp.o.d"
+  "/root/repo/src/perception/perception.cpp" "src/perception/CMakeFiles/trader_perception.dir/perception.cpp.o" "gcc" "src/perception/CMakeFiles/trader_perception.dir/perception.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trader_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_perception.dir/impact.cpp.o"
+  "CMakeFiles/trader_perception.dir/impact.cpp.o.d"
+  "CMakeFiles/trader_perception.dir/perception.cpp.o"
+  "CMakeFiles/trader_perception.dir/perception.cpp.o.d"
+  "libtrader_perception.a"
+  "libtrader_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/printer/printer.cpp" "src/printer/CMakeFiles/trader_printer.dir/printer.cpp.o" "gcc" "src/printer/CMakeFiles/trader_printer.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/trader_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/trader_detection.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

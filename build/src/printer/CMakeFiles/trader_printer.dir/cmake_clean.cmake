@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_printer.dir/printer.cpp.o"
+  "CMakeFiles/trader_printer.dir/printer.cpp.o.d"
+  "libtrader_printer.a"
+  "libtrader_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

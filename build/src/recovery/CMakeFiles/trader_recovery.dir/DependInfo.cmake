@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/adaptive_arbiter.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/adaptive_arbiter.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/adaptive_arbiter.cpp.o.d"
+  "/root/repo/src/recovery/escalation.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/escalation.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/escalation.cpp.o.d"
+  "/root/repo/src/recovery/ft_lib.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/ft_lib.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/ft_lib.cpp.o.d"
+  "/root/repo/src/recovery/load_balancer.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/load_balancer.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/recovery/managers.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/managers.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/managers.cpp.o.d"
+  "/root/repo/src/recovery/recoverable_unit.cpp" "src/recovery/CMakeFiles/trader_recovery.dir/recoverable_unit.cpp.o" "gcc" "src/recovery/CMakeFiles/trader_recovery.dir/recoverable_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/trader_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/trader_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

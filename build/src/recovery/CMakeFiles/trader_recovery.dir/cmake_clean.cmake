@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_recovery.dir/adaptive_arbiter.cpp.o"
+  "CMakeFiles/trader_recovery.dir/adaptive_arbiter.cpp.o.d"
+  "CMakeFiles/trader_recovery.dir/escalation.cpp.o"
+  "CMakeFiles/trader_recovery.dir/escalation.cpp.o.d"
+  "CMakeFiles/trader_recovery.dir/ft_lib.cpp.o"
+  "CMakeFiles/trader_recovery.dir/ft_lib.cpp.o.d"
+  "CMakeFiles/trader_recovery.dir/load_balancer.cpp.o"
+  "CMakeFiles/trader_recovery.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/trader_recovery.dir/managers.cpp.o"
+  "CMakeFiles/trader_recovery.dir/managers.cpp.o.d"
+  "CMakeFiles/trader_recovery.dir/recoverable_unit.cpp.o"
+  "CMakeFiles/trader_recovery.dir/recoverable_unit.cpp.o.d"
+  "libtrader_recovery.a"
+  "libtrader_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/channel.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/channel.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/channel.cpp.o.d"
+  "/root/repo/src/runtime/event.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/event.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/event.cpp.o.d"
+  "/root/repo/src/runtime/event_bus.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/event_bus.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/event_bus.cpp.o.d"
+  "/root/repo/src/runtime/rng.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/rng.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/rng.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/trace_log.cpp" "src/runtime/CMakeFiles/trader_runtime.dir/trace_log.cpp.o" "gcc" "src/runtime/CMakeFiles/trader_runtime.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

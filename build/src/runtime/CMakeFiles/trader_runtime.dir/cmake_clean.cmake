@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_runtime.dir/channel.cpp.o"
+  "CMakeFiles/trader_runtime.dir/channel.cpp.o.d"
+  "CMakeFiles/trader_runtime.dir/event.cpp.o"
+  "CMakeFiles/trader_runtime.dir/event.cpp.o.d"
+  "CMakeFiles/trader_runtime.dir/event_bus.cpp.o"
+  "CMakeFiles/trader_runtime.dir/event_bus.cpp.o.d"
+  "CMakeFiles/trader_runtime.dir/rng.cpp.o"
+  "CMakeFiles/trader_runtime.dir/rng.cpp.o.d"
+  "CMakeFiles/trader_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/trader_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/trader_runtime.dir/trace_log.cpp.o"
+  "CMakeFiles/trader_runtime.dir/trace_log.cpp.o.d"
+  "libtrader_runtime.a"
+  "libtrader_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

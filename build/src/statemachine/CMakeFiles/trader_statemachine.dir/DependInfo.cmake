@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statemachine/checker.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/checker.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/checker.cpp.o.d"
+  "/root/repo/src/statemachine/compiled.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/compiled.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/compiled.cpp.o.d"
+  "/root/repo/src/statemachine/context.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/context.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/context.cpp.o.d"
+  "/root/repo/src/statemachine/definition.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/definition.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/definition.cpp.o.d"
+  "/root/repo/src/statemachine/dot_export.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/dot_export.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/dot_export.cpp.o.d"
+  "/root/repo/src/statemachine/explorer.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/explorer.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/explorer.cpp.o.d"
+  "/root/repo/src/statemachine/machine.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/machine.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/machine.cpp.o.d"
+  "/root/repo/src/statemachine/machine_set.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/machine_set.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/machine_set.cpp.o.d"
+  "/root/repo/src/statemachine/test_script.cpp" "src/statemachine/CMakeFiles/trader_statemachine.dir/test_script.cpp.o" "gcc" "src/statemachine/CMakeFiles/trader_statemachine.dir/test_script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

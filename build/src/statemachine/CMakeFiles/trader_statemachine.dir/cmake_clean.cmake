@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_statemachine.dir/checker.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/checker.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/compiled.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/compiled.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/context.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/context.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/definition.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/definition.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/dot_export.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/dot_export.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/explorer.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/explorer.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/machine.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/machine.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/machine_set.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/machine_set.cpp.o.d"
+  "CMakeFiles/trader_statemachine.dir/test_script.cpp.o"
+  "CMakeFiles/trader_statemachine.dir/test_script.cpp.o.d"
+  "libtrader_statemachine.a"
+  "libtrader_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trader_statemachine.
+# This may be replaced when dependencies are built.

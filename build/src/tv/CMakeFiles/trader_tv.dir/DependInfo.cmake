@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tv/components.cpp" "src/tv/CMakeFiles/trader_tv.dir/components.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/components.cpp.o.d"
+  "/root/repo/src/tv/control.cpp" "src/tv/CMakeFiles/trader_tv.dir/control.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/control.cpp.o.d"
+  "/root/repo/src/tv/keys.cpp" "src/tv/CMakeFiles/trader_tv.dir/keys.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/keys.cpp.o.d"
+  "/root/repo/src/tv/signal.cpp" "src/tv/CMakeFiles/trader_tv.dir/signal.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/signal.cpp.o.d"
+  "/root/repo/src/tv/soc.cpp" "src/tv/CMakeFiles/trader_tv.dir/soc.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/soc.cpp.o.d"
+  "/root/repo/src/tv/spec_model.cpp" "src/tv/CMakeFiles/trader_tv.dir/spec_model.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/spec_model.cpp.o.d"
+  "/root/repo/src/tv/tv_system.cpp" "src/tv/CMakeFiles/trader_tv.dir/tv_system.cpp.o" "gcc" "src/tv/CMakeFiles/trader_tv.dir/tv_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/trader_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/trader_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/observation/CMakeFiles/trader_observation.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/trader_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader_tv.dir/components.cpp.o"
+  "CMakeFiles/trader_tv.dir/components.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/control.cpp.o"
+  "CMakeFiles/trader_tv.dir/control.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/keys.cpp.o"
+  "CMakeFiles/trader_tv.dir/keys.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/signal.cpp.o"
+  "CMakeFiles/trader_tv.dir/signal.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/soc.cpp.o"
+  "CMakeFiles/trader_tv.dir/soc.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/spec_model.cpp.o"
+  "CMakeFiles/trader_tv.dir/spec_model.cpp.o.d"
+  "CMakeFiles/trader_tv.dir/tv_system.cpp.o"
+  "CMakeFiles/trader_tv.dir/tv_system.cpp.o.d"
+  "libtrader_tv.a"
+  "libtrader_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

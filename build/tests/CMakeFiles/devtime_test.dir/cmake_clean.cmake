@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devtime_test.dir/devtime_test.cpp.o"
+  "CMakeFiles/devtime_test.dir/devtime_test.cpp.o.d"
+  "devtime_test"
+  "devtime_test.pdb"
+  "devtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_lib_test.dir/ft_lib_test.cpp.o"
+  "CMakeFiles/ft_lib_test.dir/ft_lib_test.cpp.o.d"
+  "ft_lib_test"
+  "ft_lib_test.pdb"
+  "ft_lib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_lib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_set_test.dir/machine_set_test.cpp.o"
+  "CMakeFiles/machine_set_test.dir/machine_set_test.cpp.o.d"
+  "machine_set_test"
+  "machine_set_test.pdb"
+  "machine_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

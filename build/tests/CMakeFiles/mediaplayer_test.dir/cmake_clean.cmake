@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediaplayer_test.dir/mediaplayer_test.cpp.o"
+  "CMakeFiles/mediaplayer_test.dir/mediaplayer_test.cpp.o.d"
+  "mediaplayer_test"
+  "mediaplayer_test.pdb"
+  "mediaplayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediaplayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_model_test.dir/spec_model_test.cpp.o"
+  "CMakeFiles/spec_model_test.dir/spec_model_test.cpp.o.d"
+  "spec_model_test"
+  "spec_model_test.pdb"
+  "spec_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_soak_test.dir/system_soak_test.cpp.o"
+  "CMakeFiles/system_soak_test.dir/system_soak_test.cpp.o.d"
+  "system_soak_test"
+  "system_soak_test.pdb"
+  "system_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/statemachine_test[1]_include.cmake")
+include("/root/repo/build/tests/tv_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/detection_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnosis_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/perception_test[1]_include.cmake")
+include("/root/repo/build/tests/devtime_test[1]_include.cmake")
+include("/root/repo/build/tests/mediaplayer_test[1]_include.cmake")
+include("/root/repo/build/tests/observation_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_set_test[1]_include.cmake")
+include("/root/repo/build/tests/ft_lib_test[1]_include.cmake")
+include("/root/repo/build/tests/source_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/system_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/impact_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
