@@ -14,7 +14,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
@@ -36,25 +36,19 @@ namespace {
 struct Harness {
   Harness(bool compiled_model, std::uint64_t seed)
       : injector(rt::Rng(seed)), set(sched, bus, injector, make_tv_config(seed)) {
-    core::AwarenessMonitor::Params params;
-    params.config.comparison_period = rt::msec(20);
-    params.config.startup_grace = rt::msec(100);
-    params.config.input_channel.base_latency = rt::usec(300);
-    params.config.output_channel.base_latency = rt::usec(300);
-    for (const char* name : {"sound_level", "screen_state", "channel", "powered", "source"}) {
-      core::ObservableConfig oc;
-      oc.name = name;
-      oc.max_consecutive = 3;
-      params.config.observables.push_back(oc);
-    }
-    std::unique_ptr<core::IModelImpl> model;
+    core::MonitorBuilder builder(sched, bus);
     if (compiled_model) {
-      model = std::make_unique<core::CompiledModel>(tv::build_tv_spec_model());
+      builder.compiled_model(tv::build_tv_spec_model());
     } else {
-      model = std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model());
+      builder.model(tv::build_tv_spec_model());
     }
-    monitor = std::make_unique<core::AwarenessMonitor>(sched, bus, std::move(model),
-                                                       std::move(params));
+    builder.comparison_period(rt::msec(20))
+        .startup_grace(rt::msec(100))
+        .channel_latency(rt::usec(300));
+    for (const char* name : {"sound_level", "screen_state", "channel", "powered", "source"}) {
+      builder.threshold(name, 0.0, /*max_consecutive=*/3);
+    }
+    monitor = builder.build();
     set.start();
     monitor->start();
     set.press(tv::Key::kPower);
@@ -155,16 +149,12 @@ void report() {
 
     std::unique_ptr<core::AwarenessMonitor> monitor;
     if (with_awareness) {
-      core::AwarenessMonitor::Params params;
-      params.config.comparison_period = rt::msec(20);
-      params.config.startup_grace = rt::msec(100);
-      core::ObservableConfig oc;
-      oc.name = "sound_level";
-      oc.max_consecutive = 3;
-      params.config.observables.push_back(oc);
-      monitor = std::make_unique<core::AwarenessMonitor>(
-          sched, bus, std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-          std::move(params));
+      monitor = core::MonitorBuilder(sched, bus)
+                    .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                    .comparison_period(rt::msec(20))
+                    .startup_grace(rt::msec(100))
+                    .threshold("sound_level", 0.0, /*max_consecutive=*/3)
+                    .build();
       monitor->set_recovery_handler(
           [&set](const core::ErrorReport&) { set.restart_component("audio"); });
     }
@@ -227,29 +217,24 @@ void report() {
       rt::EventBus bus;
       flt::FaultInjector injector{rt::Rng(77)};
       tv::TvSystem set(sched, bus, injector, Harness::make_tv_config(77));
-      core::AwarenessMonitor::Params params;
-      params.config.comparison_period = rt::msec(20);
-      params.config.startup_grace = rt::msec(100);
+      core::MonitorBuilder builder(sched, bus);
+      builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+          .comparison_period(rt::msec(20))
+          .startup_grace(rt::msec(100));
       for (const char* name : observables) {
-        core::ObservableConfig oc;
-        oc.name = name;
-        oc.max_consecutive = 3;
-        params.config.observables.push_back(oc);
+        builder.threshold(name, 0.0, /*max_consecutive=*/3);
       }
-      core::AwarenessMonitor monitor(sched, bus,
-                                     std::make_unique<core::InterpretedModel>(
-                                         tv::build_tv_spec_model()),
-                                     std::move(params));
+      auto monitor = builder.build();
       set.start();
-      monitor.start();
+      monitor->start();
       set.press(tv::Key::kPower);
       sched.run_for(rt::msec(400));
       injector.schedule(flt::FaultSpec{fc.kind, fc.target, sched.now(), 0, 1.0, {}});
       sched.run_for(rt::msec(50));
       set.press(fc.trigger);
       sched.run_for(rt::sec(2));
-      if (!monitor.errors().empty()) ++detected;
-      comparisons = monitor.stats().comparisons;
+      if (!monitor->errors().empty()) ++detected;
+      comparisons = monitor->stats().comparisons;
     }
     std::string label;
     for (const char* name : observables) label += std::string(label.empty() ? "" : ", ") + name;

@@ -14,7 +14,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "detection/response_time.hpp"
 #include "faults/injector.hpp"
@@ -55,23 +55,23 @@ RunResult run_awareness(int max_consecutive, rt::SimDuration compare_period,
   tv_config.seed = seed;
   tv::TvSystem set(sched, bus, injector, tv_config);
 
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = compare_period;
-  params.config.startup_grace = rt::msec(100);
-  params.config.input_channel.base_latency = input_latency;
-  params.config.input_channel.jitter = input_jitter;
-  params.config.output_channel.base_latency = rt::usec(200);
+  rt::ChannelConfig in_ch;
+  in_ch.base_latency = input_latency;
+  in_ch.jitter = input_jitter;
+  rt::ChannelConfig out_ch;
+  out_ch.base_latency = rt::usec(200);
+  core::MonitorBuilder builder(sched, bus);
+  builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+      .comparison_period(compare_period)
+      .startup_grace(rt::msec(100))
+      .input_channel(in_ch)
+      .output_channel(out_ch);
   for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    oc.max_consecutive = max_consecutive;
-    params.config.observables.push_back(oc);
+    builder.threshold(name, 0.0, max_consecutive);
   }
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = builder.build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
 
@@ -97,10 +97,10 @@ RunResult run_awareness(int max_consecutive, rt::SimDuration compare_period,
   sched.run_for(rt::sec(1));
 
   RunResult result;
-  result.errors = monitor.errors().size();
-  result.comparisons = monitor.stats().comparisons;
+  result.errors = monitor->errors().size();
+  result.comparisons = monitor->stats().comparisons;
   if (inject && manifest_at >= 0) {
-    for (const auto& err : monitor.errors()) {
+    for (const auto& err : monitor->errors()) {
       if (err.detected_at >= manifest_at) {
         result.detection_latency = err.detected_at - manifest_at;
         break;
@@ -169,20 +169,15 @@ void report() {
       def.on_entry(s, [](sm::ActionEnv& env) {
         env.emit("level", {{"value", 50.0}});
       });
-      core::AwarenessMonitor::Params params;
-      params.input_topic = "lab.in";
-      params.output_topics = {"lab.out"};
-      core::ObservableConfig oc;
-      oc.name = "level";
-      oc.threshold = threshold;
-      oc.max_consecutive = 3;
-      params.config.observables.push_back(oc);
-      params.config.comparison_period = rt::msec(20);
-      params.config.startup_grace = rt::msec(50);
-      core::AwarenessMonitor monitor(sched, bus,
-                                     std::make_unique<core::InterpretedModel>(std::move(def)),
-                                     std::move(params));
-      monitor.start();
+      auto monitor = core::MonitorBuilder(sched, bus)
+                         .model(std::make_unique<core::InterpretedModel>(std::move(def)))
+                         .input_topic("lab.in")
+                         .output_topic("lab.out")
+                         .threshold("level", threshold, /*max_consecutive=*/3)
+                         .comparison_period(rt::msec(20))
+                         .startup_grace(rt::msec(50))
+                         .build();
+      monitor->start();
       rt::Rng noise(99);
       sched.schedule_every(rt::msec(20), [&] {
         rt::Event ev;
@@ -194,10 +189,10 @@ void report() {
       });
       sched.run_until(rt::sec(20));
       if (faulty) {
-        detected = !monitor.errors().empty();
+        detected = !monitor->errors().empty();
       } else {
-        false_errors = static_cast<int>(monitor.errors().size());
-        const auto& st = monitor.stats();
+        false_errors = static_cast<int>(monitor->errors().size());
+        const auto& st = monitor->stats();
         deviating_pct = st.comparisons > 0
                             ? 100.0 * static_cast<double>(st.deviations) /
                                   static_cast<double>(st.comparisons)
@@ -258,17 +253,12 @@ void report() {
     flt::FaultInjector injector{rt::Rng(3)};
     tv::TvSystem set(sched, bus, injector);
 
-    core::AwarenessMonitor::Params params;
-    params.config.comparison_period = rt::msec(20);
-    params.config.startup_grace = rt::msec(100);
-    core::ObservableConfig oc;
-    oc.name = "sound_level";
-    oc.max_consecutive = 3;
-    params.config.observables.push_back(oc);
-    core::AwarenessMonitor monitor(sched, bus,
-                                   std::make_unique<core::InterpretedModel>(
-                                       tv::build_tv_spec_model()),
-                                   std::move(params));
+    auto monitor = core::MonitorBuilder(sched, bus)
+                       .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                       .comparison_period(rt::msec(20))
+                       .startup_grace(rt::msec(100))
+                       .threshold("sound_level", 0.0, /*max_consecutive=*/3)
+                       .build();
 
     det::DetectionLog log;
     det::ResponseTimeMonitor response(sched, bus, log);
@@ -280,7 +270,7 @@ void report() {
     });
 
     set.start();
-    monitor.start();
+    monitor->start();
     response.start();
     set.press(tv::Key::kPower);
     sched.run_for(rt::msec(400));
@@ -291,7 +281,7 @@ void report() {
     sched.run_for(rt::sec(2));
 
     const rt::SimTime cmp_at =
-        monitor.errors().empty() ? -1 : monitor.errors()[0].detected_at;
+        monitor->errors().empty() ? -1 : monitor->errors()[0].detected_at;
     const rt::SimTime mode_at = log.first("mode", "control-audio-volume");
     const rt::SimTime rt_at = log.first("timeliness", "volume-key-response");
     auto add_row = [&](const char* name, rt::SimTime at) {
@@ -314,21 +304,18 @@ void BM_ComparatorCompareAll(benchmark::State& state) {
   rt::EventBus bus;
   flt::FaultInjector injector{rt::Rng(1)};
   tv::TvSystem set(sched, bus, injector);
-  core::AwarenessMonitor::Params params;
+  core::MonitorBuilder builder(sched, bus);
+  builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()));
   for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    params.config.observables.push_back(oc);
+    builder.threshold(name, 0.0);
   }
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = builder.build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(500));
   for (auto _ : state) {
-    monitor.comparator().compare_all(sched.now());
+    monitor->comparator().compare_all(sched.now());
   }
   state.SetItemsProcessed(state.iterations() * 4);
 }

@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "mediaplayer/player.hpp"
@@ -32,24 +32,21 @@ using trader::bench::fmt_int;
 
 namespace {
 
-core::AwarenessMonitor::Params player_params() {
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "mp.input";
-  params.output_topics = {"mp.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    return sm::SmEvent::named(cmd);
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(25);
-  params.config.startup_grace = rt::msec(50);
-  params.config.input_channel.base_latency = rt::usec(300);
-  params.config.output_channel.base_latency = rt::usec(300);
-  return params;
+core::MonitorBuilder player_monitor() {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(mp::build_player_spec_model()))
+      .input_topic("mp.input")
+      .output_topic("mp.output")
+      .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+        const std::string cmd = ev.str_field("cmd");
+        if (cmd.empty()) return std::nullopt;
+        return sm::SmEvent::named(cmd);
+      })
+      .threshold("state", 0.0, /*max_consecutive=*/4)
+      .comparison_period(rt::msec(25))
+      .startup_grace(rt::msec(50))
+      .channel_latency(rt::usec(300));
+  return builder;
 }
 
 struct CaseResult {
@@ -64,12 +61,9 @@ CaseResult run_case(const std::string& fault) {
   rt::EventBus bus;
   flt::FaultInjector injector{rt::Rng(13)};
   mp::MediaPlayer player(sched, bus, injector);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     mp::build_player_spec_model()),
-                                 player_params());
+  auto monitor = player_monitor().build(sched, bus);
   player.start();
-  monitor.start();
+  monitor->start();
   player.play();
   sched.run_for(rt::sec(3));
 
@@ -97,9 +91,9 @@ CaseResult run_case(const std::string& fault) {
   ranges.poll(log);
 
   CaseResult result;
-  if (!monitor.errors().empty()) {
+  if (!monitor->errors().empty()) {
     result.state_error = true;
-    result.state_latency = monitor.errors().front().detected_at - manifest;
+    result.state_latency = monitor->errors().front().detected_at - manifest;
   }
   result.range_violations = log.all().size() - baseline;
   result.final_av_offset = player.av_offset_ms();

@@ -11,7 +11,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "detection/response_time.hpp"
 #include "faults/injector.hpp"
@@ -32,24 +32,22 @@ using trader::bench::fmt_int;
 
 namespace {
 
-core::AwarenessMonitor::Params printer_params() {
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "pr.input";
-  params.output_topics = {"pr.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    sm::SmEvent sm_ev = sm::SmEvent::named(cmd);
-    sm_ev.params = ev.fields;
-    return sm_ev;
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(50);
-  params.config.startup_grace = rt::msec(100);
-  return params;
+core::MonitorBuilder printer_monitor() {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(pr::build_printer_spec_model()))
+      .input_topic("pr.input")
+      .output_topic("pr.output")
+      .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+        const std::string cmd = ev.str_field("cmd");
+        if (cmd.empty()) return std::nullopt;
+        sm::SmEvent sm_ev = sm::SmEvent::named(cmd);
+        sm_ev.params = ev.fields;
+        return sm_ev;
+      })
+      .threshold("state", 0.0, /*max_consecutive=*/4)
+      .comparison_period(rt::msec(50))
+      .startup_grace(rt::msec(100));
+  return builder;
 }
 
 struct CaseResult {
@@ -65,17 +63,14 @@ CaseResult run_case(const std::string& fault) {
   rt::EventBus bus;
   flt::FaultInjector injector{rt::Rng(4)};
   pr::PrinterSystem printer(sched, bus, injector);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     pr::build_printer_spec_model()),
-                                 printer_params());
+  auto monitor = printer_monitor().build(sched, bus);
   det::DetectionLog log;
   det::ResponseTimeMonitor response(sched, bus, log);
   for (auto& rule : pr::printer_response_rules()) response.add_rule(rule);
   det::RangeChecker ranges(printer.probes());
 
   printer.start();
-  monitor.start();
+  monitor->start();
   response.start();
   printer.submit_job(40);
   sched.run_for(rt::sec(6));  // warmed up and printing
@@ -102,11 +97,11 @@ CaseResult run_case(const std::string& fault) {
 
   CaseResult result;
   result.engine_error = printer.state() == pr::PrinterState::kError;
-  result.comparator = !monitor.errors().empty();
+  result.comparator = !monitor->errors().empty();
   result.timeliness = log.count("timeliness") > 0;
   result.range = log.count("range") > 0;
   rt::SimTime first = -1;
-  if (result.comparator) first = monitor.errors()[0].detected_at;
+  if (result.comparator) first = monitor->errors()[0].detected_at;
   for (const auto& d : log.all()) {
     if (first < 0 || d.at < first) first = d.at;
   }

@@ -9,17 +9,27 @@
 //   (b) the run-time awareness loop's per-event cost grows only mildly
 //       with model size — the economic argument for run-time awareness
 //       over exhaustive pre-release testing.
+// E15 extends the argument to fleet scale: the sharded runtime spreads
+// many awareness monitors over worker threads and must keep the *same*
+// error reports regardless of shard count — throughput is only worth
+// having if determinism survives it. The run also exports the merged
+// metrics snapshot to BENCH_scale.json for the CI check script.
 #include "bench_common.hpp"
 
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <thread>
 
+#include "core/monitor_builder.hpp"
+#include "core/sharded_fleet.hpp"
 #include "statemachine/checker.hpp"
 #include "statemachine/compiled.hpp"
 #include "statemachine/machine.hpp"
 
 namespace sm = trader::statemachine;
 namespace rt = trader::runtime;
+namespace core = trader::core;
 using trader::bench::Table;
 using trader::bench::banner;
 using trader::bench::fmt;
@@ -106,7 +116,163 @@ void report() {
   growth.print();
 }
 
+// ------------------------------------------------- E15: sharded fleet scale
+
+// The counter spec model used throughout the determinism tests.
+sm::StateMachineDef counter_model() {
+  sm::StateMachineDef def("counter");
+  const auto s = def.add_state("S");
+  def.add_internal(s, "inc", nullptr, [](sm::ActionEnv& env) {
+    env.vars.set_int("n", env.vars.get_int("n") + 1);
+    env.emit("count", {{"value", env.vars.get_int("n")}});
+  });
+  return def;
+}
+
+struct ScaleRun {
+  double wall_ms = 0.0;
+  std::uint64_t ticks = 0;
+  std::uint64_t epochs = 0;
+  std::size_t errors = 0;
+  std::string fingerprint;
+  std::string metrics_json;
+};
+
+// One scripted fleet session: `monitors` counter monitors under external
+// traffic, with odd monitors silently dropping one command near the end
+// (so the comparator has real work and real errors to report).
+ScaleRun run_fleet(std::size_t shards, int monitors, int steps) {
+  core::ShardedFleetConfig cfg;
+  cfg.shards = shards;
+  cfg.epoch = rt::msec(5);
+  cfg.seed = 0xBE11C;
+  core::ShardedFleet fleet(cfg);
+  for (int m = 0; m < monitors; ++m) {
+    core::MonitorBuilder builder;
+    builder.model(counter_model())
+        .input_topic("in." + std::to_string(m))
+        .output_topic("out." + std::to_string(m))
+        .threshold("count", 0.0, /*max_consecutive=*/2)
+        .comparison_period(rt::msec(10))
+        .startup_grace(rt::msec(5));
+    fleet.add_monitor("aspect" + std::to_string(m), std::move(builder));
+  }
+  fleet.start();
+
+  std::vector<std::int64_t> system_count(static_cast<std::size_t>(monitors), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int step = 0; step < steps; ++step) {
+    for (int m = 0; m < monitors; ++m) {
+      rt::Event in;
+      in.topic = "in." + std::to_string(m);
+      in.name = "key";
+      in.fields["key"] = std::string("inc");
+      fleet.publish(in);
+      if (!(m % 2 == 1 && step == steps - 4)) ++system_count[static_cast<std::size_t>(m)];
+      rt::Event out;
+      out.topic = "out." + std::to_string(m);
+      out.name = "count";
+      out.fields["value"] = system_count[static_cast<std::size_t>(m)];
+      fleet.publish(out);
+    }
+    fleet.run_for(rt::msec(15));
+  }
+  fleet.run_for(rt::msec(100));
+  const auto t1 = std::chrono::steady_clock::now();
+  fleet.stop();
+
+  ScaleRun result;
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const auto snap = fleet.metrics();
+  result.ticks = snap.counter("controller.ticks");
+  result.epochs = snap.counter("fleet.epochs");
+  result.errors = fleet.errors().size();
+  for (const auto& e : fleet.errors()) {
+    result.fingerprint += e.aspect + "@" + std::to_string(e.report.detected_at) + ";";
+  }
+  result.metrics_json = snap.to_json();
+  return result;
+}
+
+void report_scale() {
+  banner("E15", "sharded fleet runtime: throughput vs shards, determinism held");
+
+  const int monitors = 48;
+  const int steps = 120;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host: %u hardware thread(s); %d monitors, %d traffic steps per run\n\n",
+              cores, monitors, steps);
+
+  std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  std::vector<ScaleRun> runs;
+  for (std::size_t shards : shard_counts) runs.push_back(run_fleet(shards, monitors, steps));
+
+  const double base_ms = runs[0].wall_ms;
+  const std::string& base_fp = runs[0].fingerprint;
+  Table t({"shards", "wall ms", "ticks", "ticks/sec", "speedup", "errors",
+           "same reports as 1 shard"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScaleRun& r = runs[i];
+    t.row({fmt_int(static_cast<std::int64_t>(shard_counts[i])), fmt(r.wall_ms, 1),
+           fmt_int(static_cast<std::int64_t>(r.ticks)),
+           fmt(static_cast<double>(r.ticks) / (r.wall_ms / 1000.0), 0),
+           fmt(base_ms / r.wall_ms, 2), fmt_int(static_cast<std::int64_t>(r.errors)),
+           r.fingerprint == base_fp ? "yes" : "NO -- BUG"});
+  }
+  t.print();
+  std::printf("paper claim (§5 scale-up): awareness must extend from one aspect to a fleet\n"
+              "without changing what is detected. Error reports are byte-identical across\n"
+              "shard counts; speedup tracks available cores (this host has %u).\n\n", cores);
+
+  // Machine-readable snapshot for scripts/check.sh.
+  std::ofstream json("BENCH_scale.json");
+  json << "{\n  \"experiment\": \"bench_scale\",\n";
+  json << "  \"hardware_threads\": " << cores << ",\n";
+  json << "  \"monitors\": " << monitors << ",\n  \"steps\": " << steps << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScaleRun& r = runs[i];
+    json << "    {\"shards\": " << shard_counts[i] << ", \"wall_ms\": " << fmt(r.wall_ms, 3)
+         << ", \"ticks\": " << r.ticks << ", \"epochs\": " << r.epochs
+         << ", \"errors\": " << r.errors << ", \"speedup\": " << fmt(base_ms / r.wall_ms, 3)
+         << ", \"deterministic\": " << (r.fingerprint == base_fp ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"metrics_8_shards\": " << runs.back().metrics_json << "\n}\n";
+  std::printf("wrote BENCH_scale.json (merged 8-shard metrics snapshot + per-shard runs)\n");
+}
+
+void report_all() {
+  report();
+  report_scale();
+}
+
 // ------------------------------------------------------- microbenchmarks
+
+void BM_ShardedFleetEpoch(benchmark::State& state) {
+  core::ShardedFleetConfig cfg;
+  cfg.shards = static_cast<std::size_t>(state.range(0));
+  cfg.epoch = rt::msec(5);
+  core::ShardedFleet fleet(cfg);
+  for (int m = 0; m < 16; ++m) {
+    core::MonitorBuilder builder;
+    builder.model(counter_model())
+        .input_topic("in." + std::to_string(m))
+        .output_topic("out." + std::to_string(m))
+        .threshold("count", 0.0, 2)
+        .comparison_period(rt::msec(10));
+    fleet.add_monitor("aspect" + std::to_string(m), std::move(builder));
+  }
+  fleet.start();
+  for (auto _ : state) {
+    fleet.run_for(rt::msec(5));  // exactly one epoch: mailbox drain + barrier + tick
+  }
+  fleet.stop();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("shards=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ShardedFleetEpoch)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_DeepHierarchyDispatch(benchmark::State& state) {
   auto def = deep_model(static_cast<int>(state.range(0)), 2);
@@ -142,4 +308,4 @@ BENCHMARK(BM_ReachabilityCheck)->Arg(4)->Arg(6);
 
 }  // namespace
 
-TRADER_BENCH_MAIN(report)
+TRADER_BENCH_MAIN(report_all)

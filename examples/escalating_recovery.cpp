@@ -11,6 +11,7 @@
 
 #include "core/fleet.hpp"
 #include "core/model_impl.hpp"
+#include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
 #include "recovery/escalation.hpp"
 #include "runtime/event_bus.hpp"
@@ -26,15 +27,13 @@ namespace flt = trader::faults;
 
 namespace {
 
-core::AwarenessMonitor::Params aspect_params(const char* observable) {
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
-  core::ObservableConfig oc;
-  oc.name = observable;
-  oc.max_consecutive = 3;
-  params.config.observables.push_back(oc);
-  return params;
+core::MonitorBuilder aspect_monitor(const char* observable) {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+      .comparison_period(rt::msec(20))
+      .startup_grace(rt::msec(100))
+      .threshold(observable, 0.0, /*max_consecutive=*/3);
+  return builder;
 }
 
 }  // namespace
@@ -46,10 +45,8 @@ int main() {
   tv::TvSystem set(sched, bus, injector);
 
   core::MonitorFleet fleet(sched, bus);
-  fleet.add_monitor("sound", std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                    aspect_params("sound_level"));
-  fleet.add_monitor("screen", std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                    aspect_params("screen_state"));
+  fleet.add_monitor("sound", aspect_monitor("sound_level"));
+  fleet.add_monitor("screen", aspect_monitor("screen_state"));
 
   rec::EscalationConfig esc_cfg;
   esc_cfg.failures_per_level = 2;

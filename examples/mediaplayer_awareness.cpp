@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "mediaplayer/player.hpp"
@@ -29,26 +29,22 @@ int main() {
   flt::FaultInjector injector{rt::Rng(8)};
   mp::MediaPlayer player(sched, bus, injector);
 
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "mp.input";
-  params.output_topics = {"mp.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    return sm::SmEvent::named(cmd);
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(25);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     mp::build_player_spec_model()),
-                                 std::move(params));
-  monitor.set_recovery_handler([&](const core::ErrorReport& err) {
-    std::printf("           >>> correctness error: %s\n", err.describe().c_str());
-  });
+  auto monitor =
+      core::MonitorBuilder(sched, bus)
+          .model(std::make_unique<core::InterpretedModel>(mp::build_player_spec_model()))
+          .input_topic("mp.input")
+          .output_topic("mp.output")
+          .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+            const std::string cmd = ev.str_field("cmd");
+            if (cmd.empty()) return std::nullopt;
+            return sm::SmEvent::named(cmd);
+          })
+          .threshold("state", 0.0, /*max_consecutive=*/4)
+          .comparison_period(rt::msec(25))
+          .on_error([&](const core::ErrorReport& err) {
+            std::printf("           >>> correctness error: %s\n", err.describe().c_str());
+          })
+          .build();
 
   det::DetectionLog log;
   det::RangeChecker ranges(player.probes());
@@ -63,7 +59,7 @@ int main() {
   });
 
   player.start();
-  monitor.start();
+  monitor->start();
 
   auto status = [&](const char* note) {
     std::printf("[%7.1f ms] state=%-9s pos=%6.1fs av_offset=%7.1f ms  %s\n",
@@ -97,10 +93,10 @@ int main() {
   status("spontaneous buffering (not user-initiated)");
 
   std::printf("--- summary --------------------------------------------------------\n");
-  std::printf("correctness errors (spec model) : %zu\n", monitor.errors().size());
+  std::printf("correctness errors (spec model) : %zu\n", monitor->errors().size());
   std::printf("performance issues (probes)     : %zu\n", log.all().size());
   std::printf("frames rendered/dropped         : %llu / %llu\n",
               static_cast<unsigned long long>(player.frames_rendered()),
               static_cast<unsigned long long>(player.frames_dropped()));
-  return (!monitor.errors().empty() && !log.all().empty()) ? 0 : 1;
+  return (!monitor->errors().empty() && !log.all().empty()) ? 0 : 1;
 }

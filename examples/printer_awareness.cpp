@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "detection/response_time.hpp"
 #include "faults/injector.hpp"
@@ -31,26 +31,22 @@ int main() {
   pr::PrinterSystem printer(sched, bus, injector);
 
   // Spec-model monitor over commands + page milestones.
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "pr.input";
-  params.output_topics = {"pr.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    return sm::SmEvent::named(cmd);
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(50);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     pr::build_printer_spec_model()),
-                                 std::move(params));
-  monitor.set_recovery_handler([&](const core::ErrorReport& err) {
-    std::printf("           >>> spec-model error: %s\n", err.describe().c_str());
-  });
+  auto monitor =
+      core::MonitorBuilder(sched, bus)
+          .model(std::make_unique<core::InterpretedModel>(pr::build_printer_spec_model()))
+          .input_topic("pr.input")
+          .output_topic("pr.output")
+          .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+            const std::string cmd = ev.str_field("cmd");
+            if (cmd.empty()) return std::nullopt;
+            return sm::SmEvent::named(cmd);
+          })
+          .threshold("state", 0.0, /*max_consecutive=*/4)
+          .comparison_period(rt::msec(50))
+          .on_error([&](const core::ErrorReport& err) {
+            std::printf("           >>> spec-model error: %s\n", err.describe().c_str());
+          })
+          .build();
 
   // Timeliness + range detectors.
   det::DetectionLog log;
@@ -73,7 +69,7 @@ int main() {
   });
 
   printer.start();
-  monitor.start();
+  monitor->start();
   cadence.start();
 
   std::printf("--- submitting jobs ------------------------------------------------\n");
@@ -111,12 +107,12 @@ int main() {
   sched.run_for(rt::sec(20));
 
   std::printf("--- summary ----------------------------------------------------------\n");
-  std::printf("spec-model errors : %zu\n", monitor.errors().size());
+  std::printf("spec-model errors : %zu\n", monitor->errors().size());
   std::printf("timeliness issues : %zu\n", log.count("timeliness"));
   std::printf("range violations  : %zu\n", log.count("range"));
   std::printf("pages printed     : %llu\n",
               static_cast<unsigned long long>(printer.pages_printed_total()));
-  return (!monitor.errors().empty() && log.count("timeliness") > 0 && log.count("range") > 0)
+  return (!monitor->errors().empty() && log.count("timeliness") > 0 && log.count("range") > 0)
              ? 0
              : 1;
 }

@@ -11,7 +11,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
 #include "statemachine/definition.hpp"
@@ -78,32 +78,27 @@ int main() {
   rt::EventBus bus;
   VolumeKnob knob(sched, bus);
 
-  // --- 3. Wire the monitor (Fig. 2) ----------------------------------------
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "knob.in";
-  params.output_topics = {"knob.out"};
-  core::ObservableConfig oc;
-  oc.name = "volume";
-  oc.threshold = 0.0;       // exact agreement required ...
-  oc.max_consecutive = 3;   // ... but only after 3 consecutive deviations
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(20);
+  // --- 3. Wire the monitor (Fig. 2), with recovery re-syncing the SUO
+  //        from the model's expectation ------------------------------------
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(knob_model())
+                     .input_topic("knob.in")
+                     .output_topic("knob.out")
+                     // exact agreement required, but only after 3
+                     // consecutive deviations (§4.3 tolerance)
+                     .threshold("volume", 0.0, /*max_consecutive=*/3)
+                     .comparison_period(rt::msec(20))
+                     .on_error([&](const core::ErrorReport& err) {
+                       std::printf("[%6.1f ms] ERROR detected: %s\n", rt::to_ms(err.detected_at),
+                                   err.describe().c_str());
+                       const auto expected = std::get<std::int64_t>(err.expected);
+                       knob.set_volume(static_cast<int>(expected));
+                       std::printf("             recovery: volume re-synced to %lld\n",
+                                   static_cast<long long>(expected));
+                     })
+                     .build();
 
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(knob_model()),
-                                 std::move(params));
-
-  // --- 4. Recovery: re-sync the SUO from the model's expectation -----------
-  monitor.set_recovery_handler([&](const core::ErrorReport& err) {
-    std::printf("[%6.1f ms] ERROR detected: %s\n", rt::to_ms(err.detected_at),
-                err.describe().c_str());
-    const auto expected = std::get<std::int64_t>(err.expected);
-    knob.set_volume(static_cast<int>(expected));
-    std::printf("             recovery: volume re-synced to %lld\n",
-                static_cast<long long>(expected));
-  });
-
-  monitor.start();
+  monitor->start();
 
   std::printf("pressing volume-up five times, dropping the third command...\n");
   for (int i = 0; i < 5; ++i) {
@@ -112,9 +107,9 @@ int main() {
     std::printf("[%6.1f ms] system volume = %d\n", rt::to_ms(sched.now()), knob.volume());
   }
 
-  std::printf("\nerrors reported: %zu (expected 1)\n", monitor.errors().size());
+  std::printf("\nerrors reported: %zu (expected 1)\n", monitor->errors().size());
   std::printf("final volume: %d (would be 50 without the dropped command -- recovery\n"
               "restored the model's expectation)\n",
               knob.volume());
-  return monitor.errors().size() == 1 ? 0 : 1;
+  return monitor->errors().size() == 1 ? 0 : 1;
 }

@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "runtime/event_bus.hpp"
@@ -40,37 +40,31 @@ int main() {
   flt::FaultInjector injector{rt::Rng(2026)};
   tv::TvSystem set(sched, bus, injector);
 
-  // Awareness monitor over the partial user-view model.
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
-  params.config.input_channel.base_latency = rt::usec(300);
-  params.config.output_channel.base_latency = rt::usec(300);
-  for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    oc.max_consecutive = 3;
-    params.config.observables.push_back(oc);
-  }
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
-
-  // Recovery policy: re-sync the offending component from control beliefs.
+  // Awareness monitor over the partial user-view model, with a recovery
+  // policy that re-syncs the offending component from control beliefs.
   int recoveries = 0;
-  monitor.set_recovery_handler([&](const core::ErrorReport& err) {
-    std::printf("           >>> comparator error on '%s' (expected %s, observed %s)\n",
-                err.observable.c_str(), rt::to_string(err.expected).c_str(),
-                rt::to_string(err.observed).c_str());
-    // Simple diagnosis: map the observable to the component to repair.
-    const std::string component = err.observable == "sound_level"  ? "audio"
-                                  : err.observable == "screen_state" ? "teletext"
-                                                                     : "osd";
-    set.restart_component(component);
-    ++recoveries;
-    std::printf("           >>> recovery: restarted '%s' and replayed user settings\n",
-                component.c_str());
-  });
+  core::MonitorBuilder builder(sched, bus);
+  builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+      .comparison_period(rt::msec(20))
+      .startup_grace(rt::msec(100))
+      .channel_latency(rt::usec(300))
+      .on_error([&](const core::ErrorReport& err) {
+        std::printf("           >>> comparator error on '%s' (expected %s, observed %s)\n",
+                    err.observable.c_str(), rt::to_string(err.expected).c_str(),
+                    rt::to_string(err.observed).c_str());
+        // Simple diagnosis: map the observable to the component to repair.
+        const std::string component = err.observable == "sound_level"  ? "audio"
+                                      : err.observable == "screen_state" ? "teletext"
+                                                                         : "osd";
+        set.restart_component(component);
+        ++recoveries;
+        std::printf("           >>> recovery: restarted '%s' and replayed user settings\n",
+                    component.c_str());
+      });
+  for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
+    builder.threshold(name, 0.0, /*max_consecutive=*/3);
+  }
+  auto monitor = builder.build();
 
   // Mode-consistency checker (the §4.3 teletext detector) runs alongside.
   det::ModeConsistencyChecker mode_checker;
@@ -85,7 +79,7 @@ int main() {
   });
 
   set.start();
-  monitor.start();
+  monitor->start();
 
   std::printf("--- normal use -------------------------------------------------\n");
   set.press(tv::Key::kPower);
@@ -135,11 +129,11 @@ int main() {
   show_status(set, sched.now(), "after crash recovery");
 
   std::printf("--- summary ------------------------------------------------------\n");
-  std::printf("comparator errors : %zu\n", monitor.errors().size());
+  std::printf("comparator errors : %zu\n", monitor->errors().size());
   std::printf("mode detections   : %zu\n", detections.all().size());
   std::printf("recoveries        : %d\n", recoveries);
   std::printf("frames total/drop : %llu / %llu\n",
               static_cast<unsigned long long>(set.stats().frames_total),
               static_cast<unsigned long long>(set.stats().frames_dropped));
-  return (monitor.errors().empty() || detections.all().empty()) ? 1 : 0;
+  return (monitor->errors().empty() || detections.all().empty()) ? 1 : 0;
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full verification pass for the repo:
+#   1. tier-1: plain configure + build + ctest (must stay green)
+#   2. ASan+UBSan build of the test suite (memory + UB errors)
+#   3. TSan build running the sharded-fleet soak test (data races on the
+#      mailbox / barrier / recovery paths)
+#   4. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#      repo root (per-shard-count throughput + merged metrics snapshot)
+#
+# Stages 2-4 can be skipped for a quick tier-1-only run:
+#   scripts/check.sh --tier1-only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+TIER1_ONLY=0
+[[ "${1:-}" == "--tier1-only" ]] && TIER1_ONLY=1
+
+stage() { printf '\n=== %s ===\n' "$*"; }
+
+stage "tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$TIER1_ONLY" == "1" ]]; then
+  echo "tier-1 green (skipped sanitizers + bench with --tier1-only)"
+  exit 0
+fi
+
+stage "ASan+UBSan: configure + build + ctest"
+cmake -B build-asan -S . -DTRADER_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+stage "TSan: sharded fleet soak"
+cmake -B build-tsan -S . -DTRADER_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target system_soak_test sharded_fleet_test
+./build-tsan/tests/sharded_fleet_test --gtest_filter='ShardedFleet.*:Lifecycle.*'
+./build-tsan/tests/system_soak_test --gtest_filter='SystemSoak.ShardedFleetSoak*'
+
+stage "bench_scale: scaling experiment -> BENCH_scale.json"
+./build/bench/bench_scale --benchmark_filter='BM_ShardedFleetEpoch/1' \
+  --benchmark_min_time=0.05
+test -s BENCH_scale.json
+echo "BENCH_scale.json written:"
+head -12 BENCH_scale.json
+
+stage "all checks passed"

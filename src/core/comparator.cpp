@@ -2,6 +2,18 @@
 
 namespace trader::core {
 
+void Comparator::set_metrics(runtime::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    comparisons_metric_ = nullptr;
+    deviations_metric_ = nullptr;
+    errors_metric_ = nullptr;
+    return;
+  }
+  comparisons_metric_ = &metrics->counter("comparator.comparisons");
+  deviations_metric_ = &metrics->counter("comparator.deviations");
+  errors_metric_ = &metrics->counter("comparator.errors");
+}
+
 void Comparator::on_fresh_observation(const std::string& observable, runtime::SimTime now) {
   auto oc = config_.lookup(observable);
   if (!oc || !oc->event_based) return;
@@ -27,6 +39,7 @@ void Comparator::compare_one(const ObservableConfig& oc, runtime::SimTime now) {
     return;
   }
   ++stats_.comparisons;
+  if (comparisons_metric_ != nullptr) comparisons_metric_->inc();
 
   auto& ep = episodes_[oc.name];
   const double dev = runtime::deviation(expected->value, observed->value);
@@ -38,11 +51,13 @@ void Comparator::compare_one(const ObservableConfig& oc, runtime::SimTime now) {
   }
 
   ++stats_.deviations;
+  if (deviations_metric_ != nullptr) deviations_metric_->inc();
   if (ep.consecutive == 0) ep.first_deviation = now;
   ++ep.consecutive;
   if (ep.consecutive >= oc.max_consecutive && !ep.reported) {
     ep.reported = true;
     ++stats_.errors;
+    if (errors_metric_ != nullptr) errors_metric_->inc();
     ErrorReport report{oc.name,        expected->value,     observed->value, dev,
                        ep.consecutive, now,                 ep.first_deviation};
     errors_.push_back(report);

@@ -20,6 +20,7 @@
 #include "core/configuration.hpp"
 #include "core/model_executor.hpp"
 #include "core/observers.hpp"
+#include "runtime/metrics.hpp"
 
 namespace trader::core {
 
@@ -42,6 +43,9 @@ class Comparator : public IControl {
 
   /// Attach the error sink (IErrorNotify).
   void set_notify(IErrorNotify* notify) { notify_ = notify; }
+
+  /// Mirror ComparatorStats increments into "comparator.*" counters.
+  void set_metrics(runtime::MetricsRegistry* metrics);
 
   /// Event-based comparison: a fresh observation of `observable` arrived.
   void on_fresh_observation(const std::string& observable, runtime::SimTime now);
@@ -68,6 +72,9 @@ class Comparator : public IControl {
   const ModelExecutor& executor_;
   const OutputObserver& observer_;
   IErrorNotify* notify_ = nullptr;
+  runtime::Counter* comparisons_metric_ = nullptr;
+  runtime::Counter* deviations_metric_ = nullptr;
+  runtime::Counter* errors_metric_ = nullptr;
   runtime::SimTime grace_until_ = 0;
   std::map<std::string, EpisodeState> episodes_;
   ComparatorStats stats_;

@@ -4,26 +4,46 @@
 
 namespace trader::core {
 
-AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect,
-                                            std::unique_ptr<IModelImpl> model,
-                                            AwarenessMonitor::Params params) {
-  auto monitor = std::make_unique<AwarenessMonitor>(sched_, bus_, std::move(model),
-                                                    std::move(params));
+AwarenessMonitor& MonitorFleet::adopt(const std::string& aspect,
+                                      std::unique_ptr<AwarenessMonitor> monitor) {
   AwarenessMonitor& ref = *monitor;
   const std::string name = aspect;
   ref.set_recovery_handler([this, name](const ErrorReport& report) {
     errors_.push_back(AspectError{name, report});
     if (handler_) handler_(errors_.back());
   });
+  if (metrics_ != nullptr) ref.set_metrics(metrics_);
   entries_.push_back(Entry{aspect, std::move(monitor)});
+  if (running_) entries_.back().monitor->start();
   return ref;
 }
 
+AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect, MonitorBuilder builder) {
+  return adopt(aspect, builder.build(sched_, bus_));
+}
+
+AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect,
+                                            std::unique_ptr<IModelImpl> model,
+                                            MonitorSpec params) {
+  return adopt(aspect,
+               std::make_unique<AwarenessMonitor>(sched_, bus_, std::move(model),
+                                                  std::move(params)));
+}
+
+void MonitorFleet::set_metrics(runtime::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& e : entries_) e.monitor->set_metrics(metrics);
+}
+
 void MonitorFleet::start() {
+  if (running_) return;
+  running_ = true;
   for (auto& e : entries_) e.monitor->start();
 }
 
 void MonitorFleet::stop() {
+  if (!running_) return;
+  running_ = false;
   for (auto& e : entries_) e.monitor->stop();
 }
 

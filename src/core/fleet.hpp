@@ -2,10 +2,14 @@
 //
 // "Typically, there will be several awareness monitors in a complex
 // system, for different components, different aspects, and different
-// kinds of faults." MonitorFleet owns a set of named monitors, fans a
-// single recovery handler out with the originating aspect attached, and
-// aggregates error/statistics views — the hierarchical and incremental
-// deployment the paper sketches.
+// kinds of faults." MonitorFleet owns a set of named monitors on one
+// scheduler/bus, fans a single recovery handler out with the
+// originating aspect attached, and aggregates error/statistics views —
+// the hierarchical and incremental deployment the paper sketches.
+//
+// MonitorFleet is the single-threaded fleet; ShardedFleet
+// (sharded_fleet.hpp) partitions the same abstraction across worker
+// threads for multi-core scaling.
 #pragma once
 
 #include <memory>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 
 namespace trader::core {
 
@@ -29,16 +34,26 @@ class MonitorFleet {
   MonitorFleet(runtime::Scheduler& sched, runtime::EventBus& bus)
       : sched_(sched), bus_(bus) {}
 
-  /// Add a monitor watching one aspect. Returns a reference usable for
-  /// per-aspect configuration before start().
+  /// Add a monitor watching one aspect, described by a builder. Returns
+  /// a reference usable for per-aspect configuration before start().
+  AwarenessMonitor& add_monitor(const std::string& aspect, MonitorBuilder builder);
+
+  /// Deprecated Params-struct path; use the MonitorBuilder overload.
+  [[deprecated("use add_monitor(aspect, MonitorBuilder)")]]
   AwarenessMonitor& add_monitor(const std::string& aspect, std::unique_ptr<IModelImpl> model,
-                                AwarenessMonitor::Params params);
+                                MonitorSpec params);
 
   void set_recovery_handler(AspectRecoveryHandler handler) { handler_ = std::move(handler); }
 
-  /// Start / stop every monitor.
+  /// Record per-monitor instruments in `metrics` (applies to monitors
+  /// already added and to ones added later).
+  void set_metrics(runtime::MetricsRegistry* metrics);
+
+  /// Start / stop every monitor. Idempotent: double start/stop is a
+  /// no-op and a stopped fleet can be restarted.
   void start();
   void stop();
+  bool running() const { return running_; }
 
   std::size_t size() const { return entries_.size(); }
   AwarenessMonitor& monitor(const std::string& aspect);
@@ -53,11 +68,15 @@ class MonitorFleet {
     std::unique_ptr<AwarenessMonitor> monitor;
   };
 
+  AwarenessMonitor& adopt(const std::string& aspect, std::unique_ptr<AwarenessMonitor> monitor);
+
   runtime::Scheduler& sched_;
   runtime::EventBus& bus_;
+  runtime::MetricsRegistry* metrics_ = nullptr;
   std::vector<Entry> entries_;
   std::vector<AspectError> errors_;
   AspectRecoveryHandler handler_;
+  bool running_ = false;
 };
 
 }  // namespace trader::core

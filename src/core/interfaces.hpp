@@ -25,6 +25,14 @@ namespace trader::core {
 
 /// Lifecycle interface implemented by all framework components (Fig. 2's
 /// IControl, provided by every box and used by the Controller).
+///
+/// Contract: calls follow initialize() -> start() -> stop(), and the
+/// whole sequence may repeat for a restart. Implementations must be
+/// idempotent at every stage — initialize() after the first call,
+/// start() while already running, and stop() while already stopped are
+/// no-ops. In particular a component must never double-register
+/// periodic work on a repeated start(); the Controller enforces this
+/// ordering for the components it drives.
 class IControl {
  public:
   virtual ~IControl() = default;

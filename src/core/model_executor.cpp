@@ -9,6 +9,7 @@ void ModelExecutor::start(runtime::SimTime now) {
 
 void ModelExecutor::on_input(const statemachine::SmEvent& ev, runtime::SimTime now) {
   ++inputs_;
+  if (inputs_metric_ != nullptr) inputs_metric_->inc();
   // Fire timers that were due before this event (e.g. digit timeouts),
   // then the event itself.
   model_->advance_time(now);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/interfaces.hpp"
+#include "runtime/metrics.hpp"
 
 namespace trader::core {
 
@@ -43,11 +44,17 @@ class ModelExecutor : public IControl {
 
   std::uint64_t inputs_processed() const { return inputs_; }
 
+  /// Count processed model inputs under "model.inputs".
+  void set_metrics(runtime::MetricsRegistry* metrics) {
+    inputs_metric_ = metrics != nullptr ? &metrics->counter("model.inputs") : nullptr;
+  }
+
  private:
   void drain(runtime::SimTime now);
 
   std::unique_ptr<IModelImpl> model_;
   std::map<std::string, Expectation> table_;
+  runtime::Counter* inputs_metric_ = nullptr;
   std::uint64_t inputs_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <chrono>
+
 namespace trader::core {
 
 // ----------------------------------------------------------------- Controller
@@ -15,15 +17,19 @@ Controller::Controller(runtime::Scheduler& sched, Configuration& config,
       comparator_(comparator) {}
 
 void Controller::initialize() {
+  if (initialized_) return;
   config_.initialize();
   executor_.initialize();
   input_.initialize();
   output_.initialize();
   comparator_.initialize();
   comparator_.set_notify(this);
+  initialized_ = true;
 }
 
 void Controller::start(runtime::SimTime now) {
+  if (running_) return;  // double-start must not schedule a second tick
+  if (!initialized_) initialize();
   executor_.start(now);
   input_.start(now);
   output_.start(now);
@@ -39,18 +45,41 @@ void Controller::stop() {
   if (!running_) return;
   running_ = false;
   sched_.cancel(tick_handle_);
+  tick_handle_ = runtime::TaskHandle();
   input_.stop();
   output_.stop();
 }
 
+void Controller::set_metrics(runtime::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    ticks_metric_ = nullptr;
+    errors_metric_ = nullptr;
+    tick_latency_metric_ = nullptr;
+    return;
+  }
+  ticks_metric_ = &metrics->counter("controller.ticks");
+  errors_metric_ = &metrics->counter("controller.errors");
+  tick_latency_metric_ = &metrics->histogram("controller.tick_latency_ns");
+}
+
 void Controller::tick() {
+  const bool timed = tick_latency_metric_ != nullptr;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   const runtime::SimTime now = sched_.now();
   executor_.advance(now);
   comparator_.compare_all(now);
+  if (ticks_metric_ != nullptr) ticks_metric_->inc();
+  if (timed) {
+    const auto t1 = std::chrono::steady_clock::now();
+    tick_latency_metric_->record(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
 }
 
 void Controller::on_error(const ErrorReport& report) {
   errors_.push_back(report);
+  if (errors_metric_ != nullptr) errors_metric_->inc();
   if (trace_ != nullptr) {
     trace_->log(report.detected_at, runtime::TraceLevel::kError, "comparator", report.describe());
   }
@@ -60,17 +89,17 @@ void Controller::on_error(const ErrorReport& report) {
 // ----------------------------------------------------------- AwarenessMonitor
 
 AwarenessMonitor::AwarenessMonitor(runtime::Scheduler& sched, runtime::EventBus& bus,
-                                   std::unique_ptr<IModelImpl> model, Params params)
+                                   std::unique_ptr<IModelImpl> model, MonitorSpec spec)
     : sched_(sched),
-      configuration_(params.config),
+      configuration_(spec.config),
       executor_(std::move(model)),
-      input_(sched, bus, params.input_topic, params.config.input_channel,
-             std::move(params.input_mapper),
+      input_(sched, bus, spec.input_topic, spec.config.input_channel,
+             std::move(spec.input_mapper),
              [this](const statemachine::SmEvent& ev, runtime::SimTime now) {
                executor_.on_input(ev, now);
              }),
-      output_(sched, bus, params.output_topics, params.config.output_channel,
-              std::move(params.output_mapper)),
+      output_(sched, bus, spec.output_topics, spec.config.output_channel,
+              std::move(spec.output_mapper)),
       comparator_(configuration_, executor_, output_),
       controller_(sched, configuration_, executor_, input_, output_, comparator_) {
   output_.on_fresh([this](const std::string& observable, runtime::SimTime now) {
@@ -84,5 +113,11 @@ void AwarenessMonitor::start() {
 }
 
 void AwarenessMonitor::stop() { controller_.stop(); }
+
+void AwarenessMonitor::set_metrics(runtime::MetricsRegistry* m) {
+  controller_.set_metrics(m);
+  comparator_.set_metrics(m);
+  executor_.set_metrics(m);
+}
 
 }  // namespace trader::core

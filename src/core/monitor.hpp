@@ -6,6 +6,10 @@
 // executor, comparator, controller, configuration — the unit of which a
 // complex system will typically run several, "for different components,
 // different aspects, and different kinds of faults" (§3).
+//
+// Construction goes through MonitorBuilder (monitor_builder.hpp); the
+// raw MonitorSpec constructor remains for the builder and for the
+// deprecated AwarenessMonitor::Params compatibility path.
 #pragma once
 
 #include <functional>
@@ -17,6 +21,7 @@
 #include "core/configuration.hpp"
 #include "core/model_executor.hpp"
 #include "core/observers.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace trader::core {
@@ -25,7 +30,24 @@ namespace trader::core {
 /// detection to the diagnosis/recovery stages of Fig. 1).
 using RecoveryHandler = std::function<void(const ErrorReport&)>;
 
+/// Complete wiring description of one awareness monitor. Produced by
+/// MonitorBuilder; the deprecated AwarenessMonitor::Params alias keeps
+/// pre-builder call sites compiling.
+struct MonitorSpec {
+  AwarenessConfig config;
+  std::string input_topic = "tv.input";
+  std::vector<std::string> output_topics = {"tv.output"};
+  InputMapper input_mapper;    ///< Default mapper when empty.
+  OutputMapper output_mapper;  ///< Default mapper when empty.
+};
+
 /// The Controller box: lifecycle + error routing.
+///
+/// Lifecycle contract (IControl): initialize() must precede start();
+/// start() auto-initializes when the caller skipped it. The sequence
+/// initialize -> start -> stop may repeat; initialize() after the first
+/// call, start() while running and stop() while stopped are idempotent
+/// no-ops — a double start() must never schedule a second tick task.
 class Controller : public IControl, public IErrorNotify {
  public:
   Controller(runtime::Scheduler& sched, Configuration& config, ModelExecutor& executor,
@@ -39,7 +61,11 @@ class Controller : public IControl, public IErrorNotify {
 
   void set_recovery_handler(RecoveryHandler h) { recovery_ = std::move(h); }
   void set_trace(runtime::TraceLog* trace) { trace_ = trace; }
+  /// Attach a metrics registry: tick count, wall-clock tick latency and
+  /// error count are recorded under "controller.*".
+  void set_metrics(runtime::MetricsRegistry* metrics);
 
+  bool running() const { return running_; }
   const std::vector<ErrorReport>& errors() const { return errors_; }
 
  private:
@@ -53,31 +79,35 @@ class Controller : public IControl, public IErrorNotify {
   Comparator& comparator_;
   RecoveryHandler recovery_;
   runtime::TraceLog* trace_ = nullptr;
+  runtime::Counter* ticks_metric_ = nullptr;
+  runtime::Counter* errors_metric_ = nullptr;
+  runtime::Histogram* tick_latency_metric_ = nullptr;
   runtime::TaskHandle tick_handle_;
   std::vector<ErrorReport> errors_;
+  bool initialized_ = false;
   bool running_ = false;
 };
 
 /// One fully wired awareness monitor.
 class AwarenessMonitor {
  public:
-  struct Params {
-    AwarenessConfig config;
-    std::string input_topic = "tv.input";
-    std::vector<std::string> output_topics = {"tv.output"};
-    InputMapper input_mapper;    ///< Default mapper when empty.
-    OutputMapper output_mapper;  ///< Default mapper when empty.
-  };
+  /// Deprecated spelling of MonitorSpec; construct via MonitorBuilder.
+  using Params [[deprecated("use MonitorBuilder instead of raw Params")]] = MonitorSpec;
 
   AwarenessMonitor(runtime::Scheduler& sched, runtime::EventBus& bus,
-                   std::unique_ptr<IModelImpl> model, Params params);
+                   std::unique_ptr<IModelImpl> model, MonitorSpec spec);
 
   /// Initialize and start every component (Controller included).
+  /// Idempotent: calling start() on a running monitor is a no-op, and a
+  /// stopped monitor can be started again.
   void start();
   void stop();
+  bool running() const { return controller_.running(); }
 
   void set_recovery_handler(RecoveryHandler h) { controller_.set_recovery_handler(std::move(h)); }
   void set_trace(runtime::TraceLog* trace) { controller_.set_trace(trace); }
+  /// Wire controller/comparator/model-executor instruments into `m`.
+  void set_metrics(runtime::MetricsRegistry* m);
 
   const std::vector<ErrorReport>& errors() const { return controller_.errors(); }
   const ComparatorStats& stats() const { return comparator_.stats(); }

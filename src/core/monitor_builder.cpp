@@ -1,0 +1,131 @@
+#include "core/monitor_builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/model_impl.hpp"
+
+namespace trader::core {
+
+MonitorBuilder& MonitorBuilder::model(std::unique_ptr<IModelImpl> model) {
+  model_ = std::move(model);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::model(statemachine::StateMachineDef def) {
+  model_ = std::make_unique<InterpretedModel>(std::move(def));
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::compiled_model(statemachine::StateMachineDef def) {
+  model_ = std::make_unique<CompiledModel>(std::move(def));
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::input_topic(std::string topic) {
+  spec_.input_topic = std::move(topic);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::output_topic(std::string topic) {
+  if (output_topics_defaulted_) {
+    spec_.output_topics.clear();
+    output_topics_defaulted_ = false;
+  }
+  spec_.output_topics.push_back(std::move(topic));
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::threshold(const std::string& name, double threshold,
+                                          int max_consecutive) {
+  ObservableConfig oc;
+  oc.name = name;
+  oc.threshold = threshold;
+  oc.max_consecutive = max_consecutive;
+  return observe(std::move(oc));
+}
+
+MonitorBuilder& MonitorBuilder::observe(ObservableConfig oc) {
+  for (auto& existing : spec_.config.observables) {
+    if (existing.name == oc.name) {
+      existing = std::move(oc);
+      return *this;
+    }
+  }
+  spec_.config.observables.push_back(std::move(oc));
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::comparison_period(runtime::SimDuration period) {
+  spec_.config.comparison_period = period;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::startup_grace(runtime::SimDuration grace) {
+  spec_.config.startup_grace = grace;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::input_channel(runtime::ChannelConfig channel) {
+  spec_.config.input_channel = channel;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::output_channel(runtime::ChannelConfig channel) {
+  spec_.config.output_channel = channel;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::channel_latency(runtime::SimDuration base_latency) {
+  spec_.config.input_channel.base_latency = base_latency;
+  spec_.config.output_channel.base_latency = base_latency;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::input_mapper(InputMapper mapper) {
+  spec_.input_mapper = std::move(mapper);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::output_mapper(OutputMapper mapper) {
+  spec_.output_mapper = std::move(mapper);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::on_error(RecoveryHandler handler) {
+  on_error_ = std::move(handler);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::trace(runtime::TraceLog* trace) {
+  trace_ = trace;
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::metrics(runtime::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  return *this;
+}
+
+std::unique_ptr<AwarenessMonitor> MonitorBuilder::build() {
+  if (sched_ == nullptr || bus_ == nullptr) {
+    throw std::logic_error(
+        "MonitorBuilder::build(): no scheduler/bus bound; construct with "
+        "MonitorBuilder(sched, bus) or use build(sched, bus)");
+  }
+  return build(*sched_, *bus_);
+}
+
+std::unique_ptr<AwarenessMonitor> MonitorBuilder::build(runtime::Scheduler& sched,
+                                                        runtime::EventBus& bus) {
+  if (!model_) {
+    throw std::logic_error("MonitorBuilder::build(): no model set; call model(...) first");
+  }
+  auto monitor = std::make_unique<AwarenessMonitor>(sched, bus, std::move(model_), spec_);
+  if (on_error_) monitor->set_recovery_handler(std::move(on_error_));
+  if (trace_ != nullptr) monitor->set_trace(trace_);
+  if (metrics_ != nullptr) monitor->set_metrics(metrics_);
+  return monitor;
+}
+
+}  // namespace trader::core

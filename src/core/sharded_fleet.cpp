@@ -1,0 +1,279 @@
+#include "core/sharded_fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace trader::core {
+
+namespace {
+
+/// Stable aspect hash (FNV-1a): placement must not depend on the
+/// standard library's std::hash, which varies across platforms.
+std::uint64_t stable_hash(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- Shard
+
+ShardedFleet::Shard::Shard(ShardedFleet& fleet, std::size_t index, std::uint64_t seed)
+    : fleet_(fleet),
+      index_(index),
+      rng_(runtime::Rng(seed).fork()),
+      cross_shard_out_(&metrics_.counter("fleet.cross_shard_out")) {
+  // Router: forward bus-published events to remote owner shards. The
+  // wildcard subscription runs after topic subscribers, so local
+  // delivery has already happened when an event is forwarded.
+  bus_.subscribe("", [this](const runtime::Event& ev) {
+    if (routing_suppressed_) return;
+    fleet_.route_from_bus(*this, ev);
+  });
+}
+
+void ShardedFleet::Shard::publish(const runtime::Event& ev) {
+  auto it = fleet_.routes_.find(ev.topic);
+  if (it == fleet_.routes_.end()) {
+    fleet_.unrouted_events_metric_.inc();
+    return;
+  }
+  for (std::size_t dest : it->second) {
+    fleet_.shards_[dest]->mailbox_.push(runtime::MailboxEntry{
+        ev, sched_.now(), static_cast<std::uint32_t>(index_), route_seq_});
+    if (dest != index_) cross_shard_out_->inc();
+  }
+  ++route_seq_;
+}
+
+// --------------------------------------------------------------- ShardedFleet
+
+ShardedFleet::ShardedFleet(ShardedFleetConfig config)
+    : config_(config),
+      epochs_metric_(fleet_metrics_.counter("fleet.epochs")),
+      external_events_metric_(fleet_metrics_.counter("fleet.external_events")),
+      unrouted_events_metric_(fleet_metrics_.counter("fleet.unrouted_events")) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.epoch <= 0) config_.epoch = runtime::msec(10);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    // Per-shard seed: mix the shard index into the master seed so each
+    // shard draws an independent deterministic stream.
+    const std::uint64_t shard_seed =
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+    shards_.push_back(std::unique_ptr<Shard>(new Shard(*this, i, shard_seed)));
+  }
+  fleet_metrics_.gauge("fleet.shards").set(static_cast<double>(config_.shards));
+}
+
+ShardedFleet::~ShardedFleet() {
+  stop();
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+std::size_t ShardedFleet::shard_of(const std::string& aspect) const {
+  return stable_hash(aspect) % shards_.size();
+}
+
+AwarenessMonitor& ShardedFleet::add_monitor(const std::string& aspect, MonitorBuilder builder) {
+  if (running_) {
+    throw std::logic_error("ShardedFleet::add_monitor: stop() the fleet before adding monitors");
+  }
+  Shard& shard = *shards_[shard_of(aspect)];
+  add_route(builder.input_topic(), shard.index_);
+  for (const auto& topic : builder.output_topics()) add_route(topic, shard.index_);
+
+  auto monitor = builder.build(shard.sched_, shard.bus_);
+  AwarenessMonitor& ref = *monitor;
+  const std::string name = aspect;
+  Shard* home = &shard;
+  ref.set_recovery_handler([this, home, name](const ErrorReport& report) {
+    home->errors_.push_back(AspectError{name, report});
+    if (handler_) {
+      std::lock_guard<std::mutex> lock(handler_mu_);
+      handler_(home->errors_.back());
+    }
+  });
+  ref.set_metrics(&shard.metrics_);
+  shard.entries_.push_back(Shard::Entry{aspect, std::move(monitor)});
+  fleet_metrics_.gauge("fleet.monitors").set(static_cast<double>(monitor_count()));
+  return ref;
+}
+
+void ShardedFleet::add_route(const std::string& topic, std::size_t shard_index) {
+  auto& owners = routes_[topic];
+  if (std::find(owners.begin(), owners.end(), shard_index) == owners.end()) {
+    owners.push_back(shard_index);
+    std::sort(owners.begin(), owners.end());
+  }
+}
+
+std::size_t ShardedFleet::monitor_count() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->entries_.size();
+  return n;
+}
+
+AwarenessMonitor& ShardedFleet::monitor(const std::string& aspect) {
+  for (auto& s : shards_) {
+    for (auto& e : s->entries_) {
+      if (e.aspect == aspect) return *e.monitor;
+    }
+  }
+  throw std::out_of_range("no monitor for aspect: " + aspect);
+}
+
+void ShardedFleet::start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& s : shards_) {
+    for (auto& e : s->entries_) e.monitor->start();
+  }
+  spawn_workers();
+}
+
+void ShardedFleet::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& s : shards_) {
+    for (auto& e : s->entries_) e.monitor->stop();
+  }
+}
+
+void ShardedFleet::publish(const runtime::Event& ev) {
+  auto it = routes_.find(ev.topic);
+  if (it == routes_.end()) {
+    unrouted_events_metric_.inc();
+    return;
+  }
+  external_events_metric_.inc();
+  for (std::size_t dest : it->second) {
+    shards_[dest]->mailbox_.push(
+        runtime::MailboxEntry{ev, now_, runtime::Mailbox::kExternalSource, external_seq_});
+  }
+  ++external_seq_;
+}
+
+void ShardedFleet::route_from_bus(Shard& source, const runtime::Event& ev) {
+  auto it = routes_.find(ev.topic);
+  if (it == routes_.end()) return;
+  for (std::size_t dest : it->second) {
+    if (dest == source.index_) continue;  // local subscribers already served
+    shards_[dest]->mailbox_.push(runtime::MailboxEntry{
+        ev, source.sched_.now(), static_cast<std::uint32_t>(source.index_),
+        source.route_seq_});
+    source.cross_shard_out_->inc();
+  }
+  ++source.route_seq_;
+}
+
+void ShardedFleet::run_until(runtime::SimTime t) {
+  if (!running_) start();
+  while (now_ < t) {
+    // Epoch boundaries sit on an absolute grid so delivery times do not
+    // depend on how callers chunk their run_until() calls.
+    const runtime::SimTime grid_next = (now_ / config_.epoch + 1) * config_.epoch;
+    const runtime::SimTime target = std::min(t, grid_next);
+    run_epoch(target);
+    now_ = target;
+    epochs_metric_.inc();
+  }
+}
+
+void ShardedFleet::spawn_workers() {
+  if (!workers_.empty()) return;
+  phase_barrier_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(shards_.size()));
+  workers_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardedFleet::run_epoch(runtime::SimTime target) {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    target_ = target;
+    remaining_ = shards_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(run_mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void ShardedFleet::worker_loop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    runtime::SimTime target;
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      target = target_;
+    }
+    // Phase 1: every shard drains before any shard runs, so events
+    // routed during the run phase can only land in the next epoch.
+    drain_mailbox(shard);
+    phase_barrier_->arrive_and_wait();
+    // Phase 2: lock-free shard-local event processing.
+    shard.sched_.run_until(target);
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedFleet::drain_mailbox(Shard& shard) {
+  shard.routing_suppressed_ = true;
+  for (auto& entry : shard.mailbox_.drain()) {
+    runtime::Event ev = std::move(entry.event);
+    ev.timestamp = shard.sched_.now();
+    shard.bus_.publish(ev);
+  }
+  shard.routing_suppressed_ = false;
+}
+
+std::vector<AspectError> ShardedFleet::errors() const {
+  std::vector<AspectError> merged;
+  for (const auto& s : shards_) {
+    merged.insert(merged.end(), s->errors_.begin(), s->errors_.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(), [](const AspectError& a, const AspectError& b) {
+    return std::tie(a.report.detected_at, a.aspect) < std::tie(b.report.detected_at, b.aspect);
+  });
+  return merged;
+}
+
+std::size_t ShardedFleet::error_count(const std::string& aspect) const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    for (const auto& e : s->errors_) {
+      if (e.aspect == aspect) ++n;
+    }
+  }
+  return n;
+}
+
+runtime::MetricsSnapshot ShardedFleet::metrics() const {
+  runtime::MetricsSnapshot snap = fleet_metrics_.snapshot();
+  for (const auto& s : shards_) snap.merge(s->metrics_.snapshot());
+  return snap;
+}
+
+}  // namespace trader::core

@@ -1,0 +1,183 @@
+// Sharded multi-threaded fleet runtime.
+//
+// The paper (§3) expects "several awareness monitors in a complex
+// system"; MonitorFleet runs them all on one scheduler thread, which
+// caps throughput at a single core. ShardedFleet partitions monitors
+// across N worker threads. Each shard owns a private Scheduler +
+// EventBus + Rng + MetricsRegistry, so the hot tick path is entirely
+// shard-local and lock-free; the only synchronized structure is the
+// MPSC mailbox carrying events that cross a shard boundary.
+//
+// Execution is epoch-based lockstep: virtual time advances in fixed
+// quanta. At every epoch boundary all shards (a) drain their mailboxes
+// in deterministic (send-time, source, sequence) order, then — behind a
+// barrier — (b) run their schedulers in parallel to the epoch end.
+// Cross-shard events published during an epoch are therefore always
+// delivered at the next boundary, making delivery order a function of
+// the virtual timeline rather than thread interleaving: a fixed seed
+// produces identical error reports for 1, 2 or 8 shards.
+//
+// Monitor placement is a stable hash of the aspect name, so placement
+// (and thus results on the deterministic publish paths) does not change
+// between runs. Inject events either from outside via
+// ShardedFleet::publish(), or from scheduled tasks inside a shard via
+// Shard::publish(); both routes go through the mailbox. Publishing
+// straight onto a shard's local bus also works (a wildcard router
+// forwards to remote owner shards) but then same-shard subscribers see
+// the event one epoch earlier than remote ones.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/monitor_builder.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/rng.hpp"
+
+namespace trader::core {
+
+struct ShardedFleetConfig {
+  std::size_t shards = 1;
+  /// Barrier quantum: cross-shard events are delivered on this grid.
+  runtime::SimDuration epoch = runtime::msec(10);
+  /// Master seed; each shard's Rng derives deterministically from it.
+  std::uint64_t seed = 0x5eed;
+};
+
+class ShardedFleet {
+ public:
+  using AspectRecoveryHandler = MonitorFleet::AspectRecoveryHandler;
+
+  /// One worker's private runtime island.
+  class Shard {
+   public:
+    runtime::Scheduler& sched() { return sched_; }
+    runtime::EventBus& bus() { return bus_; }
+    runtime::Rng& rng() { return rng_; }
+    runtime::MetricsRegistry& metrics() { return metrics_; }
+    std::size_t index() const { return index_; }
+
+    /// Deterministic publish from inside this shard (e.g. from a
+    /// scheduled SUO task): the event lands in every owning shard's
+    /// mailbox — this shard's included — and is delivered at the next
+    /// epoch boundary everywhere.
+    void publish(const runtime::Event& ev);
+
+   private:
+    friend class ShardedFleet;
+    Shard(ShardedFleet& fleet, std::size_t index, std::uint64_t seed);
+
+    struct Entry {
+      std::string aspect;
+      std::unique_ptr<AwarenessMonitor> monitor;
+    };
+
+    ShardedFleet& fleet_;
+    std::size_t index_;
+    runtime::Scheduler sched_;
+    runtime::EventBus bus_;
+    runtime::Rng rng_;
+    runtime::MetricsRegistry metrics_;
+    runtime::Mailbox mailbox_;
+    runtime::Counter* cross_shard_out_ = nullptr;
+    std::uint64_t route_seq_ = 0;
+    bool routing_suppressed_ = false;
+    std::vector<Entry> entries_;
+    std::vector<AspectError> errors_;
+  };
+
+  explicit ShardedFleet(ShardedFleetConfig config = {});
+  ~ShardedFleet();
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  /// Add a monitor for `aspect`; placement is hash(aspect) % shards.
+  /// Only legal while the fleet is stopped (routing stays immutable
+  /// while workers run). Returns the monitor for pre-start tuning.
+  AwarenessMonitor& add_monitor(const std::string& aspect, MonitorBuilder builder);
+
+  /// Route `topic` to a shard that has no monitor subscribed to it
+  /// (tests or custom subscribers on shard(i).bus()).
+  void add_route(const std::string& topic, std::size_t shard_index);
+
+  /// Fleet-wide recovery hook. Called synchronously on worker threads
+  /// (serialized by an internal mutex); cross-shard invocation order is
+  /// unspecified — use errors() for the deterministic view.
+  void set_recovery_handler(AspectRecoveryHandler handler) { handler_ = std::move(handler); }
+
+  /// Start / stop every monitor. Idempotent, like the IControl
+  /// contract: double start/stop are no-ops; restart is supported.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Advance all shards in lockstep to virtual time `t` (auto-starts).
+  void run_until(runtime::SimTime t);
+  void run_for(runtime::SimDuration d) { run_until(now_ + d); }
+  runtime::SimTime now() const { return now_; }
+
+  /// Inject an event from outside the fleet; delivered to every owning
+  /// shard at the next epoch boundary. Call only between run_* calls.
+  void publish(const runtime::Event& ev);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t monitor_count() const;
+  std::size_t shard_of(const std::string& aspect) const;
+  Shard& shard(std::size_t index) { return *shards_[index]; }
+  AwarenessMonitor& monitor(const std::string& aspect);
+
+  /// Merged error view across all shards, sorted by (detection time,
+  /// aspect) — identical for identical seeds regardless of shard count.
+  std::vector<AspectError> errors() const;
+  std::size_t error_count(const std::string& aspect) const;
+
+  /// Merged metrics: fleet-level instruments plus every shard's
+  /// registry folded into one snapshot.
+  runtime::MetricsSnapshot metrics() const;
+
+ private:
+  void spawn_workers();
+  void worker_loop(std::size_t index);
+  void run_epoch(runtime::SimTime target);
+  void drain_mailbox(Shard& shard);
+  void route_from_bus(Shard& source, const runtime::Event& ev);
+
+  ShardedFleetConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, std::vector<std::size_t>> routes_;  // topic -> owner shards
+  runtime::MetricsRegistry fleet_metrics_;
+  runtime::Counter& epochs_metric_;
+  runtime::Counter& external_events_metric_;
+  runtime::Counter& unrouted_events_metric_;
+  AspectRecoveryHandler handler_;
+  std::mutex handler_mu_;
+
+  runtime::SimTime now_ = 0;
+  std::uint64_t external_seq_ = 0;
+  bool running_ = false;
+
+  // Worker pool: main thread publishes (generation, target) and waits
+  // for `remaining_` to hit zero; a std::barrier separates the drain
+  // phase from the run phase inside each epoch.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> phase_barrier_;
+  std::mutex run_mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  runtime::SimTime target_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace trader::core

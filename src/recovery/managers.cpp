@@ -23,11 +23,25 @@ std::vector<std::string> CommunicationManager::unit_names() const {
   return out;
 }
 
+void CommunicationManager::set_metrics(runtime::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    routed_metric_ = nullptr;
+    quarantined_metric_ = nullptr;
+    dropped_metric_ = nullptr;
+    return;
+  }
+  routed_metric_ = &metrics->counter("comm.routed");
+  quarantined_metric_ = &metrics->counter("comm.quarantined");
+  dropped_metric_ = &metrics->counter("comm.dropped");
+}
+
 void CommunicationManager::send(const std::string& to, const runtime::Event& msg) {
   ++routed_;
+  if (routed_metric_ != nullptr) routed_metric_->inc();
   auto it = units_.find(to);
   if (it == units_.end()) {
     ++dropped_;
+    if (dropped_metric_ != nullptr) dropped_metric_->inc();
     return;
   }
   RecoverableUnit& u = *it->second;
@@ -39,10 +53,12 @@ void CommunicationManager::send(const std::string& to, const runtime::Event& msg
   auto& q = quarantine_[to];
   if (q.size() >= quarantine_cap_) {
     ++dropped_;
+    if (dropped_metric_ != nullptr) dropped_metric_->inc();
     return;
   }
   q.push_back(msg);
   ++quarantined_;
+  if (quarantined_metric_ != nullptr) quarantined_metric_->inc();
 }
 
 void CommunicationManager::flush(const std::string& to) {
@@ -101,10 +117,21 @@ std::vector<std::string> RecoveryManager::scope_of(const std::string& unit) cons
   return scope;
 }
 
+void RecoveryManager::set_metrics(runtime::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    recoveries_metric_ = nullptr;
+    restarts_metric_ = nullptr;
+    return;
+  }
+  recoveries_metric_ = &metrics->counter("recovery.invocations");
+  restarts_metric_ = &metrics->counter("recovery.units_restarted");
+}
+
 void RecoveryManager::restart(RecoverableUnit& u, runtime::SimTime now) {
   u.kill(now);
   u.begin_restart(now);
   ++units_restarted_;
+  if (restarts_metric_ != nullptr) restarts_metric_->inc();
   const std::string name = u.name();
   sched_.schedule_after(u.restart_time(), [this, name] {
     RecoverableUnit* unit = comm_.unit(name);
@@ -118,6 +145,7 @@ std::size_t RecoveryManager::notify_failure(const std::string& unit, runtime::Si
   RecoverableUnit* failed = comm_.unit(unit);
   if (failed == nullptr) return 0;
   ++recoveries_;
+  if (recoveries_metric_ != nullptr) recoveries_metric_->inc();
   const auto scope = scope_of(unit);
   for (const auto& name : scope) {
     RecoverableUnit* u = comm_.unit(name);

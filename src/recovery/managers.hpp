@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "recovery/recoverable_unit.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace trader::recovery {
@@ -37,6 +38,9 @@ class CommunicationManager {
   /// Deliver everything quarantined for a freshly restarted unit.
   void flush(const std::string& to);
 
+  /// Mirror routing outcomes into "comm.*" counters.
+  void set_metrics(runtime::MetricsRegistry* metrics);
+
   std::uint64_t routed() const { return routed_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t quarantined() const { return quarantined_; }
@@ -46,6 +50,9 @@ class CommunicationManager {
  private:
   runtime::Scheduler& sched_;
   std::size_t quarantine_cap_;
+  runtime::Counter* routed_metric_ = nullptr;
+  runtime::Counter* quarantined_metric_ = nullptr;
+  runtime::Counter* dropped_metric_ = nullptr;
   std::map<std::string, RecoverableUnit*> units_;
   std::map<std::string, std::deque<runtime::Event>> quarantine_;
   std::uint64_t routed_ = 0;
@@ -80,6 +87,9 @@ class RecoveryManager {
   /// schedule restarts. Returns the number of units taken down.
   std::size_t notify_failure(const std::string& unit, runtime::SimTime now);
 
+  /// Mirror recovery activity into "recovery.*" counters.
+  void set_metrics(runtime::MetricsRegistry* metrics);
+
   std::uint64_t recoveries() const { return recoveries_; }
   std::uint64_t units_restarted() const { return units_restarted_; }
 
@@ -90,6 +100,8 @@ class RecoveryManager {
   runtime::Scheduler& sched_;
   CommunicationManager& comm_;
   RecoveryPolicy policy_;
+  runtime::Counter* recoveries_metric_ = nullptr;
+  runtime::Counter* restarts_metric_ = nullptr;
   std::multimap<std::string, std::string> dependents_;  // on -> dependent
   std::uint64_t recoveries_ = 0;
   std::uint64_t units_restarted_ = 0;

@@ -1,0 +1,26 @@
+#include "runtime/mailbox.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace trader::runtime {
+
+void Mailbox::push(MailboxEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.push_back(std::move(entry));
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<MailboxEntry> Mailbox::drain() {
+  std::vector<MailboxEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(items_);
+  }
+  std::sort(out.begin(), out.end(), [](const MailboxEntry& a, const MailboxEntry& b) {
+    return std::tie(a.sent_at, a.source, a.seq) < std::tie(b.sent_at, b.source, b.seq);
+  });
+  return out;
+}
+
+}  // namespace trader::runtime

@@ -1,0 +1,52 @@
+// MPSC cross-shard mailbox.
+//
+// In the sharded fleet each shard owns a private Scheduler + EventBus so
+// the hot tick path never takes a lock; the only synchronized structure
+// is this mailbox, touched exclusively for events that cross a shard
+// boundary. Producers (other shards' worker threads, or the fleet driver
+// thread) push under a mutex; the owning shard drains at an epoch
+// barrier. Draining sorts by (virtual send time, source id, per-source
+// sequence), which makes delivery order a pure function of the virtual
+// timeline — never of thread interleaving — and is what keeps fleet runs
+// bit-reproducible regardless of shard count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::runtime {
+
+/// One in-flight cross-shard event.
+struct MailboxEntry {
+  Event event;
+  SimTime sent_at = 0;      ///< Virtual time at the publishing shard.
+  std::uint32_t source = 0; ///< Shard index, or Mailbox::kExternalSource.
+  std::uint64_t seq = 0;    ///< Per-source monotonic sequence.
+};
+
+class Mailbox {
+ public:
+  /// Producer id for events injected from outside any shard.
+  static constexpr std::uint32_t kExternalSource = 0xffffffffu;
+
+  /// Multi-producer push (any thread).
+  void push(MailboxEntry entry);
+
+  /// Single-consumer drain: returns all pending entries in deterministic
+  /// (sent_at, source, seq) order and empties the box.
+  std::vector<MailboxEntry> drain();
+
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::vector<MailboxEntry> items_;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+}  // namespace trader::runtime

@@ -1,0 +1,119 @@
+// Metrics layer: counters, gauges and fixed-bucket latency histograms.
+//
+// The ArVI working-group report on monitoring and the timed-trace
+// matching literature both identify monitoring *overhead* as the
+// adoption bottleneck for run-time verification; this registry makes the
+// awareness loop's own cost a first-class observable. Every instrument
+// is a plain atomic so the hot tick path stays lock-free: the registry
+// mutex is taken only at registration time (component construction) and
+// at snapshot time. In the sharded fleet each shard owns one registry;
+// snapshots from all shards merge into one fleet-wide view that can be
+// exported as JSON for the BENCH_* trajectories.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trader::runtime {
+
+/// Monotonic event counter (lock-free increment).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket bounds are immutable after creation so
+/// recording is a linear scan over a handful of atomics (no allocation,
+/// no locks). Intended for latency samples in nanoseconds.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bucket edges, strictly increasing; an
+  /// implicit overflow bucket catches everything above the last edge.
+  /// Empty bounds select the default latency grid (250ns .. 1s, x4).
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Default exponential latency grid in nanoseconds.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram, mergeable across shards.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Bucket-resolution quantile estimate, q in [0, 1].
+  double quantile(double q) const;
+};
+
+/// Point-in-time copy of a whole registry (or a merge of several).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Merge another snapshot in: counters add, gauges add (per-shard
+  /// gauges are occupancy-style, so the fleet view is the sum),
+  /// histograms with identical bounds add bucket-wise.
+  void merge(const MetricsSnapshot& other);
+
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Pretty-printed JSON document (stable key order).
+  std::string to_json() const;
+};
+
+/// Name -> instrument registry. Instruments live as long as the
+/// registry; components resolve them once and keep the reference.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // registration/snapshot only — never on update
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace trader::runtime

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
@@ -64,20 +64,16 @@ sm::StateMachineDef counter_model() {
   return def;
 }
 
-core::AwarenessMonitor::Params counter_params(int max_consecutive = 1, double threshold = 0.0) {
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "suo.in";
-  params.output_topics = {"suo.out"};
-  core::ObservableConfig oc;
-  oc.name = "count";
-  oc.threshold = threshold;
-  oc.max_consecutive = max_consecutive;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(10);
-  params.config.startup_grace = rt::msec(5);
-  params.config.input_channel.base_latency = rt::usec(100);
-  params.config.output_channel.base_latency = rt::usec(100);
-  return params;
+core::MonitorBuilder counter_builder(int max_consecutive = 1, double threshold = 0.0) {
+  core::MonitorBuilder builder;
+  builder.model(counter_model())
+      .input_topic("suo.in")
+      .output_topic("suo.out")
+      .threshold("count", threshold, max_consecutive)
+      .comparison_period(rt::msec(10))
+      .startup_grace(rt::msec(5))
+      .channel_latency(rt::usec(100));
+  return builder;
 }
 
 }  // namespace
@@ -220,44 +216,42 @@ TEST(ModelExecutor, CompiledModelWorksToo) {
 namespace {
 
 struct MonitorFixture {
-  explicit MonitorFixture(core::AwarenessMonitor::Params params)
-      : suo(sched, bus),
-        monitor(sched, bus, std::make_unique<core::InterpretedModel>(model_def), std::move(params)) {
-    monitor.start();
+  explicit MonitorFixture(core::MonitorBuilder builder)
+      : suo(sched, bus), monitor(builder.build(sched, bus)) {
+    monitor->start();
   }
 
   rt::Scheduler sched;
   rt::EventBus bus;
-  sm::StateMachineDef model_def = counter_model();
   EchoSuo suo;
-  core::AwarenessMonitor monitor;
+  std::unique_ptr<core::AwarenessMonitor> monitor;
 };
 
 }  // namespace
 
 TEST(Monitor, NoErrorsWhenSystemMatchesModel) {
-  MonitorFixture f(counter_params());
+  MonitorFixture f(counter_builder());
   for (int i = 1; i <= 5; ++i) {
     f.suo.input("inc");
     f.suo.output("count", std::int64_t{i});
     f.sched.run_for(rt::msec(50));
   }
-  EXPECT_TRUE(f.monitor.errors().empty());
-  EXPECT_GT(f.monitor.stats().comparisons, 0u);
+  EXPECT_TRUE(f.monitor->errors().empty());
+  EXPECT_GT(f.monitor->stats().comparisons, 0u);
 }
 
 TEST(Monitor, DetectsPersistentDeviation) {
-  MonitorFixture f(counter_params(/*max_consecutive=*/3));
+  MonitorFixture f(counter_builder(/*max_consecutive=*/3));
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{1});
   f.sched.run_for(rt::msec(50));
-  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_TRUE(f.monitor->errors().empty());
   // SUO drops the second increment: model expects 2, system says 1.
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{1});
   f.sched.run_for(rt::msec(200));
-  ASSERT_EQ(f.monitor.errors().size(), 1u);  // reported once per episode
-  const auto& err = f.monitor.errors()[0];
+  ASSERT_EQ(f.monitor->errors().size(), 1u);  // reported once per episode
+  const auto& err = f.monitor->errors()[0];
   EXPECT_EQ(err.observable, "count");
   EXPECT_EQ(std::get<std::int64_t>(err.expected), 2);
   EXPECT_EQ(std::get<std::int64_t>(err.observed), 1);
@@ -265,20 +259,19 @@ TEST(Monitor, DetectsPersistentDeviation) {
 }
 
 TEST(Monitor, ThresholdTolerance) {
-  auto params = counter_params(/*max_consecutive=*/1, /*threshold=*/1.0);
-  MonitorFixture f(std::move(params));
+  MonitorFixture f(counter_builder(/*max_consecutive=*/1, /*threshold=*/1.0));
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{2});  // off by one, within threshold
   f.sched.run_for(rt::msec(100));
-  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_TRUE(f.monitor->errors().empty());
   f.suo.input("inc");                       // expected 2
   f.suo.output("count", std::int64_t{4});   // off by two, beyond threshold
   f.sched.run_for(rt::msec(100));
-  EXPECT_EQ(f.monitor.errors().size(), 1u);
+  EXPECT_EQ(f.monitor->errors().size(), 1u);
 }
 
 TEST(Monitor, ConsecutiveLimitSuppressesTransients) {
-  MonitorFixture f(counter_params(/*max_consecutive=*/5));
+  MonitorFixture f(counter_builder(/*max_consecutive=*/5));
   // Single transient mismatch, then corrected: with limit 5 the episode
   // ends (event-based comparison agrees again) before an error fires.
   f.suo.input("inc");
@@ -286,40 +279,40 @@ TEST(Monitor, ConsecutiveLimitSuppressesTransients) {
   f.sched.run_for(rt::msec(20));
   f.suo.output("count", std::int64_t{1});  // caught up
   f.sched.run_for(rt::msec(200));
-  EXPECT_TRUE(f.monitor.errors().empty());
-  EXPECT_GT(f.monitor.stats().deviations, 0u);
+  EXPECT_TRUE(f.monitor->errors().empty());
+  EXPECT_GT(f.monitor->stats().deviations, 0u);
 }
 
 TEST(Monitor, StartupGraceSuppressesEarlyComparisons) {
-  auto params = counter_params();
-  params.config.startup_grace = rt::msec(500);
-  MonitorFixture f(std::move(params));
+  auto builder = counter_builder();
+  builder.startup_grace(rt::msec(500));
+  MonitorFixture f(std::move(builder));
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{999});  // wild mismatch during grace
   f.sched.run_for(rt::msec(400));
-  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_TRUE(f.monitor->errors().empty());
   f.sched.run_for(rt::msec(400));  // grace over; mismatch persists
-  EXPECT_FALSE(f.monitor.errors().empty());
+  EXPECT_FALSE(f.monitor->errors().empty());
 }
 
 TEST(Monitor, EnableCompareWindowSuppresses) {
-  MonitorFixture f(counter_params());
+  MonitorFixture f(counter_builder());
   f.suo.input("hush");  // model disables comparison of "count"
   f.sched.run_for(rt::msec(20));
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{42});
   f.sched.run_for(rt::msec(200));
-  EXPECT_TRUE(f.monitor.errors().empty());
-  EXPECT_GT(f.monitor.stats().suppressed, 0u);
+  EXPECT_TRUE(f.monitor->errors().empty());
+  EXPECT_GT(f.monitor->stats().suppressed, 0u);
   f.suo.input("talk");
   f.sched.run_for(rt::msec(200));
-  EXPECT_FALSE(f.monitor.errors().empty());
+  EXPECT_FALSE(f.monitor->errors().empty());
 }
 
 TEST(Monitor, RecoveryHandlerInvoked) {
-  MonitorFixture f(counter_params());
+  MonitorFixture f(counter_builder());
   int recoveries = 0;
-  f.monitor.set_recovery_handler([&](const core::ErrorReport&) { ++recoveries; });
+  f.monitor->set_recovery_handler([&](const core::ErrorReport&) { ++recoveries; });
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{9});
   f.sched.run_for(rt::msec(100));
@@ -327,9 +320,9 @@ TEST(Monitor, RecoveryHandlerInvoked) {
 }
 
 TEST(Monitor, ErrorsLoggedToTrace) {
-  MonitorFixture f(counter_params());
+  MonitorFixture f(counter_builder());
   rt::TraceLog trace;
-  f.monitor.set_trace(&trace);
+  f.monitor->set_trace(&trace);
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{9});
   f.sched.run_for(rt::msec(100));
@@ -337,26 +330,30 @@ TEST(Monitor, ErrorsLoggedToTrace) {
 }
 
 TEST(Monitor, TimeBasedOnlyComparisonStillDetects) {
-  auto params = counter_params(3);
-  params.config.observables[0].event_based = false;
-  MonitorFixture f(std::move(params));
+  auto builder = counter_builder(3);
+  core::ObservableConfig oc;
+  oc.name = "count";
+  oc.max_consecutive = 3;
+  oc.event_based = false;
+  builder.observe(oc);  // replaces the entry counter_builder() added
+  MonitorFixture f(std::move(builder));
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{7});
   f.sched.run_for(rt::msec(300));
-  EXPECT_EQ(f.monitor.errors().size(), 1u);
+  EXPECT_EQ(f.monitor->errors().size(), 1u);
 }
 
 TEST(Monitor, StopFreezesObservation) {
-  MonitorFixture f(counter_params());
-  f.monitor.stop();
+  MonitorFixture f(counter_builder());
+  f.monitor->stop();
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{9});
   f.sched.run_for(rt::msec(100));
-  EXPECT_TRUE(f.monitor.errors().empty());
+  EXPECT_TRUE(f.monitor->errors().empty());
 }
 
 TEST(Monitor, EpisodeResetAllowsNewReport) {
-  MonitorFixture f(counter_params());
+  MonitorFixture f(counter_builder());
   f.suo.input("inc");
   f.suo.output("count", std::int64_t{9});  // wrong -> error #1
   f.sched.run_for(rt::msec(100));
@@ -364,7 +361,7 @@ TEST(Monitor, EpisodeResetAllowsNewReport) {
   f.sched.run_for(rt::msec(100));
   f.suo.output("count", std::int64_t{9});  // wrong again -> error #2
   f.sched.run_for(rt::msec(100));
-  EXPECT_EQ(f.monitor.errors().size(), 2u);
+  EXPECT_EQ(f.monitor->errors().size(), 2u);
 }
 
 // ----------------------------------------------- Monitor watching the real TV
@@ -376,22 +373,17 @@ struct TvMonitorFixture {
       : injector(rt::Rng(7)),
         set(sched, bus, injector),
         spec_def(tv::build_tv_spec_model()) {
-    core::AwarenessMonitor::Params params;
-    params.input_topic = "tv.input";
-    params.output_topics = {"tv.output"};
-    params.config.comparison_period = rt::msec(20);
-    params.config.startup_grace = rt::msec(50);
-    params.config.input_channel.base_latency = rt::usec(200);
-    params.config.output_channel.base_latency = rt::usec(200);
+    core::MonitorBuilder builder(sched, bus);
+    builder.model(std::make_unique<core::InterpretedModel>(spec_def))
+        .input_topic("tv.input")
+        .output_topic("tv.output")
+        .comparison_period(rt::msec(20))
+        .startup_grace(rt::msec(50))
+        .channel_latency(rt::usec(200));
     for (const char* name : {"sound_level", "screen_state", "channel", "powered"}) {
-      core::ObservableConfig oc;
-      oc.name = name;
-      oc.threshold = 0.0;
-      oc.max_consecutive = 3;
-      params.config.observables.push_back(oc);
+      builder.threshold(name, 0.0, /*max_consecutive=*/3);
     }
-    monitor = std::make_unique<core::AwarenessMonitor>(
-        sched, bus, std::make_unique<core::InterpretedModel>(spec_def), std::move(params));
+    monitor = builder.build();
     set.start();
     monitor->start();
   }
@@ -457,4 +449,31 @@ TEST(TvMonitor, DetectionLatencyIsBoundedByComparatorSettings) {
   // 3 consecutive deviations at a 20 ms compare period plus transport:
   // detection must land within ~200 ms of the fault manifesting.
   EXPECT_LE(detected - injected, rt::msec(200));
+}
+
+// --------------------------------------------- Deprecated Params-struct shim
+
+// Pre-builder call sites spelled the configuration as a Params struct.
+// The alias is deprecated (this test intentionally triggers the build
+// warning) but must keep working until the next major cleanup.
+TEST(Monitor, DeprecatedParamsStructStillWorks) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  EchoSuo suo(sched, bus);
+  core::AwarenessMonitor::Params params;
+  params.input_topic = "suo.in";
+  params.output_topics = {"suo.out"};
+  core::ObservableConfig oc;
+  oc.name = "count";
+  params.config.observables.push_back(oc);
+  params.config.comparison_period = rt::msec(10);
+  params.config.startup_grace = rt::msec(5);
+  core::AwarenessMonitor monitor(sched, bus,
+                                 std::make_unique<core::InterpretedModel>(counter_model()),
+                                 std::move(params));
+  monitor.start();
+  suo.input("inc");
+  suo.output("count", std::int64_t{9});
+  sched.run_for(rt::msec(100));
+  EXPECT_EQ(monitor.errors().size(), 1u);
 }

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
 #include "recovery/managers.hpp"
 #include "runtime/event_bus.hpp"
@@ -199,36 +199,35 @@ TEST(EdgeMonitor, ObservableConfigChangesTakeEffectLive) {
   rt::EventBus bus;
   flt::FaultInjector injector(rt::Rng(1));
   tv::TvSystem set(sched, bus, injector);
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
   core::ObservableConfig oc;
   oc.name = "sound_level";
   oc.max_consecutive = 3;
-  params.config.observables.push_back(oc);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                     .comparison_period(rt::msec(20))
+                     .startup_grace(rt::msec(100))
+                     .observe(oc)
+                     .build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
 
   // Raise the threshold at run time: a one-step volume divergence is now
   // tolerated (adaptive monitoring — the §5 light/heavy flexibility).
   oc.threshold = 10.0;
-  monitor.configuration().set_observable(oc);
+  monitor->configuration().set_observable(oc);
   injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", sched.now(),
                                    rt::msec(50), 1.0, {}});
   set.press(tv::Key::kVolumeUp);  // lost: deviation 5 <= threshold 10
   sched.run_for(rt::sec(1));
-  EXPECT_TRUE(monitor.errors().empty());
+  EXPECT_TRUE(monitor->errors().empty());
 
   // Tighten it again: the persisting divergence is now reported.
   oc.threshold = 0.0;
-  monitor.configuration().set_observable(oc);
+  monitor->configuration().set_observable(oc);
   sched.run_for(rt::sec(1));
-  EXPECT_FALSE(monitor.errors().empty());
+  EXPECT_FALSE(monitor->errors().empty());
 }
 
 // ------------------------------------------------------------ recovery corners

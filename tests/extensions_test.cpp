@@ -123,17 +123,15 @@ sm::StateMachineDef sound_aspect_model() {
   return tv::build_tv_spec_model(cfg);  // reuse; configured observables select the aspect
 }
 
-core::AwarenessMonitor::Params aspect_params(const std::vector<const char*>& observables) {
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
+core::MonitorBuilder aspect_monitor(const std::vector<const char*>& observables) {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(sound_aspect_model()))
+      .comparison_period(rt::msec(20))
+      .startup_grace(rt::msec(100));
   for (const char* name : observables) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    oc.max_consecutive = 3;
-    params.config.observables.push_back(oc);
+    builder.threshold(name, 0.0, /*max_consecutive=*/3);
   }
-  return params;
+  return builder;
 }
 
 }  // namespace
@@ -145,10 +143,8 @@ TEST(Fleet, AspectsDetectTheirOwnFaults) {
   tv::TvSystem set(sched, bus, injector);
 
   core::MonitorFleet fleet(sched, bus);
-  fleet.add_monitor("sound", std::make_unique<core::InterpretedModel>(sound_aspect_model()),
-                    aspect_params({"sound_level"}));
-  fleet.add_monitor("screen", std::make_unique<core::InterpretedModel>(sound_aspect_model()),
-                    aspect_params({"screen_state"}));
+  fleet.add_monitor("sound", aspect_monitor({"sound_level"}));
+  fleet.add_monitor("screen", aspect_monitor({"screen_state"}));
   EXPECT_EQ(fleet.size(), 2u);
 
   std::vector<std::string> recovered_aspects;
@@ -186,8 +182,7 @@ TEST(Fleet, MonitorLookup) {
   rt::Scheduler sched;
   rt::EventBus bus;
   core::MonitorFleet fleet(sched, bus);
-  fleet.add_monitor("a", std::make_unique<core::InterpretedModel>(sound_aspect_model()),
-                    aspect_params({"sound_level"}));
+  fleet.add_monitor("a", aspect_monitor({"sound_level"}));
   EXPECT_NO_THROW(fleet.monitor("a"));
   EXPECT_THROW(fleet.monitor("zzz"), std::out_of_range);
 }
@@ -402,23 +397,19 @@ TEST(ClosedLoop, DetectRecordReplayDiagnoseRecover) {
   flt::FaultInjector injector(rt::Rng(3));
   tv::TvSystem set(sched, bus, injector);
 
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
+  core::MonitorBuilder builder(sched, bus);
+  builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+      .comparison_period(rt::msec(20))
+      .startup_grace(rt::msec(100));
   for (const char* name : {"sound_level", "screen_state"}) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    oc.max_consecutive = 3;
-    params.config.observables.push_back(oc);
+    builder.threshold(name, 0.0, /*max_consecutive=*/3);
   }
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = builder.build();
   obs::ScenarioRecorder recorder(sched, bus, "tv.input");
 
   recorder.start();
   set.start();
-  monitor.start();
+  monitor->start();
 
   // Live use; the audio command channel is silently lossy (the fault).
   injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", rt::msec(600),
@@ -434,8 +425,8 @@ TEST(ClosedLoop, DetectRecordReplayDiagnoseRecover) {
   recorder.stop();
 
   // 1. Detection happened.
-  ASSERT_FALSE(monitor.errors().empty());
-  EXPECT_EQ(monitor.errors()[0].observable, "sound_level");
+  ASSERT_FALSE(monitor->errors().empty());
+  EXPECT_EQ(monitor->errors()[0].observable, "sound_level");
 
   // 2. Replay the recorded scenario against a fresh instrumented set;
   //    per key press, record control-block coverage and whether the

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "diagnosis/spectrum.hpp"
 #include "diagnosis/synthetic_program.hpp"
 #include "faults/injector.hpp"
@@ -112,27 +112,23 @@ TEST(Impact, DrivesRecoveryDecisionsOnRealErrors) {
   flt::FaultInjector injector(rt::Rng(5));
   tv::TvSystem set(sched, bus, injector);
 
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
-  core::ObservableConfig oc;
-  oc.name = "sound_level";
-  oc.max_consecutive = 3;
-  params.config.observables.push_back(oc);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                     .comparison_period(rt::msec(20))
+                     .startup_grace(rt::msec(100))
+                     .threshold("sound_level", 0.0, /*max_consecutive=*/3)
+                     .build();
 
   auto assessor = per::tv_impact_assessor();
   std::vector<per::RepairUrgency> decisions;
-  monitor.set_recovery_handler([&](const core::ErrorReport& err) {
+  monitor->set_recovery_handler([&](const core::ErrorReport& err) {
     const auto impact = assessor.assess(err);
     decisions.push_back(impact.urgency);
     if (impact.urgency == per::RepairUrgency::kImmediate) set.restart_component("audio");
   });
 
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
   // Crank the volume up so the failed mute leaves a big deviation.

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
@@ -143,30 +143,26 @@ TEST(ParallelModel, MonitorsRealTvWithPerAspectRegions) {
   sm::MachineSet regions;
   regions.add_region("tv", tv::build_tv_spec_model());
 
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
+  core::MonitorBuilder builder(sched, bus);
+  builder.model(std::make_unique<core::ParallelModel>(std::move(regions)))
+      .comparison_period(rt::msec(20))
+      .startup_grace(rt::msec(100));
   for (const char* name : {"sound_level", "screen_state"}) {
-    core::ObservableConfig oc;
-    oc.name = name;
-    oc.max_consecutive = 3;
-    params.config.observables.push_back(oc);
+    builder.threshold(name, 0.0, /*max_consecutive=*/3);
   }
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::ParallelModel>(std::move(regions)),
-                                 std::move(params));
+  auto monitor = builder.build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
   set.press(tv::Key::kVolumeUp);
   sched.run_for(rt::msec(300));
-  EXPECT_TRUE(monitor.errors().empty());
+  EXPECT_TRUE(monitor->errors().empty());
   injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.audio", sched.now(),
                                    rt::msec(50), 1.0, {}});
   set.press(tv::Key::kVolumeUp);
   sched.run_for(rt::msec(500));
-  EXPECT_FALSE(monitor.errors().empty());
+  EXPECT_FALSE(monitor->errors().empty());
 }
 
 // ------------------------------------------------------------------ Explorer

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "mediaplayer/player.hpp"
@@ -186,36 +186,29 @@ TEST(PlayerSpec, SeekSuppressesComparisonThenResumes) {
 
 namespace {
 
-core::AwarenessMonitor::Params player_params() {
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "mp.input";
-  params.output_topics = {"mp.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    return sm::SmEvent::named(cmd);
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.threshold = 0.0;
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(25);
-  params.config.startup_grace = rt::msec(50);
-  params.config.input_channel.base_latency = rt::usec(300);
-  params.config.output_channel.base_latency = rt::usec(300);
-  return params;
+core::MonitorBuilder player_monitor() {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(mp::build_player_spec_model()))
+      .input_topic("mp.input")
+      .output_topic("mp.output")
+      .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+        const std::string cmd = ev.str_field("cmd");
+        if (cmd.empty()) return std::nullopt;
+        return sm::SmEvent::named(cmd);
+      })
+      .threshold("state", 0.0, /*max_consecutive=*/4)
+      .comparison_period(rt::msec(25))
+      .startup_grace(rt::msec(50))
+      .channel_latency(rt::usec(300));
+  return builder;
 }
 
 }  // namespace
 
 TEST(PlayerMonitor, CleanSessionHasNoErrors) {
   PlayerFixture f;
-  core::AwarenessMonitor monitor(f.sched, f.bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     mp::build_player_spec_model()),
-                                 player_params());
-  monitor.start();
+  auto monitor = player_monitor().build(f.sched, f.bus);
+  monitor->start();
   f.player.play();
   f.sched.run_for(rt::sec(2));
   f.player.pause();
@@ -226,17 +219,14 @@ TEST(PlayerMonitor, CleanSessionHasNoErrors) {
   f.sched.run_for(rt::sec(2));
   f.player.stop();
   f.sched.run_for(rt::sec(1));
-  EXPECT_TRUE(monitor.errors().empty())
-      << (monitor.errors().empty() ? "" : monitor.errors()[0].describe());
+  EXPECT_TRUE(monitor->errors().empty())
+      << (monitor->errors().empty() ? "" : monitor->errors()[0].describe());
 }
 
 TEST(PlayerMonitor, DetectsUnexpectedBufferingAsStateError) {
   PlayerFixture f;
-  core::AwarenessMonitor monitor(f.sched, f.bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     mp::build_player_spec_model()),
-                                 player_params());
-  monitor.start();
+  auto monitor = player_monitor().build(f.sched, f.bus);
+  monitor->start();
   f.player.play();
   f.sched.run_for(rt::sec(2));
   // Demuxer wedges with no user action: the spec model still expects
@@ -244,8 +234,8 @@ TEST(PlayerMonitor, DetectsUnexpectedBufferingAsStateError) {
   f.injector.schedule(flt::FaultSpec{flt::FaultKind::kStuckComponent, "demuxer", f.sched.now(),
                                      0, 1.0, {}});
   f.sched.run_for(rt::sec(2));
-  ASSERT_FALSE(monitor.errors().empty());
-  EXPECT_EQ(monitor.errors()[0].observable, "state");
+  ASSERT_FALSE(monitor->errors().empty());
+  EXPECT_EQ(monitor->errors()[0].observable, "state");
 }
 
 TEST(Player, StopsAtEndOfClip) {
@@ -284,15 +274,12 @@ TEST(PlayerMonitor, EndOfClipProducesNoErrors) {
   mp::PlayerConfig cfg;
   cfg.clip_seconds = 3.0;
   mp::MediaPlayer player(sched, bus, injector, cfg);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     mp::build_player_spec_model()),
-                                 player_params());
+  auto monitor = player_monitor().build(sched, bus);
   player.start();
-  monitor.start();
+  monitor->start();
   player.play();
   sched.run_for(rt::sec(6));  // plays out and stops
   EXPECT_EQ(player.state(), mp::PlayerState::kStopped);
-  EXPECT_TRUE(monitor.errors().empty())
-      << (monitor.errors().empty() ? "" : monitor.errors()[0].describe());
+  EXPECT_TRUE(monitor->errors().empty())
+      << (monitor->errors().empty() ? "" : monitor->errors()[0].describe());
 }

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "detection/response_time.hpp"
 #include "faults/injector.hpp"
@@ -194,35 +194,30 @@ TEST(PrinterSpec, ErrorPathsScript) {
 
 namespace {
 
-core::AwarenessMonitor::Params printer_params() {
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "pr.input";
-  params.output_topics = {"pr.output"};
-  params.input_mapper = [](const rt::Event& ev) -> std::optional<sm::SmEvent> {
-    const std::string cmd = ev.str_field("cmd");
-    if (cmd.empty()) return std::nullopt;
-    sm::SmEvent sm_ev = sm::SmEvent::named(cmd);
-    sm_ev.params = ev.fields;
-    return sm_ev;
-  };
-  core::ObservableConfig oc;
-  oc.name = "state";
-  oc.max_consecutive = 4;
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(50);
-  params.config.startup_grace = rt::msec(100);
-  return params;
+core::MonitorBuilder printer_monitor() {
+  core::MonitorBuilder builder;
+  builder.model(std::make_unique<core::InterpretedModel>(pr::build_printer_spec_model()))
+      .input_topic("pr.input")
+      .output_topic("pr.output")
+      .input_mapper([](const rt::Event& ev) -> std::optional<sm::SmEvent> {
+        const std::string cmd = ev.str_field("cmd");
+        if (cmd.empty()) return std::nullopt;
+        sm::SmEvent sm_ev = sm::SmEvent::named(cmd);
+        sm_ev.params = ev.fields;
+        return sm_ev;
+      })
+      .threshold("state", 0.0, /*max_consecutive=*/4)
+      .comparison_period(rt::msec(50))
+      .startup_grace(rt::msec(100));
+  return builder;
 }
 
 }  // namespace
 
 TEST(PrinterMonitor, CleanJobsProduceNoErrors) {
   PrinterFixture f;
-  core::AwarenessMonitor monitor(f.sched, f.bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     pr::build_printer_spec_model()),
-                                 printer_params());
-  monitor.start();
+  auto monitor = printer_monitor().build(f.sched, f.bus);
+  monitor->start();
   f.printer.submit_job(6);
   f.sched.run_for(rt::sec(10));
   f.printer.submit_job(4);
@@ -231,8 +226,8 @@ TEST(PrinterMonitor, CleanJobsProduceNoErrors) {
   f.sched.run_for(rt::sec(1));
   f.printer.resume();
   f.sched.run_for(rt::sec(5));
-  EXPECT_TRUE(monitor.errors().empty())
-      << (monitor.errors().empty() ? "" : monitor.errors()[0].describe());
+  EXPECT_TRUE(monitor->errors().empty())
+      << (monitor->errors().empty() ? "" : monitor->errors()[0].describe());
   EXPECT_EQ(f.printer.pages_printed_total(), 10u);
 }
 
@@ -241,11 +236,8 @@ TEST(PrinterMonitor, LostPauseActuationDetected) {
   // lost): the model expects "paused" while the printer reports
   // "printing" — caught by the comparator.
   PrinterFixture f;
-  core::AwarenessMonitor monitor(f.sched, f.bus,
-                                 std::make_unique<core::InterpretedModel>(
-                                     pr::build_printer_spec_model()),
-                                 printer_params());
-  monitor.start();
+  auto monitor = printer_monitor().build(f.sched, f.bus);
+  monitor->start();
   f.printer.submit_job(40);
   f.sched.run_for(rt::sec(5));
   ASSERT_EQ(f.printer.state(), pr::PrinterState::kPrinting);
@@ -258,9 +250,9 @@ TEST(PrinterMonitor, LostPauseActuationDetected) {
   ev.timestamp = f.sched.now();
   f.bus.publish(ev);
   f.sched.run_for(rt::sec(2));
-  ASSERT_FALSE(monitor.errors().empty());
-  EXPECT_EQ(monitor.errors()[0].observable, "state");
-  EXPECT_EQ(rt::to_string(monitor.errors()[0].expected), "paused");
+  ASSERT_FALSE(monitor->errors().empty());
+  EXPECT_EQ(monitor->errors()[0].observable, "state");
+  EXPECT_EQ(rt::to_string(monitor->errors()[0].expected), "paused");
 }
 
 TEST(PrinterTimeliness, SilentFeederStallCaughtByPageCadence) {

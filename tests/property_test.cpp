@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "observation/soc_trace.hpp"
@@ -89,26 +89,25 @@ namespace {
 // reports. Uses the monitor plumbing with a trivial echo SUO.
 struct ComparatorLab {
   explicit ComparatorLab(int max_consecutive, double threshold) {
-    core::AwarenessMonitor::Params params;
-    params.input_topic = "lab.in";
-    params.output_topics = {"lab.out"};
-    core::ObservableConfig oc;
-    oc.name = "x";
-    oc.threshold = threshold;
-    oc.max_consecutive = max_consecutive;
-    oc.time_based = false;  // fully event-driven for exact counting
-    params.config.observables.push_back(oc);
-    params.config.startup_grace = 0;
-    params.config.comparison_period = rt::sec(100);  // effectively off
     sm::StateMachineDef def("lab");
     const auto s = def.add_state("S");
     def.add_internal(s, "set", nullptr, [](sm::ActionEnv& env) {
       env.vars.set("want", env.event.params.at("v"));
       env.emit("x", {{"value", env.event.params.at("v")}});
     });
-    monitor = std::make_unique<core::AwarenessMonitor>(
-        sched, bus, std::make_unique<core::InterpretedModel>(std::move(def)),
-        std::move(params));
+    core::ObservableConfig oc;
+    oc.name = "x";
+    oc.threshold = threshold;
+    oc.max_consecutive = max_consecutive;
+    oc.time_based = false;  // fully event-driven for exact counting
+    monitor = core::MonitorBuilder(sched, bus)
+                  .model(std::move(def))
+                  .input_topic("lab.in")
+                  .output_topic("lab.out")
+                  .observe(oc)
+                  .startup_grace(0)
+                  .comparison_period(rt::sec(100))  // effectively off
+                  .build();
     monitor->start();
   }
 
@@ -227,18 +226,14 @@ TEST(MemoryCorruption, CaughtByRangeProbeAndComparator) {
   rt::EventBus bus;
   flt::FaultInjector injector(rt::Rng(5));
   tv::TvSystem set(sched, bus, injector);
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
-  core::ObservableConfig oc;
-  oc.name = "sound_level";
-  oc.max_consecutive = 3;
-  params.config.observables.push_back(oc);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                     .comparison_period(rt::msec(20))
+                     .startup_grace(rt::msec(100))
+                     .threshold("sound_level", 0.0, /*max_consecutive=*/3)
+                     .build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
 
@@ -253,7 +248,7 @@ TEST(MemoryCorruption, CaughtByRangeProbeAndComparator) {
   det::RangeChecker ranges(set.probes());
   ranges.poll(log);
   EXPECT_GE(log.count("range"), 1u);            // out-of-range write seen
-  EXPECT_FALSE(monitor.errors().empty());       // user-visible divergence too
+  EXPECT_FALSE(monitor->errors().empty());      // user-visible divergence too
   EXPECT_GE(injector.first_activation("control.volume"), 0);
 }
 

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
 #include "detection/detectors.hpp"
 #include "faults/injector.hpp"
 #include "runtime/event_bus.hpp"
@@ -167,30 +167,26 @@ TEST(AvSource, LostSelectCommandDetectedByAwarenessMonitor) {
   flt::FaultInjector injector(rt::Rng(5));
   tv::TvSystem set(sched, bus, injector);
 
-  core::AwarenessMonitor::Params params;
-  params.config.comparison_period = rt::msec(20);
-  params.config.startup_grace = rt::msec(100);
-  core::ObservableConfig oc;
-  oc.name = "source";
-  oc.max_consecutive = 3;
-  params.config.observables.push_back(oc);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-                                 std::move(params));
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+                     .comparison_period(rt::msec(20))
+                     .startup_grace(rt::msec(100))
+                     .threshold("source", 0.0, /*max_consecutive=*/3)
+                     .build();
   set.start();
-  monitor.start();
+  monitor->start();
   set.press(tv::Key::kPower);
   sched.run_for(rt::msec(300));
   set.press(tv::Key::kSource);
   sched.run_for(rt::msec(300));
-  EXPECT_TRUE(monitor.errors().empty());  // healthy switch agrees
+  EXPECT_TRUE(monitor->errors().empty());  // healthy switch agrees
 
   injector.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "cmd.avswitch", sched.now(),
                                    rt::msec(50), 1.0, {}});
   set.press(tv::Key::kSource);
   sched.run_for(rt::msec(500));
-  ASSERT_FALSE(monitor.errors().empty());
-  EXPECT_EQ(monitor.errors()[0].observable, "source");
+  ASSERT_FALSE(monitor->errors().empty());
+  EXPECT_EQ(monitor->errors()[0].observable, "source");
 }
 
 TEST(AvSource, SpecModelScripts) {

@@ -8,7 +8,8 @@
 #include <memory>
 
 #include "core/model_impl.hpp"
-#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/sharded_fleet.hpp"
 #include "detection/detectors.hpp"
 #include "detection/response_time.hpp"
 #include "faults/injector.hpp"
@@ -27,18 +28,14 @@ namespace {
 
 struct SoakRig {
   explicit SoakRig(std::uint64_t seed) : injector(rt::Rng(seed)), set(sched, bus, injector) {
-    core::AwarenessMonitor::Params params;
-    params.config.comparison_period = rt::msec(20);
-    params.config.startup_grace = rt::msec(100);
+    core::MonitorBuilder builder(sched, bus);
+    builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+        .comparison_period(rt::msec(20))
+        .startup_grace(rt::msec(100));
     for (const char* name : {"sound_level", "screen_state", "channel", "powered", "source"}) {
-      core::ObservableConfig oc;
-      oc.name = name;
-      oc.max_consecutive = 3;
-      params.config.observables.push_back(oc);
+      builder.threshold(name, 0.0, /*max_consecutive=*/3);
     }
-    monitor = std::make_unique<core::AwarenessMonitor>(
-        sched, bus, std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()),
-        std::move(params));
+    monitor = builder.build();
     for (auto& rule : det::tv_mode_rules()) modes.add_rule(rule);
     sched.schedule_every(rt::msec(40), [this] {
       modes.check(set.mode_snapshot(), sched.now(), detections);
@@ -149,6 +146,76 @@ TEST_P(SystemSoak, CleanPhaseQuietFaultsCaughtHealthRestored) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemSoak, ::testing::Values(101, 202, 303, 404, 505));
+
+// Sharded-fleet soak: many monitors spread over worker threads under
+// sustained traffic and induced faults. Primarily a ThreadSanitizer
+// target (cmake -B build-tsan -S . -DTRADER_SANITIZE=thread) — it keeps
+// the mailbox, barrier and recovery-handler paths hot — but the
+// determinism assertion makes it a functional test everywhere.
+TEST(SystemSoak, ShardedFleetSoakIsRaceFreeAndDeterministic) {
+  auto session = [](std::size_t shards) {
+    core::ShardedFleetConfig cfg;
+    cfg.shards = shards;
+    cfg.epoch = rt::msec(5);
+    cfg.seed = 0x50AC;
+    core::ShardedFleet fleet(cfg);
+    const int kMonitors = 12;
+    for (int m = 0; m < kMonitors; ++m) {
+      core::MonitorBuilder builder;
+      builder.model(std::make_unique<core::InterpretedModel>(tv::build_tv_spec_model()))
+          .input_topic("tv.input." + std::to_string(m))
+          .output_topic("tv.output." + std::to_string(m))
+          .comparison_period(rt::msec(10))
+          .startup_grace(rt::msec(20))
+          .threshold("sound_level", 0.0, /*max_consecutive=*/2);
+      fleet.add_monitor("aspect" + std::to_string(m), std::move(builder));
+    }
+    int handler_calls = 0;
+    fleet.set_recovery_handler([&](const core::AspectError&) { ++handler_calls; });
+    fleet.start();
+
+    std::vector<std::int64_t> volume(12, 30);
+    for (int step = 0; step < 40; ++step) {
+      for (int m = 0; m < kMonitors; ++m) {
+        rt::Event in;
+        in.topic = "tv.input." + std::to_string(m);
+        in.name = "key";
+        in.fields["key"] = std::string("power");
+        // Every monitor's SUO powers on at step 0; from then on the
+        // observed sound level tracks the model except for monitors
+        // where a command is "lost" at step 20.
+        if (step == 0) {
+          fleet.publish(in);
+        }
+        rt::Event out;
+        out.topic = "tv.output." + std::to_string(m);
+        out.name = "sound_level";
+        if (step >= 1) {
+          if (!(m % 3 == 0 && step == 20)) {
+            // tracks the model's belief (constant 30 after power-on)
+          } else {
+            volume[static_cast<std::size_t>(m)] = 0;  // fault: muted SUO
+          }
+          out.fields["value"] = volume[static_cast<std::size_t>(m)];
+          fleet.publish(out);
+        }
+      }
+      fleet.run_for(rt::msec(15));
+    }
+    fleet.run_for(rt::msec(200));
+    fleet.stop();
+    std::string fingerprint;
+    for (const auto& e : fleet.errors()) {
+      fingerprint += e.aspect + "@" + std::to_string(e.report.detected_at) + ";";
+    }
+    EXPECT_EQ(static_cast<std::size_t>(handler_calls), fleet.errors().size());
+    return fingerprint;
+  };
+  const auto base = session(1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(session(3), base);
+  EXPECT_EQ(session(8), base);
+}
 
 TEST(SystemSoak, TimelinessMonitorStaysQuietAcrossLongCleanSession) {
   SoakRig rig(77);
