@@ -4,7 +4,11 @@
 #   2. ASan+UBSan build of the test suite (memory + UB errors)
 #   3. TSan build running the sharded-fleet soak test (data races on the
 #      mailbox / barrier / recovery paths)
-#   4. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#   4. campaign: the seeded 50-scenario fault-injection campaign under
+#      ASan — fails on any missed-detection regression (detection floor
+#      is asserted inside the campaign tests) or on a single-vs-sharded
+#      trace divergence
+#   5. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
 #
 # Stages 2-4 can be skipped for a quick tier-1-only run:
@@ -38,6 +42,14 @@ cmake -B build-tsan -S . -DTRADER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target system_soak_test sharded_fleet_test
 ./build-tsan/tests/sharded_fleet_test --gtest_filter='ShardedFleet.*:Lifecycle.*'
 ./build-tsan/tests/system_soak_test --gtest_filter='SystemSoak.ShardedFleetSoak*'
+
+stage "campaign: seeded fault-injection campaign under ASan"
+cmake --build build-asan -j "$JOBS" --target testkit_test campaign_demo
+./build-asan/tests/testkit_test --gtest_filter='Campaign.*:Executor.*'
+./build-asan/examples/campaign_demo > CAMPAIGN_report.txt
+grep -q 'traces identical' CAMPAIGN_report.txt
+echo "campaign headline:"
+grep 'detection rate' CAMPAIGN_report.txt
 
 stage "bench_scale: scaling experiment -> BENCH_scale.json"
 ./build/bench/bench_scale --benchmark_filter='BM_ShardedFleetEpoch/1' \

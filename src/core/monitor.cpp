@@ -83,6 +83,7 @@ void Controller::on_error(const ErrorReport& report) {
   if (trace_ != nullptr) {
     trace_->log(report.detected_at, runtime::TraceLevel::kError, "comparator", report.describe());
   }
+  if (error_tap_) error_tap_(report);
   if (recovery_) recovery_(report);
 }
 

@@ -60,6 +60,12 @@ class Controller : public IControl, public IErrorNotify {
   void on_error(const ErrorReport& report) override;
 
   void set_recovery_handler(RecoveryHandler h) { recovery_ = std::move(h); }
+  /// Passive observer of the error-report stream, invoked before the
+  /// recovery handler. Unlike set_recovery_handler (which fleets claim
+  /// for error aggregation), the tap is reserved for recorders — the
+  /// testkit golden-trace machinery — so recording never steals the
+  /// recovery hook.
+  void set_error_tap(RecoveryHandler tap) { error_tap_ = std::move(tap); }
   void set_trace(runtime::TraceLog* trace) { trace_ = trace; }
   /// Attach a metrics registry: tick count, wall-clock tick latency and
   /// error count are recorded under "controller.*".
@@ -78,6 +84,7 @@ class Controller : public IControl, public IErrorNotify {
   OutputObserver& output_;
   Comparator& comparator_;
   RecoveryHandler recovery_;
+  RecoveryHandler error_tap_;
   runtime::TraceLog* trace_ = nullptr;
   runtime::Counter* ticks_metric_ = nullptr;
   runtime::Counter* errors_metric_ = nullptr;
@@ -105,6 +112,8 @@ class AwarenessMonitor {
   bool running() const { return controller_.running(); }
 
   void set_recovery_handler(RecoveryHandler h) { controller_.set_recovery_handler(std::move(h)); }
+  /// Passive error-report tap (see Controller::set_error_tap).
+  void set_error_tap(RecoveryHandler tap) { controller_.set_error_tap(std::move(tap)); }
   void set_trace(runtime::TraceLog* trace) { controller_.set_trace(trace); }
   /// Wire controller/comparator/model-executor instruments into `m`.
   void set_metrics(runtime::MetricsRegistry* m);

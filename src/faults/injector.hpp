@@ -1,5 +1,21 @@
 // Fault injector: a plan of FaultSpecs plus the query API that SUO code
 // paths consult, and a ground-truth log of what actually manifested.
+//
+// The API splits into two strictly separated groups:
+//
+//   * Pure queries — is_active(), active_spec(), first_planned(),
+//     plan(), activations(), first_activation(). These are const, draw
+//     nothing from the RNG and never touch the ground-truth log. Use
+//     them on every "should this code path behave differently?" check.
+//
+//   * Manifestations — fires() and record(). Calling fires() asserts
+//     "the fault's effect is happening to this message/step right now":
+//     it consumes an RNG draw (for intensity < 1) and appends to the
+//     ground-truth activation log that campaign verdicts are scored
+//     against. Calling it from a query-only path inflates ground truth
+//     with activations that had no observable effect, which silently
+//     deflates measured detection rates. When the component computes
+//     the faulty effect itself, decide first, then log via record().
 #pragma once
 
 #include <optional>
@@ -28,8 +44,11 @@ class FaultInjector {
   std::optional<FaultSpec> active_spec(FaultKind kind, const std::string& target,
                                        runtime::SimTime now) const;
 
-  /// Stochastic query: true with probability `intensity` when a matching
-  /// fault is active. Records a ground-truth activation when it fires.
+  /// Manifestation: true with probability `intensity` when a matching
+  /// fault is active. Records a ground-truth activation when it fires —
+  /// call this only where the fault's effect actually lands (a message
+  /// genuinely dropped/corrupted); use is_active()/active_spec() for
+  /// pure queries.
   bool fires(FaultKind kind, const std::string& target, runtime::SimTime now,
              const std::string& detail = {});
 

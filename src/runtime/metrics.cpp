@@ -72,6 +72,35 @@ std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
   return it != counters.end() ? it->second : 0;
 }
 
+std::vector<std::string> MetricsSnapshot::counter_lines(
+    const std::vector<std::string>& prefixes) const {
+  std::vector<std::string> lines;
+  for (const auto& [name, v] : counters) {
+    const bool wanted =
+        prefixes.empty() ||
+        std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
+          return name.compare(0, p.size(), p) == 0;
+        });
+    if (wanted) lines.push_back(name + "=" + std::to_string(v));
+  }
+  return lines;
+}
+
+std::string MetricsSnapshot::fingerprint(const std::vector<std::string>& prefixes) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& line : counter_lines(prefixes)) {
+    for (unsigned char c : line) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= static_cast<unsigned char>('\n');
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
 namespace {
 
 void json_escape_into(std::string& out, const std::string& s) {

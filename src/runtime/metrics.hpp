@@ -95,6 +95,17 @@ struct MetricsSnapshot {
 
   std::uint64_t counter(const std::string& name) const;
 
+  /// Canonical "name=value" lines for every counter whose name starts
+  /// with one of `prefixes` (all counters when empty), in map order.
+  /// Gauges and histograms are excluded on purpose: latency histograms
+  /// carry wall-clock samples, which would break run-to-run comparison.
+  std::vector<std::string> counter_lines(const std::vector<std::string>& prefixes = {}) const;
+
+  /// Stable FNV-1a fingerprint (16 hex digits) over counter_lines().
+  /// Two runs with identical deterministic counters hash identically
+  /// regardless of host, shard count or wall-clock timing.
+  std::string fingerprint(const std::vector<std::string>& prefixes = {}) const;
+
   /// Pretty-printed JSON document (stable key order).
   std::string to_json() const;
 };

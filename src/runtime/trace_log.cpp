@@ -20,6 +20,7 @@ void TraceLog::log(SimTime time, TraceLevel level, std::string component,
                    std::string message) {
   ++total_;
   records_.push_back(TraceRecord{time, level, std::move(component), std::move(message)});
+  if (tap_) tap_(records_.back());
   while (records_.size() > capacity_) records_.pop_front();
 }
 

@@ -33,9 +33,17 @@ struct TraceRecord {
 /// Bounded in-memory trace buffer with query helpers.
 class TraceLog {
  public:
+  /// Live observer of every record as it is logged (before eviction),
+  /// used by the testkit golden-trace recorder to capture the stream
+  /// even when the bounded buffer later drops it.
+  using Tap = std::function<void(const TraceRecord&)>;
+
   explicit TraceLog(std::size_t capacity = 65536) : capacity_(capacity) {}
 
   void log(SimTime time, TraceLevel level, std::string component, std::string message);
+
+  /// Install (or clear, with nullptr) the live tap.
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   /// All retained records, oldest first.
   const std::deque<TraceRecord>& records() const { return records_; }
@@ -57,6 +65,7 @@ class TraceLog {
  private:
   std::size_t capacity_;
   std::deque<TraceRecord> records_;
+  Tap tap_;
   std::uint64_t total_ = 0;
 };
 

@@ -1,0 +1,110 @@
+#include "testkit/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace trader::testkit {
+
+std::string aspect_name(std::size_t k) { return "aspect" + std::to_string(k); }
+
+ScenarioScript& ScenarioScript::name(std::string n) {
+  name_ = std::move(n);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::aspects(std::size_t count) {
+  aspects_ = count == 0 ? 1 : count;
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::horizon(runtime::SimTime end) {
+  horizon_ = end;
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::command(runtime::SimTime at, std::size_t aspect) {
+  commands_.push_back(ScriptCommand{at, aspect});
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::every(runtime::SimDuration period, runtime::SimTime from,
+                                      runtime::SimTime to) {
+  for (runtime::SimTime t = from; t <= to; t += period) {
+    for (std::size_t k = 0; k < aspects_; ++k) commands_.push_back(ScriptCommand{t, k});
+  }
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::inject(faults::FaultSpec spec) {
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::inject(faults::FaultKind kind, std::size_t target_aspect,
+                                       runtime::SimTime activate_at,
+                                       runtime::SimDuration duration, double intensity) {
+  return inject(
+      faults::FaultSpec{kind, aspect_name(target_aspect), activate_at, duration, intensity, {}});
+}
+
+std::vector<ScriptCommand> ScenarioScript::sorted_commands() const {
+  std::vector<ScriptCommand> sorted = commands_;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const ScriptCommand& a,
+                                                    const ScriptCommand& b) {
+    return std::tie(a.at, a.aspect) < std::tie(b.at, b.aspect);
+  });
+  return sorted;
+}
+
+bool campaign_detectable(faults::FaultKind kind) {
+  using faults::FaultKind;
+  switch (kind) {
+    case FaultKind::kMessageLoss:
+    case FaultKind::kMessageCorruption:
+    case FaultKind::kStuckComponent:
+    case FaultKind::kModeDesync:
+    case FaultKind::kCrash:
+    case FaultKind::kMemoryCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<faults::FaultKind> campaign_default_kinds() {
+  using faults::FaultKind;
+  return {FaultKind::kMessageLoss,  FaultKind::kMessageCorruption, FaultKind::kStuckComponent,
+          FaultKind::kModeDesync,   FaultKind::kCrash,             FaultKind::kMemoryCorruption,
+          FaultKind::kTaskOverrun,  FaultKind::kBadSignal};
+}
+
+ScenarioScript draw_scenario(runtime::Rng& rng, std::size_t index, const ScenarioDraw& draw) {
+  const auto kinds = draw.kinds.empty() ? campaign_default_kinds() : draw.kinds;
+
+  ScenarioScript script;
+  char label[16];
+  std::snprintf(label, sizeof(label), "s%03zu", index);
+  script.name(label).aspects(draw.aspects).horizon(draw.horizon);
+  // Commands on the cadence grid, leaving a tail of one cadence for the
+  // comparator to settle after the last command.
+  script.every(draw.cadence, draw.cadence, draw.horizon - draw.cadence);
+
+  if (rng.uniform() < draw.clean_fraction) return script;  // fault-free probe
+
+  const auto kind = kinds[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+  const auto target =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(draw.aspects) - 1));
+  // Activate on a command instant in the first half of the run so the
+  // fault overlaps >= 2 command steps and detection has time to land.
+  const std::int64_t steps = draw.horizon / draw.cadence;
+  const std::int64_t first = std::max<std::int64_t>(1, steps / 4);
+  const std::int64_t last = std::max<std::int64_t>(first, steps / 2);
+  const runtime::SimTime at = rng.uniform_int(first, last) * draw.cadence;
+  const runtime::SimDuration duration = rng.uniform_int(2, 6) * draw.cadence;
+  script.inject(kind, target, at, duration, /*intensity=*/1.0);
+  return script;
+}
+
+}  // namespace trader::testkit

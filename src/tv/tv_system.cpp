@@ -68,22 +68,34 @@ void TvSystem::apply(const Command& c) {
   const std::string channel_name = "cmd." + c.component;
 
   if (crashed_.count(c.component) > 0) return;  // dead components ignore input
-  if (injector_.is_active(FaultKind::kStuckComponent, c.component, now)) return;
+  if (const auto stuck = injector_.active_spec(FaultKind::kStuckComponent, c.component, now)) {
+    // The swallowed command is a genuine manifestation; without a
+    // record the ground-truth log under-reports stuck faults.
+    injector_.record(*stuck, now, c.component + "." + c.action + " swallowed");
+    return;
+  }
   if (injector_.fires(FaultKind::kMessageLoss, channel_name, now,
                       c.component + "." + c.action + " lost")) {
     return;
   }
 
-  // Message corruption: perturb the first integer argument.
+  // Message corruption: perturb the first integer argument. Commands
+  // without an integer payload cannot be corrupted in transit, so the
+  // manifestation check (fires + ground-truth record) must only run
+  // when there is something to corrupt.
   std::map<std::string, runtime::Value> args = c.args;
-  if (injector_.fires(FaultKind::kMessageCorruption, channel_name, now,
-                      c.component + "." + c.action + " corrupted")) {
-    for (auto& [k, v] : args) {
-      if (auto* i = std::get_if<std::int64_t>(&v)) {
-        *i = *i ^ 0x15;  // bit flips in transit
-        break;
-      }
+  auto corruptible = args.end();
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::get_if<std::int64_t>(&it->second) != nullptr) {
+      corruptible = it;
+      break;
     }
+  }
+  if (corruptible != args.end() &&
+      injector_.fires(FaultKind::kMessageCorruption, channel_name, now,
+                      c.component + "." + c.action + " corrupted")) {
+    auto* i = std::get_if<std::int64_t>(&corruptible->second);
+    *i = *i ^ 0x15;  // bit flips in transit
   }
 
   auto arg_int = [&](const std::string& key, std::int64_t dflt) {

@@ -268,6 +268,42 @@ TEST(Faults, GroundTruthTimes) {
   EXPECT_EQ(inj.first_planned(), 0);
 }
 
+TEST(Faults, FirstPlannedOnEmptyAndClearedPlans) {
+  flt::FaultInjector inj;
+  EXPECT_EQ(inj.first_planned(), -1);               // empty plan
+  EXPECT_EQ(inj.first_activation("anything"), -1);  // empty ground truth
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kCrash, "a", 700, 0, 1.0, {}});
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kCrash, "b", 300, 0, 1.0, {}});
+  EXPECT_EQ(inj.first_planned(), 300);  // earliest in the plan, not first scheduled
+  inj.clear_plan();
+  EXPECT_EQ(inj.first_planned(), -1);  // cleared plan behaves like an empty one
+}
+
+TEST(Faults, OverlappingWindowsFireOnceAndTrackEarliestManifestation) {
+  flt::FaultInjector inj;
+  // Two overlapping loss windows on one target: [100,300) and [200,400).
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "ch", 100, 200, 1.0, {}});
+  inj.schedule(flt::FaultSpec{flt::FaultKind::kMessageLoss, "ch", 200, 200, 1.0, {}});
+  EXPECT_TRUE(inj.is_active(flt::FaultKind::kMessageLoss, "ch", 250));
+
+  // One message inside the overlap is one manifestation: the first
+  // matching spec claims it, the overlap must not double-log ground
+  // truth (that would deflate measured detection rates).
+  EXPECT_TRUE(inj.fires(flt::FaultKind::kMessageLoss, "ch", 250));
+  ASSERT_EQ(inj.activations().size(), 1u);
+  EXPECT_EQ(inj.activations()[0].spec.activate_at, 100);
+  EXPECT_EQ(inj.active_spec(flt::FaultKind::kMessageLoss, "ch", 250)->activate_at, 100);
+  // Outside the first window only the second spec matches.
+  EXPECT_EQ(inj.active_spec(flt::FaultKind::kMessageLoss, "ch", 350)->activate_at, 200);
+
+  // first_activation tracks the earliest *manifestation*, regardless of
+  // the order fires() was called in.
+  EXPECT_TRUE(inj.fires(flt::FaultKind::kMessageLoss, "ch", 350));
+  EXPECT_TRUE(inj.fires(flt::FaultKind::kMessageLoss, "ch", 210));
+  EXPECT_EQ(inj.first_activation("ch"), 210);
+  EXPECT_EQ(inj.first_activation("other"), -1);
+}
+
 TEST(Faults, ExternalClassification) {
   EXPECT_TRUE(flt::is_external(flt::FaultKind::kBadSignal));
   EXPECT_TRUE(flt::is_external(flt::FaultKind::kCodingDeviation));

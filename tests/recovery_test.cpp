@@ -4,6 +4,7 @@
 
 #include "faults/injector.hpp"
 #include "recovery/adaptive_arbiter.hpp"
+#include "recovery/escalation.hpp"
 #include "recovery/load_balancer.hpp"
 #include "recovery/managers.hpp"
 #include "recovery/recoverable_unit.hpp"
@@ -431,4 +432,31 @@ TEST(RecoveryIntegration, LoadBalancerImprovesQualityUnderBadSignal) {
   const double drop_without = run(false);
   const double drop_with = run(true);
   EXPECT_LT(drop_with, drop_without);
+}
+
+// ----------------------------------------------------------- RecoveryEscalator
+
+TEST(Escalation, EveryLevelFailingEndsInPersistentGiveUp) {
+  rec::EscalationConfig cfg;
+  cfg.failures_per_level = 1;  // fastest possible climb
+  cfg.window = rt::sec(1000);  // nothing ages out mid-test
+  rec::RecoveryEscalator esc(cfg);
+  // Four failures exhaust resync .. full-restart; every failure after
+  // that must keep answering give-up — the unit needs service, the
+  // ladder must not wrap around to light-weight actions.
+  EXPECT_EQ(esc.next_action("u", rt::sec(1)), rec::RecoveryAction::kResync);
+  EXPECT_EQ(esc.next_action("u", rt::sec(2)), rec::RecoveryAction::kRestartUnit);
+  EXPECT_EQ(esc.next_action("u", rt::sec(3)), rec::RecoveryAction::kRestartDependents);
+  EXPECT_EQ(esc.next_action("u", rt::sec(4)), rec::RecoveryAction::kFullRestart);
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_EQ(esc.next_action("u", rt::sec(i)), rec::RecoveryAction::kGiveUp) << "failure " << i;
+  }
+  EXPECT_EQ(esc.give_ups(), 5u);
+  EXPECT_EQ(esc.level("u", rt::sec(10)), 9);  // nine failures on record
+
+  // Only an explicit success releases the unit from the dead level...
+  esc.report_success("u");
+  EXPECT_EQ(esc.next_action("u", rt::sec(20)), rec::RecoveryAction::kResync);
+  // ...and the give-up tally stays cumulative for the service report.
+  EXPECT_EQ(esc.give_ups(), 5u);
 }

@@ -13,10 +13,12 @@
 #include "core/sharded_fleet.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/metrics.hpp"
+#include "testkit/golden_trace.hpp"
 
 namespace core = trader::core;
 namespace rt = trader::runtime;
 namespace sm = trader::statemachine;
+namespace tk = trader::testkit;
 
 // ------------------------------------------------------------------- Metrics
 
@@ -171,8 +173,8 @@ namespace {
 
 // One scripted multi-monitor session: drive `monitors` counter monitors
 // via the external publish path, dropping one command's effect on odd
-// monitors (the fault). Returns the fingerprint of all reported errors.
-std::vector<std::string> run_session(std::size_t shards, int monitors = 6) {
+// monitors (the fault). Returns the golden trace of all reported errors.
+tk::GoldenTrace run_session(std::size_t shards, int monitors = 6) {
   core::ShardedFleetConfig cfg;
   cfg.shards = shards;
   cfg.epoch = rt::msec(5);
@@ -206,12 +208,9 @@ std::vector<std::string> run_session(std::size_t shards, int monitors = 6) {
   fleet.run_for(rt::msec(100));
   fleet.stop();
 
-  std::vector<std::string> fingerprint;
-  for (const auto& e : fleet.errors()) {
-    fingerprint.push_back(e.aspect + "@" + std::to_string(e.report.detected_at) + " " +
-                          e.report.describe());
-  }
-  return fingerprint;
+  tk::GoldenTrace trace;
+  trace.capture_errors(fleet.errors());
+  return trace;
 }
 
 }  // namespace
@@ -219,13 +218,15 @@ std::vector<std::string> run_session(std::size_t shards, int monitors = 6) {
 TEST(ShardedFleet, SameSeedSameErrorsAcrossShardCounts) {
   const auto one = run_session(1);
   ASSERT_FALSE(one.empty());
-  EXPECT_EQ(one.size(), 3u);  // aspects 1, 3, 5 diverge
-  EXPECT_EQ(run_session(2), one);
-  EXPECT_EQ(run_session(8), one);
+  EXPECT_EQ(one.lines().size(), 3u);  // aspects 1, 3, 5 diverge
+  const auto d2 = tk::GoldenTrace::diff(one, run_session(2));
+  EXPECT_TRUE(d2.identical) << d2.describe();
+  const auto d8 = tk::GoldenTrace::diff(one, run_session(8));
+  EXPECT_TRUE(d8.identical) << d8.describe();
 }
 
 TEST(ShardedFleet, RepeatedRunsAreIdentical) {
-  EXPECT_EQ(run_session(4), run_session(4));
+  EXPECT_EQ(run_session(4).fingerprint(), run_session(4).fingerprint());
 }
 
 // ------------------------------------------- ShardedFleet: delivery + routes
