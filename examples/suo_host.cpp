@@ -1,0 +1,47 @@
+// suo_host: the System Under Observation as its own Linux process.
+//
+// Hosts the simulated TV (scheduler, event bus, fault injector) behind
+// an AF_UNIX listener speaking the src/ipc wire protocol — the paper's
+// Fig. 2 deployment where the awareness monitor observes a *separate*
+// process. Pair it with the ipc_monitor example:
+//
+//   build/examples/suo_host /tmp/trader_suo.sock &
+//   build/examples/ipc_monitor /tmp/trader_suo.sock
+//
+// The host serves monitor sessions until a client sends "shutdown".
+// Kill -9 this process while a monitor is attached to watch the
+// supervision path: the monitor reports the outage once, degrades, and
+// reconnects when a new host comes up on the same path.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ipc/suo_server.hpp"
+
+int main(int argc, char** argv) {
+  std::string path = "/tmp/trader_suo.sock";
+  std::size_t max_sessions = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sessions" && i + 1 < argc) {
+      max_sessions = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: suo_host [socket-path] [--sessions N]\n"
+                  "  socket-path   AF_UNIX path, '@...' = abstract namespace\n"
+                  "                (default /tmp/trader_suo.sock)\n"
+                  "  --sessions N  exit after N monitor sessions (default: until shutdown)\n");
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+
+  std::printf("suo_host: hosting TV simulator on %s (pid %d)\n", path.c_str(), ::getpid());
+  std::printf("suo_host: waiting for a monitor; kill -9 %d to exercise supervision\n",
+              ::getpid());
+  const int rc = trader::ipc::run_suo_host(path, {}, max_sessions);
+  std::printf("suo_host: exiting (%s)\n", rc == 0 ? "orderly shutdown" : "listener error");
+  return rc;
+}

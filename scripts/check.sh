@@ -8,10 +8,16 @@
 #      ASan — fails on any missed-detection regression (detection floor
 #      is asserted inside the campaign tests) or on a single-vs-sharded
 #      trace divergence
-#   5. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#   5. ipc: the wire codec property tests plus the cross-transport
+#      campaign (in-process vs socketpair vs AF_UNIX, verdict for
+#      verdict) under ASan, including the SIGKILL/reconnect supervision
+#      test — the whole out-of-process SUO path with leak checking on
+#   6. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
+#   7. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#      repo root (frames/sec + RTT percentiles per transport)
 #
-# Stages 2-4 can be skipped for a quick tier-1-only run:
+# Stages 2-5 can be skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
 
@@ -51,11 +57,26 @@ grep -q 'traces identical' CAMPAIGN_report.txt
 echo "campaign headline:"
 grep 'detection rate' CAMPAIGN_report.txt
 
+stage "ipc: codec properties + cross-transport campaign under ASan"
+cmake --build build-asan -j "$JOBS" --target ipc_test
+# Wire-level fuzzing (round-trip, truncation, bit-flip) and the
+# 20-scenario campaign that must match the in-process backend verdict
+# for verdict over a real AF_UNIX socket, plus kill -9 supervision.
+./build-asan/tests/ipc_test \
+  --gtest_filter='IpcWire.*:IpcCampaign.*:IpcSupervision.*'
+
 stage "bench_scale: scaling experiment -> BENCH_scale.json"
 ./build/bench/bench_scale --benchmark_filter='BM_ShardedFleetEpoch/1' \
   --benchmark_min_time=0.05
 test -s BENCH_scale.json
 echo "BENCH_scale.json written:"
 head -12 BENCH_scale.json
+
+stage "bench_ipc: transport experiment -> BENCH_ipc.json"
+./build/bench/bench_ipc --benchmark_filter='BM_EncodeOutputEvent' \
+  --benchmark_min_time=0.05
+test -s BENCH_ipc.json
+echo "BENCH_ipc.json written:"
+head -12 BENCH_ipc.json
 
 stage "all checks passed"

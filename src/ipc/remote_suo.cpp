@@ -1,0 +1,310 @@
+#include "ipc/remote_suo.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace trader::ipc {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RemoteSuoClient::RemoteSuoClient(runtime::Scheduler& sched, runtime::EventBus& bus,
+                                 Connector connector, RemoteSuoConfig config)
+    : sched_(sched),
+      bus_(bus),
+      connector_(std::move(connector)),
+      config_(std::move(config)),
+      supervisor_(config_.supervisor),
+      gate_(std::make_shared<std::atomic<bool>>(false)) {}
+
+void RemoteSuoClient::set_metrics(runtime::MetricsRegistry* m) {
+  metrics_ = m;
+  rtt_metric_ = m != nullptr ? &m->histogram("ipc.rtt_ns") : nullptr;
+  supervisor_.set_metrics(m);
+  if (sock_.valid()) sock_.set_metrics(m);
+}
+
+bool RemoteSuoClient::connect_and_handshake() {
+  // A failed attempt leaves the supervisor in kConnecting on purpose:
+  // next_backoff_ms() already advanced the attempt counter, and only a
+  // completed handshake (on_connected) resets it.
+  const int fd = connector_ ? connector_() : -1;
+  if (fd < 0) return false;
+  sock_ = FramedSocket(fd);
+  if (metrics_ != nullptr) sock_.set_metrics(metrics_);
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.seq = ++seq_;
+  hello.min_version = config_.min_version;
+  hello.max_version = config_.max_version;
+  hello.detail = config_.peer_name;
+  if (!sock_.send(hello)) {
+    sock_.close();
+    return false;
+  }
+
+  Frame ack;
+  if (sock_.recv(ack, config_.ack_timeout_ms) != FramedSocket::RecvStatus::kFrame ||
+      ack.type != FrameType::kHelloAck) {
+    sock_.close();
+    if (trace_ != nullptr) {
+      trace_->log(sched_.now(), runtime::TraceLevel::kWarning, "ipc.client",
+                  "handshake rejected by peer");
+    }
+    return false;
+  }
+
+  negotiated_version_ = ack.version;
+  supervisor_.on_connected();
+  gate_->store(true, std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    trace_->log(sched_.now(), runtime::TraceLevel::kInfo, "ipc.client",
+                "link up (protocol v" + std::to_string(negotiated_version_) + ", peer '" +
+                    ack.detail + "')");
+  }
+  return true;
+}
+
+void RemoteSuoClient::republish(const Frame& f) {
+  // Server events carry server virtual time; republishing keeps that
+  // stamp so the monitor's observation table matches the in-process
+  // wiring byte for byte.
+  bus_.publish(f.event);
+}
+
+void RemoteSuoClient::on_link_lost(const char* why) {
+  const bool was_up = supervisor_.up();
+  sock_.close();
+  supervisor_.on_disconnected();
+  if (!was_up) return;  // already reported this outage
+
+  gate_->store(false, std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    trace_->log(sched_.now(), runtime::TraceLevel::kError, "ipc.client",
+                std::string("link down: ") + why);
+  }
+  if (notify_ != nullptr) {
+    // Exactly one report per outage — the degradation policy forbids an
+    // error flood while the link stays dead.
+    core::ErrorReport report;
+    report.observable = "ipc.link";
+    report.expected = std::string("up");
+    report.observed = std::string("down");
+    report.deviation = 1.0;
+    report.consecutive = 1;
+    report.detected_at = sched_.now();
+    report.first_deviation_at = sched_.now();
+    notify_->on_error(report);
+    ++outage_reports_;
+  }
+}
+
+bool RemoteSuoClient::roundtrip(const std::string& command,
+                                std::map<std::string, runtime::Value> args) {
+  if (!link_up()) return false;
+
+  Frame req;
+  req.type = FrameType::kControl;
+  req.seq = ++seq_;
+  req.time = sched_.now();
+  req.command = command;
+  req.args = std::move(args);
+  const std::int64_t sent_at = now_ns();
+  if (!sock_.send(req)) {
+    on_link_lost("send failed");
+    return false;
+  }
+
+  for (;;) {
+    Frame f;
+    switch (sock_.recv(f, config_.ack_timeout_ms)) {
+      case FramedSocket::RecvStatus::kTimeout:
+        on_link_lost("ack timeout");
+        return false;
+      case FramedSocket::RecvStatus::kClosed:
+        on_link_lost("peer gone");
+        return false;
+      case FramedSocket::RecvStatus::kProtocolError:
+        on_link_lost(to_string(sock_.last_decode_status()));
+        return false;
+      case FramedSocket::RecvStatus::kFrame:
+        break;
+    }
+    switch (f.type) {
+      case FrameType::kInputEvent:
+      case FrameType::kOutputEvent:
+        republish(f);
+        break;
+      case FrameType::kControlAck:
+        if (f.command == command) {
+          if (rtt_metric_ != nullptr) {
+            rtt_metric_->record(static_cast<double>(now_ns() - sent_at));
+          }
+          return f.ok;
+        }
+        break;  // stale ack from an earlier exchange; keep pumping
+      case FrameType::kHeartbeatAck:
+        break;  // late heartbeat echo overtaken by this exchange
+      case FrameType::kShutdown:
+        on_link_lost("server shutdown");
+        return false;
+      default:
+        on_link_lost("unexpected frame");
+        return false;
+    }
+  }
+}
+
+void RemoteSuoClient::initialize() {
+  if (initialized_ && link_up()) return;
+  if (!link_up() && !connect_and_handshake()) return;
+  if (roundtrip("initialize")) initialized_ = true;
+}
+
+void RemoteSuoClient::start(runtime::SimTime now) {
+  (void)now;
+  if (!initialized_) initialize();
+  if (running_ || !link_up()) return;
+  if (roundtrip("start")) running_ = true;
+}
+
+void RemoteSuoClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (link_up()) roundtrip("stop");
+}
+
+bool RemoteSuoClient::press(tv::Key key) {
+  return roundtrip("press", {{"key", std::string(tv::to_string(key))}});
+}
+
+bool RemoteSuoClient::advance_to(runtime::SimTime t) {
+  const bool ok = roundtrip("advance", {{"to", t}});
+  // Degraded mode keeps local time flowing: detectors and recovery
+  // schedules must not freeze just because the SUO is unreachable.
+  if (t > sched_.now()) sched_.run_until(t);
+  return ok;
+}
+
+bool RemoteSuoClient::inject(const faults::FaultSpec& spec) {
+  return roundtrip("inject", {{"kind", static_cast<std::int64_t>(spec.kind)},
+                              {"target", spec.target},
+                              {"at", spec.activate_at},
+                              {"duration", spec.duration},
+                              {"intensity", spec.intensity}});
+}
+
+bool RemoteSuoClient::restart_component(const std::string& name) {
+  return roundtrip("restart_component", {{"name", name}});
+}
+
+bool RemoteSuoClient::request_snapshot() { return roundtrip("snapshot"); }
+
+bool RemoteSuoClient::heartbeat() {
+  if (!link_up()) return false;
+
+  Frame beat;
+  beat.type = FrameType::kHeartbeat;
+  beat.seq = ++seq_;
+  beat.time = sched_.now();
+  beat.nonce = next_nonce_++;
+  const std::int64_t sent_at = now_ns();
+  if (!sock_.send(beat)) {
+    on_link_lost("send failed");
+    return false;
+  }
+
+  for (;;) {
+    Frame f;
+    switch (sock_.recv(f, config_.heartbeat_timeout_ms)) {
+      case FramedSocket::RecvStatus::kTimeout:
+        if (supervisor_.on_heartbeat_miss()) on_link_lost("heartbeat misses");
+        return false;
+      case FramedSocket::RecvStatus::kClosed:
+        on_link_lost("peer gone");
+        return false;
+      case FramedSocket::RecvStatus::kProtocolError:
+        on_link_lost(to_string(sock_.last_decode_status()));
+        return false;
+      case FramedSocket::RecvStatus::kFrame:
+        break;
+    }
+    switch (f.type) {
+      case FrameType::kInputEvent:
+      case FrameType::kOutputEvent:
+        republish(f);
+        break;
+      case FrameType::kHeartbeatAck:
+        if (f.nonce == beat.nonce) {
+          supervisor_.on_heartbeat_ack();
+          if (rtt_metric_ != nullptr) {
+            rtt_metric_->record(static_cast<double>(now_ns() - sent_at));
+          }
+          return true;
+        }
+        break;  // stale echo; wait for ours
+      case FrameType::kShutdown:
+        on_link_lost("server shutdown");
+        return false;
+      default:
+        on_link_lost("unexpected frame");
+        return false;
+    }
+  }
+}
+
+bool RemoteSuoClient::shutdown_remote() {
+  if (!link_up()) return false;
+  const bool ok = roundtrip("shutdown");
+  sock_.close();
+  supervisor_.on_disconnected();
+  gate_->store(false, std::memory_order_relaxed);
+  running_ = false;
+  return ok;
+}
+
+bool RemoteSuoClient::try_reconnect() {
+  if (link_up()) return true;
+
+  const std::int64_t delay_ms = supervisor_.next_backoff_ms();
+  if (delay_ms < 0) return false;  // attempt budget exhausted
+  if (delay_ms > 0 && config_.backoff_sleep) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (!connect_and_handshake()) return false;
+
+  // The peer may be a fresh process with factory state: replay our
+  // lifecycle so it reaches parity with what the monitor believes,
+  // then pull a snapshot to resync the observation table.
+  const bool want_running = running_;
+  initialized_ = false;
+  running_ = false;
+  initialize();
+  if (!initialized_) {
+    on_link_lost("reinitialize failed");
+    return false;
+  }
+  if (want_running) {
+    start(sched_.now());
+    if (!running_) {
+      on_link_lost("restart failed");
+      return false;
+    }
+  }
+  if (!request_snapshot()) return false;
+  if (trace_ != nullptr) {
+    trace_->log(sched_.now(), runtime::TraceLevel::kInfo, "ipc.client",
+                "reconnected after " + std::to_string(supervisor_.attempts()) + " attempt(s)");
+  }
+  return true;
+}
+
+}  // namespace trader::ipc

@@ -1,0 +1,138 @@
+// RemoteSuoClient: the monitor-side adapter for an out-of-process SUO.
+//
+// Implements the same observer-facing contract as an in-process
+// TvSystem — events appear on the monitor's own event bus under their
+// original topics, and lifecycle follows core::IControl — so a
+// MonitorBuilder-built monitor points at a remote SUO with zero core
+// changes: subscribe to "tv.input"/"tv.output" as always, wrap the spec
+// model in LinkGatedModel, done.
+//
+// Virtual time runs in lockstep: advance_to(t) tells the server to run
+// its scheduler to t, republishes every event frame that comes back
+// (stamped with server virtual time), waits for the control ack — the
+// guarantee that nothing before t is still in flight — and only then
+// runs the local scheduler to t. Wall-clock round-trip latency of each
+// lockstep exchange lands in the "ipc.rtt_ns" histogram.
+//
+// Supervision: any transport failure (send error, EOF, ack timeout,
+// heartbeat miss streak) declares the link dead exactly once — the
+// shared gate flips (quiescing comparators via LinkGatedModel), a
+// single synthetic ErrorReport on observable "ipc.link" goes to the
+// attached IErrorNotify (typically the monitor's Controller, so the
+// outage lands in the error list, the error tap, and recovery), and
+// reconnect attempts follow the supervisor's capped exponential backoff
+// with jitter. After a reconnect the client replays its lifecycle
+// (initialize/start) against the fresh SUO process and requests a
+// "snapshot" resync.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/interfaces.hpp"
+#include "faults/fault.hpp"
+#include "ipc/supervisor.hpp"
+#include "ipc/transport.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace_log.hpp"
+#include "tv/keys.hpp"
+
+namespace trader::ipc {
+
+struct RemoteSuoConfig {
+  std::uint8_t min_version = kMinProtocolVersion;
+  std::uint8_t max_version = kProtocolVersion;
+  /// Timeout for a lockstep control ack; expiry counts as link death
+  /// (the SUO is hung or gone — indistinguishable from outside).
+  int ack_timeout_ms = 2000;
+  /// Timeout for one heartbeat round-trip (a miss, not yet a death).
+  int heartbeat_timeout_ms = 200;
+  /// Sleep between reconnect attempts (false lets tests drive pacing).
+  bool backoff_sleep = true;
+  SupervisorConfig supervisor;
+  std::string peer_name = "monitor";
+};
+
+class RemoteSuoClient : public core::IControl {
+ public:
+  /// Produces a connected fd to the SUO endpoint, or -1. Called for the
+  /// initial connection and for every reconnect attempt.
+  using Connector = std::function<int()>;
+
+  RemoteSuoClient(runtime::Scheduler& sched, runtime::EventBus& bus, Connector connector,
+                  RemoteSuoConfig config = {});
+
+  // IControl — idempotent: repeated calls at any stage are no-ops, and
+  // the initialize/start/stop sequence may repeat (core contract).
+  void initialize() override;
+  void start(runtime::SimTime now) override;
+  void stop() override;
+
+  // --- SUO driving (all false when the link is down) -------------------
+  bool press(tv::Key key);
+  /// Lockstep advance of remote and local virtual time to `t`. On link
+  /// failure the local scheduler still advances (degraded mode) so the
+  /// monitor's own timeline never stalls on a dead SUO.
+  bool advance_to(runtime::SimTime t);
+  /// Schedule a fault inside the remote SUO's injector.
+  bool inject(const faults::FaultSpec& spec);
+  /// Restart a crashed component of the remote set (§4.5 recovery).
+  bool restart_component(const std::string& name);
+  /// Ask the server to replay its full output state (observer resync).
+  bool request_snapshot();
+  /// One heartbeat round-trip; false = miss (supervisor notified).
+  bool heartbeat();
+  /// Orderly remote teardown ("shutdown" command).
+  bool shutdown_remote();
+
+  /// One reconnect attempt honouring the supervisor's backoff. Safe to
+  /// call in a loop; true once the link is back up.
+  bool try_reconnect();
+
+  bool link_up() const { return supervisor_.up() && sock_.valid(); }
+  const ProcessSupervisor& supervisor() const { return supervisor_; }
+  /// The shared comparison gate for LinkGatedModel wrapping.
+  std::shared_ptr<const std::atomic<bool>> gate() const { return gate_; }
+  std::uint8_t negotiated_version() const { return negotiated_version_; }
+  std::size_t outage_reports() const { return outage_reports_; }
+
+  /// Receiver of the once-per-outage "ipc.link" ErrorReport — wire the
+  /// monitor's Controller here so outages reach its error tap.
+  void set_error_notify(core::IErrorNotify* notify) { notify_ = notify; }
+  void set_metrics(runtime::MetricsRegistry* m);
+  void set_trace(runtime::TraceLog* t) { trace_ = t; }
+
+ private:
+  bool connect_and_handshake();
+  /// Send a control command and pump frames until its ack (the lockstep
+  /// sync point). Event frames seen on the way are republished.
+  bool roundtrip(const std::string& command,
+                 std::map<std::string, runtime::Value> args = {});
+  void republish(const Frame& f);
+  void on_link_lost(const char* why);
+
+  runtime::Scheduler& sched_;
+  runtime::EventBus& bus_;
+  Connector connector_;
+  RemoteSuoConfig config_;
+  ProcessSupervisor supervisor_;
+  FramedSocket sock_;
+  std::shared_ptr<std::atomic<bool>> gate_;
+  core::IErrorNotify* notify_ = nullptr;
+  runtime::MetricsRegistry* metrics_ = nullptr;
+  runtime::TraceLog* trace_ = nullptr;
+  runtime::Histogram* rtt_metric_ = nullptr;
+  std::uint32_t seq_ = 0;
+  std::uint64_t next_nonce_ = 1;
+  std::uint8_t negotiated_version_ = 0;
+  std::size_t outage_reports_ = 0;
+  bool initialized_ = false;
+  bool running_ = false;
+};
+
+}  // namespace trader::ipc

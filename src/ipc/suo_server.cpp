@@ -1,0 +1,249 @@
+#include "ipc/suo_server.hpp"
+
+#include <unistd.h>
+
+#include "tv/keys.hpp"
+
+namespace trader::ipc {
+
+namespace {
+
+runtime::Value arg_or(const Frame& f, const std::string& key, runtime::Value dflt) {
+  const auto it = f.args.find(key);
+  return it != f.args.end() ? it->second : dflt;
+}
+
+std::int64_t int_arg(const Frame& f, const std::string& key, std::int64_t dflt = 0) {
+  const auto v = arg_or(f, key, dflt);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  return dflt;
+}
+
+std::string str_arg(const Frame& f, const std::string& key) {
+  const auto it = f.args.find(key);
+  if (it == f.args.end()) return {};
+  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  return {};
+}
+
+double num_arg(const Frame& f, const std::string& key, double dflt = 0.0) {
+  const auto it = f.args.find(key);
+  if (it == f.args.end()) return dflt;
+  if (const auto* d = std::get_if<double>(&it->second)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return static_cast<double>(*i);
+  return dflt;
+}
+
+}  // namespace
+
+SuoServer::SuoServer(SuoServerConfig config) : config_(std::move(config)) {}
+
+SuoServer::~SuoServer() = default;
+
+void SuoServer::initialize() {
+  if (initialized_) return;
+  injector_ = std::make_unique<faults::FaultInjector>(runtime::Rng(config_.injector_seed));
+  tv_ = std::make_unique<tv::TvSystem>(sched_, bus_, *injector_, config_.tv);
+  bus_.subscribe("tv.input",
+                 [this](const runtime::Event& ev) { forward_event(ev, FrameType::kInputEvent); });
+  bus_.subscribe("tv.output",
+                 [this](const runtime::Event& ev) { forward_event(ev, FrameType::kOutputEvent); });
+  initialized_ = true;
+  if (trace_ != nullptr) {
+    trace_->log(sched_.now(), runtime::TraceLevel::kInfo, "ipc.server", "initialized");
+  }
+}
+
+void SuoServer::start(runtime::SimTime now) {
+  (void)now;
+  if (!initialized_) initialize();
+  if (running_) return;
+  if (!tv_started_) {
+    tv_->start();  // schedule frame ticks exactly once per process
+    tv_started_ = true;
+  }
+  running_ = true;
+}
+
+void SuoServer::stop() { running_ = false; }
+
+void SuoServer::forward_event(const runtime::Event& ev, FrameType type) {
+  if (peer_ == nullptr || !peer_->valid()) return;
+  Frame f;
+  f.type = type;
+  f.seq = ++seq_;
+  f.time = sched_.now();
+  f.event = ev;
+  f.event.timestamp = sched_.now();
+  peer_->send(f);
+}
+
+bool SuoServer::handshake(FramedSocket& sock) {
+  Frame hello;
+  const auto status = sock.recv(hello, config_.handshake_timeout_ms);
+  if (status != FramedSocket::RecvStatus::kFrame || hello.type != FrameType::kHello) {
+    return false;
+  }
+  const std::uint8_t version = negotiate_version(config_.min_version, config_.max_version,
+                                                 hello.min_version, hello.max_version);
+  if (version == 0) {
+    Frame reject;
+    reject.type = FrameType::kShutdown;
+    reject.detail = "version mismatch";
+    sock.send(reject);
+    if (trace_ != nullptr) {
+      trace_->log(sched_.now(), runtime::TraceLevel::kWarning, "ipc.server",
+                  "handshake rejected: no common protocol version");
+    }
+    return false;
+  }
+  Frame ack;
+  ack.type = FrameType::kHelloAck;
+  ack.version = version;
+  ack.min_version = config_.min_version;
+  ack.max_version = config_.max_version;
+  ack.detail = config_.peer_name;
+  return sock.send(ack);
+}
+
+bool SuoServer::handle_control(FramedSocket& sock, const Frame& f) {
+  ++stats_.controls;
+  Frame ack;
+  ack.type = FrameType::kControlAck;
+  ack.command = f.command;
+  ack.seq = ++seq_;
+
+  if (f.command == "initialize") {
+    initialize();
+  } else if (f.command == "start") {
+    start(sched_.now());
+  } else if (f.command == "stop") {
+    stop();
+  } else if (f.command == "press") {
+    ++stats_.presses;
+    const auto key = tv::key_from_string(str_arg(f, "key"));
+    if (key.has_value() && running_) {
+      tv_->press(*key);
+    } else {
+      ack.ok = false;
+      ack.detail = running_ ? "unknown key" : "not running";
+      ++stats_.rejected;
+    }
+  } else if (f.command == "advance") {
+    ++stats_.advances;
+    const runtime::SimTime to = int_arg(f, "to", sched_.now());
+    // A stopped SUO freezes virtual time: frame processing is paused
+    // until start() — the ack still closes the lockstep round-trip.
+    if (running_ && to > sched_.now()) sched_.run_until(to);
+  } else if (f.command == "inject") {
+    faults::FaultSpec spec;
+    spec.kind = static_cast<faults::FaultKind>(int_arg(f, "kind"));
+    spec.target = str_arg(f, "target");
+    spec.activate_at = int_arg(f, "at");
+    spec.duration = int_arg(f, "duration");
+    spec.intensity = num_arg(f, "intensity", 1.0);
+    injector_->schedule(spec);
+  } else if (f.command == "restart_component") {
+    tv_->restart_component(str_arg(f, "name"));
+  } else if (f.command == "snapshot") {
+    // Resync hook for reconnecting observers: replay the full output
+    // state through the forwarding tap before the ack lands.
+    tv_->republish_outputs();
+  } else if (f.command == "shutdown") {
+    ack.detail = "bye";
+    sock.send(ack);
+    return false;
+  } else {
+    ack.ok = false;
+    ack.detail = "unknown command";
+    ++stats_.rejected;
+  }
+
+  ack.time = sched_.now();
+  sock.send(ack);
+  return true;
+}
+
+SuoServer::ServeResult SuoServer::serve(FramedSocket& sock) {
+  if (!initialized_) initialize();
+  if (metrics_ != nullptr) sock.set_metrics(metrics_);
+  peer_ = &sock;
+  if (trace_ != nullptr) {
+    trace_->log(sched_.now(), runtime::TraceLevel::kInfo, "ipc.server", "session open");
+  }
+
+  auto finish = [&](ServeResult r, const char* why) {
+    if (trace_ != nullptr) {
+      trace_->log(sched_.now(), runtime::TraceLevel::kInfo, "ipc.server",
+                  std::string("session closed: ") + why);
+    }
+    peer_ = nullptr;
+    return r;
+  };
+
+  if (!handshake(sock)) return finish(ServeResult::kHandshakeFailed, "handshake");
+
+  for (;;) {
+    Frame f;
+    switch (sock.recv(f, config_.read_timeout_ms)) {
+      case FramedSocket::RecvStatus::kTimeout:
+        continue;  // idle link; liveness is the client's heartbeat job
+      case FramedSocket::RecvStatus::kClosed:
+        return finish(ServeResult::kDisconnect, "peer gone");
+      case FramedSocket::RecvStatus::kProtocolError:
+        return finish(ServeResult::kProtocolError, to_string(sock.last_decode_status()));
+      case FramedSocket::RecvStatus::kFrame:
+        break;
+    }
+    switch (f.type) {
+      case FrameType::kHeartbeat: {
+        ++stats_.heartbeats;
+        Frame ack;
+        ack.type = FrameType::kHeartbeatAck;
+        ack.nonce = f.nonce;
+        ack.seq = ++seq_;
+        ack.time = sched_.now();
+        sock.send(ack);
+        break;
+      }
+      case FrameType::kControl:
+        if (!handle_control(sock, f)) return finish(ServeResult::kShutdown, "shutdown");
+        break;
+      case FrameType::kShutdown:
+        return finish(ServeResult::kShutdown, "peer shutdown");
+      default: {
+        // Servers never accept event frames — fail closed rather than
+        // let a confused peer feed observations back into the SUO.
+        ++stats_.rejected;
+        Frame reject;
+        reject.type = FrameType::kShutdown;
+        reject.detail = std::string("unexpected frame: ") + to_string(f.type);
+        sock.send(reject);
+        return finish(ServeResult::kProtocolError, "unexpected frame");
+      }
+    }
+  }
+}
+
+int run_suo_host(const std::string& path, SuoServerConfig config, std::size_t max_sessions) {
+  const int listener = listen_unix(path);
+  if (listener < 0) return 1;
+
+  SuoServer server(config);
+  server.initialize();
+
+  std::size_t sessions = 0;
+  bool shutdown = false;
+  while (!shutdown && (max_sessions == 0 || sessions < max_sessions)) {
+    const int fd = accept_unix(listener, 1000);
+    if (fd < 0) continue;  // poll timeout; keep waiting for a monitor
+    ++sessions;
+    FramedSocket sock(fd);
+    shutdown = server.serve(sock) == SuoServer::ServeResult::kShutdown;
+  }
+  ::close(listener);
+  unlink_unix(path);
+  return 0;
+}
+
+}  // namespace trader::ipc

@@ -1,0 +1,120 @@
+// SUO server: hosts the TvSystem behind a socket (Fig. 2's process
+// boundary, server side).
+//
+// The server owns a complete simulation substrate — scheduler, event
+// bus, fault injector, TvSystem — and exposes it over the wire
+// protocol. The monitor side drives virtual time in lockstep: every
+// "advance" control command runs the local scheduler to the requested
+// instant, forwards each tv.input / tv.output event published along the
+// way as a frame, and then acks — the ack is the client's guarantee
+// that every event up to that instant has been delivered (FIFO stream
+// ordering does the rest). Heartbeats are answered inline, control /
+// recovery commands (press, inject, restart_component, snapshot,
+// lifecycle) are executed against the hosted set.
+//
+// Deployments: the suo_host example binary wraps run_suo_host() around
+// an AF_UNIX listener for true two-process operation; tests hand
+// serve() one end of a socketpair (optionally on a thread) to stay
+// hermetic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/interfaces.hpp"
+#include "faults/injector.hpp"
+#include "ipc/transport.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace_log.hpp"
+#include "tv/tv_system.hpp"
+
+namespace trader::ipc {
+
+struct SuoServerConfig {
+  tv::TvConfig tv;
+  std::uint64_t injector_seed = 2026;
+  std::uint8_t min_version = kMinProtocolVersion;
+  std::uint8_t max_version = kProtocolVersion;
+  /// Poll granularity of the serve loop (also bounds shutdown latency).
+  int read_timeout_ms = 200;
+  /// Timeout for the initial kHello after accept.
+  int handshake_timeout_ms = 2000;
+  std::string peer_name = "suo_host";
+};
+
+/// Aggregate server-side counters (tests assert idempotency on these).
+struct SuoServerStats {
+  std::uint64_t controls = 0;
+  std::uint64_t presses = 0;
+  std::uint64_t advances = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t rejected = 0;  ///< Unknown / malformed control commands.
+};
+
+class SuoServer : public core::IControl {
+ public:
+  explicit SuoServer(SuoServerConfig config = {});
+  ~SuoServer() override;
+
+  // IControl — idempotent per the core contract: initialize() builds
+  // the simulation world once, start() begins frame processing once,
+  // stop() pauses command execution; the sequence may repeat.
+  void initialize() override;
+  void start(runtime::SimTime now) override;
+  void stop() override;
+
+  enum class ServeResult : std::uint8_t {
+    kShutdown,         ///< Peer asked for orderly teardown.
+    kDisconnect,       ///< Peer vanished (EOF / reset) — supervisor case.
+    kHandshakeFailed,  ///< Version negotiation failed or no hello.
+    kProtocolError,    ///< Malformed traffic; link dropped fail-closed.
+  };
+
+  /// Serve one connection until it ends. Re-entrant across connections:
+  /// the hosted TV keeps its state between sessions of one process
+  /// lifetime (a monitor that reconnects resyncs via "snapshot").
+  ServeResult serve(FramedSocket& sock);
+
+  void set_metrics(runtime::MetricsRegistry* m) { metrics_ = m; }
+  void set_trace(runtime::TraceLog* t) { trace_ = t; }
+
+  tv::TvSystem* tv() { return tv_.get(); }
+  faults::FaultInjector* injector() { return injector_.get(); }
+  runtime::Scheduler& scheduler() { return sched_; }
+  const SuoServerStats& stats() const { return stats_; }
+  bool running() const { return running_; }
+
+ private:
+  void forward_event(const runtime::Event& ev, FrameType type);
+  bool handshake(FramedSocket& sock);
+  /// Executes one control command; returns false for "shutdown".
+  bool handle_control(FramedSocket& sock, const Frame& f);
+
+  SuoServerConfig config_;
+  runtime::Scheduler sched_;
+  runtime::EventBus bus_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<tv::TvSystem> tv_;
+  runtime::MetricsRegistry* metrics_ = nullptr;
+  runtime::TraceLog* trace_ = nullptr;
+  FramedSocket* peer_ = nullptr;  ///< Valid only inside serve().
+  SuoServerStats stats_;
+  std::uint32_t seq_ = 0;
+  bool initialized_ = false;
+  bool tv_started_ = false;  ///< Frame ticks scheduled (once per process).
+  bool running_ = false;
+};
+
+/// Accept-serve loop for a standalone host process: listens on `path`
+/// and serves connections until a client sends "shutdown" (or
+/// `max_sessions` connections came and went; 0 = unlimited). Returns 0
+/// on orderly shutdown, 1 on listener failure. SIGKILLing the host is
+/// the supervision crash case — the monitor-side RemoteSuoClient
+/// detects it and reconnects to a fresh host.
+int run_suo_host(const std::string& path, SuoServerConfig config = {},
+                 std::size_t max_sessions = 0);
+
+}  // namespace trader::ipc

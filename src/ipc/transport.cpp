@@ -1,0 +1,230 @@
+#include "ipc/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace trader::ipc {
+
+namespace {
+
+/// Fill a sockaddr_un for `path`; '@'-prefixed paths map to the Linux
+/// abstract namespace (leading NUL). Returns the address length to pass
+/// to bind/connect, or 0 when the path does not fit.
+socklen_t fill_addr(const std::string& path, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) return 0;
+  if (!path.empty() && path[0] == '@') {
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, path.data() + 1, path.size() - 1);
+    return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size());
+  }
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+}
+
+}  // namespace
+
+FramedSocket::~FramedSocket() { close(); }
+
+FramedSocket::FramedSocket(FramedSocket&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      last_status_(other.last_status_),
+      frames_sent_(other.frames_sent_),
+      frames_received_(other.frames_received_),
+      bytes_sent_(other.bytes_sent_),
+      bytes_received_(other.bytes_received_),
+      encode_errors_(other.encode_errors_),
+      decode_errors_(other.decode_errors_) {
+  other.fd_ = -1;
+}
+
+FramedSocket& FramedSocket::operator=(FramedSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    last_status_ = other.last_status_;
+    frames_sent_ = other.frames_sent_;
+    frames_received_ = other.frames_received_;
+    bytes_sent_ = other.bytes_sent_;
+    bytes_received_ = other.bytes_received_;
+    encode_errors_ = other.encode_errors_;
+    decode_errors_ = other.decode_errors_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FramedSocket::set_metrics(runtime::MetricsRegistry* m) {
+  if (m == nullptr) {
+    frames_sent_ = frames_received_ = bytes_sent_ = bytes_received_ = nullptr;
+    encode_errors_ = decode_errors_ = nullptr;
+    return;
+  }
+  frames_sent_ = &m->counter("ipc.frames_sent");
+  frames_received_ = &m->counter("ipc.frames_received");
+  bytes_sent_ = &m->counter("ipc.bytes_sent");
+  bytes_received_ = &m->counter("ipc.bytes_received");
+  encode_errors_ = &m->counter("ipc.encode_errors");
+  decode_errors_ = &m->counter("ipc.decode_errors");
+}
+
+bool FramedSocket::send(const Frame& f) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  if (bytes.empty()) {
+    if (encode_errors_ != nullptr) encode_errors_->inc();
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (frames_sent_ != nullptr) frames_sent_->inc();
+  if (bytes_sent_ != nullptr) bytes_sent_->inc(bytes.size());
+  return true;
+}
+
+FramedSocket::RecvStatus FramedSocket::recv(Frame& out, int timeout_ms) {
+  if (fd_ < 0) return RecvStatus::kClosed;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    last_status_ = decoder_.next(out);
+    if (last_status_ == DecodeStatus::kOk) {
+      if (frames_received_ != nullptr) frames_received_->inc();
+      return RecvStatus::kFrame;
+    }
+    if (is_decode_error(last_status_)) {
+      if (decode_errors_ != nullptr) decode_errors_->inc();
+      close();
+      return RecvStatus::kProtocolError;
+    }
+
+    int wait_ms = 0;
+    if (timeout_ms > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return RecvStatus::kTimeout;
+      wait_ms = static_cast<int>(left);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return RecvStatus::kClosed;
+    }
+    if (pr == 0) return RecvStatus::kTimeout;
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) return RecvStatus::kTimeout;
+
+    std::uint8_t buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return RecvStatus::kClosed;
+    }
+    if (n == 0) {
+      // EOF with a partial frame buffered is a truncated stream — the
+      // decoder never surfaces the partial frame (fail closed).
+      close();
+      return RecvStatus::kClosed;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+    if (bytes_received_ != nullptr) bytes_received_->inc(static_cast<std::uint64_t>(n));
+  }
+}
+
+void FramedSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<FramedSocket, FramedSocket> socketpair_transport() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return {FramedSocket(), FramedSocket()};
+  }
+  return {FramedSocket(fds[0]), FramedSocket(fds[1])};
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  const socklen_t len = fill_addr(path, addr);
+  if (len == 0) return -1;
+  unlink_unix(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0 || ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd, int timeout_ms) {
+  if (listen_fd < 0) return -1;
+  pollfd pfd{listen_fd, POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) return -1;
+    break;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  const socklen_t len = fill_addr(path, addr);
+  if (len == 0) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), len) == 0) return fd;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return -1;
+  }
+}
+
+int connect_unix_retry(const std::string& path, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = connect_unix(path);
+    if (fd >= 0) return fd;
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void unlink_unix(const std::string& path) {
+  if (path.empty() || path[0] == '@') return;
+  ::unlink(path.c_str());
+}
+
+}  // namespace trader::ipc

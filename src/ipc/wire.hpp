@@ -1,0 +1,131 @@
+// Wire protocol for the out-of-process SUO link.
+//
+// The paper's awareness framework runs the System Under Observation as
+// a separate Linux process connected over Unix domain sockets (Fig. 2);
+// this module defines the byte-level contract that crosses that
+// boundary. Frames are length-prefixed and versioned:
+//
+//   offset size field
+//   0      4    magic 0x54524452 ("TRDR", little-endian)
+//   4      1    protocol version
+//   5      1    frame type
+//   6      2    reserved (must be zero)
+//   8      4    sequence number
+//   12     8    virtual timestamp (microseconds, signed)
+//   20     4    payload length (<= kMaxFramePayload)
+//   24     4    payload checksum (FNV-1a 32 over the payload bytes)
+//   28     ...  payload
+//
+// Strings are u32 length + bytes; runtime::Value is a 1-byte tag (the
+// variant index) + payload. Decoding fails closed: any malformed
+// header or payload poisons the decoder until reset() — a frame is
+// either delivered whole and checksum-clean or not at all, so a
+// corrupted stream can never leak partial state into the monitor.
+// Sequence number and timestamp are deliberately outside the checksum
+// footprint only in the sense that the checksum covers the payload;
+// header integrity is enforced field-by-field (magic, version range,
+// known type, zero reserved bits, bounded length).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/sim_time.hpp"
+
+namespace trader::ipc {
+
+inline constexpr std::uint32_t kMagic = 0x54524452;  // "TRDR"
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 28;
+/// Upper bound on payload size; a header announcing more is rejected
+/// before any allocation happens (flood protection).
+inline constexpr std::size_t kMaxFramePayload = 64 * 1024;
+
+/// Frame taxonomy of the SUO link.
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< Client -> server: version range + peer name.
+  kHelloAck,       ///< Server -> client: negotiated version.
+  kInputEvent,     ///< SUO input event (user action observed).
+  kOutputEvent,    ///< SUO observable update.
+  kControl,        ///< Control / recovery command toward the SUO.
+  kControlAck,     ///< Command completion (the lockstep sync point).
+  kHeartbeat,      ///< Liveness probe (client -> server).
+  kHeartbeatAck,   ///< Liveness echo (server -> client).
+  kShutdown,       ///< Orderly teardown or handshake rejection.
+};
+
+const char* to_string(FrameType t);
+
+/// One decoded (or to-be-encoded) protocol frame. Only the fields of
+/// the frame's type are meaningful; the rest stay default.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint8_t version = kProtocolVersion;
+  std::uint32_t seq = 0;
+  runtime::SimTime time = 0;
+
+  runtime::Event event;                           ///< kInputEvent / kOutputEvent.
+  std::string command;                            ///< kControl / kControlAck.
+  std::map<std::string, runtime::Value> args;     ///< kControl arguments.
+  bool ok = true;                                 ///< kControlAck status.
+  std::string detail;                             ///< Ack detail / hello peer / shutdown reason.
+  std::uint8_t min_version = kMinProtocolVersion; ///< kHello / kHelloAck.
+  std::uint8_t max_version = kProtocolVersion;    ///< kHello / kHelloAck.
+  std::uint64_t nonce = 0;                        ///< kHeartbeat / kHeartbeatAck.
+};
+
+/// Encode a frame. Returns an empty vector when the payload would
+/// exceed kMaxFramePayload (the caller counts an encode error — an
+/// oversized observable must not tear the stream mid-frame).
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Why decoding stopped.
+enum class DecodeStatus : std::uint8_t {
+  kOk,            ///< A frame was produced.
+  kNeedMore,      ///< Partial frame buffered; feed more bytes.
+  kBadMagic,
+  kBadVersion,    ///< Header version outside [kMinProtocolVersion, kProtocolVersion].
+  kBadType,
+  kFrameTooLarge,
+  kBadChecksum,
+  kMalformed,     ///< Reserved bits set or payload structure invalid.
+};
+
+const char* to_string(DecodeStatus s);
+
+/// True for the statuses that poison the stream (everything except
+/// kOk / kNeedMore).
+bool is_decode_error(DecodeStatus s);
+
+/// Highest protocol version both ranges support, or 0 when the ranges
+/// are disjoint (handshake must be rejected).
+std::uint8_t negotiate_version(std::uint8_t local_min, std::uint8_t local_max,
+                               std::uint8_t remote_min, std::uint8_t remote_max);
+
+/// Streaming frame decoder. Feed arbitrary byte chunks; next() yields
+/// complete frames. Fails closed: after the first error status the
+/// decoder refuses further work until reset(), because a framing error
+/// means byte alignment is lost and everything after it is garbage.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Decode the next buffered frame into `out`. kOk fills `out`;
+  /// kNeedMore leaves it untouched; an error poisons the decoder.
+  DecodeStatus next(Frame& out);
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace trader::ipc

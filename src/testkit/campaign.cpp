@@ -1,14 +1,21 @@
 #include "testkit/campaign.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <tuple>
 
 #include "core/fleet.hpp"
+#include "core/model_impl.hpp"
 #include "core/monitor_builder.hpp"
 #include "core/sharded_fleet.hpp"
 #include "faults/injector.hpp"
+#include "ipc/link_gate.hpp"
+#include "ipc/supervisor.hpp"
+#include "ipc/transport.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
 #include "statemachine/definition.hpp"
@@ -31,9 +38,18 @@ sm::StateMachineDef counter_model() {
   return def;
 }
 
-core::MonitorBuilder counter_monitor(std::size_t k, const ExecutorConfig& config) {
+core::MonitorBuilder counter_monitor(std::size_t k, const ExecutorConfig& config,
+                                     std::shared_ptr<const std::atomic<bool>> gate) {
   core::MonitorBuilder builder;
-  builder.model(counter_model())
+  // With an IPC link in the path the model is wrapped in a LinkGatedModel
+  // so comparisons quiesce while the SUO is unreachable (the §4.3
+  // graceful-degradation policy); a null gate means in-process wiring.
+  std::unique_ptr<core::IModelImpl> model =
+      std::make_unique<core::InterpretedModel>(counter_model());
+  if (gate != nullptr) {
+    model = std::make_unique<ipc::LinkGatedModel>(std::move(model), std::move(gate));
+  }
+  builder.model(std::move(model))
       .input_topic("in." + std::to_string(k))
       .output_topic("out." + std::to_string(k))
       .threshold("count", 0.0, config.max_consecutive)
@@ -57,6 +73,10 @@ class Backend {
   virtual std::vector<core::AspectError> errors() const = 0;
   virtual const core::ComparatorStats& stats(const std::string& aspect) = 0;
   virtual runtime::MetricsSnapshot metrics() const = 0;
+  /// Comparison gate shared with the models (IPC backends only).
+  virtual std::shared_ptr<const std::atomic<bool>> gate() const { return nullptr; }
+  /// Tear down / re-establish the SUO link (IPC backends only).
+  virtual void set_link(bool up) { (void)up; }
 };
 
 void sort_errors(std::vector<core::AspectError>& errs) {
@@ -121,7 +141,122 @@ class ShardedBackend : public Backend {
   core::ShardedFleet fleet_;
 };
 
+// The IPC backend puts the real wire in the campaign's SUO-to-monitor
+// path: every scripted event is encoded, sent through a kernel stream
+// socket (socketpair or a genuine AF_UNIX listener), received, decoded,
+// and only then republished onto the monitor fleet's bus. Events carry
+// virtual timestamps and each publish pumps its frame synchronously, so
+// verdicts and golden traces are identical to the in-process backend —
+// which is exactly the equivalence the tier-1 suite asserts.
+class IpcBackend : public Backend {
+ public:
+  explicit IpcBackend(const ExecutorConfig& config) : mode_(config.ipc), fleet_(sched_, bus_) {
+    fleet_.set_metrics(&metrics_);
+    supervisor_.set_metrics(&metrics_);
+    gate_ = std::make_shared<std::atomic<bool>>(false);
+    if (mode_ == IpcMode::kUnix) {
+      static std::atomic<std::uint64_t> instance{0};
+      // Abstract-namespace path: no filesystem entry, auto-cleaned by
+      // the kernel, unique per process x backend instance.
+      path_ = "@trader-campaign-" + std::to_string(::getpid()) + "-" +
+              std::to_string(instance.fetch_add(1));
+      listener_ = ipc::listen_unix(path_);
+    }
+    set_link(true);
+  }
+
+  ~IpcBackend() override {
+    if (listener_ >= 0) ::close(listener_);
+  }
+
+  void add_monitor(const std::string& aspect, core::MonitorBuilder builder) override {
+    fleet_.add_monitor(aspect, std::move(builder));
+  }
+  void start() override { fleet_.start(); }
+  void stop() override { fleet_.stop(); }
+  void run_until(runtime::SimTime t) override { sched_.run_until(t); }
+
+  void publish(const runtime::Event& ev) override {
+    if (!gate_->load(std::memory_order_relaxed)) return;  // SUO unreachable
+    ipc::Frame f;
+    f.type = ev.topic.rfind("in.", 0) == 0 ? ipc::FrameType::kInputEvent
+                                           : ipc::FrameType::kOutputEvent;
+    f.seq = ++seq_;
+    f.time = sched_.now();
+    f.event = ev;
+    if (!suo_side_.send(f)) {
+      set_link(false);
+      return;
+    }
+    // Synchronous pump: the frame we just sent comes back out of the
+    // kernel before the driver moves on, preserving SingleBackend's
+    // publish-then-deliver ordering exactly.
+    ipc::Frame in;
+    if (monitor_side_.recv(in, /*timeout_ms=*/2000) != ipc::FramedSocket::RecvStatus::kFrame) {
+      set_link(false);
+      return;
+    }
+    runtime::Event stamped = in.event;
+    stamped.timestamp = sched_.now();
+    bus_.publish(stamped);
+  }
+
+  std::vector<core::AspectError> errors() const override {
+    auto errs = fleet_.errors();
+    sort_errors(errs);
+    return errs;
+  }
+  const core::ComparatorStats& stats(const std::string& aspect) override {
+    return fleet_.monitor(aspect).stats();
+  }
+  runtime::MetricsSnapshot metrics() const override { return metrics_.snapshot(); }
+  std::shared_ptr<const std::atomic<bool>> gate() const override { return gate_; }
+
+  void set_link(bool up) override {
+    if (up == gate_->load(std::memory_order_relaxed)) return;
+    if (!up) {
+      suo_side_.close();
+      monitor_side_.close();
+      supervisor_.on_disconnected();
+      gate_->store(false, std::memory_order_relaxed);
+      return;
+    }
+    supervisor_.next_backoff_ms();  // the reconnect attempt (no wall sleep here)
+    if (mode_ == IpcMode::kUnix) {
+      const int client = ipc::connect_unix(path_);
+      const int server = ipc::accept_unix(listener_, /*timeout_ms=*/2000);
+      suo_side_ = ipc::FramedSocket(client);
+      monitor_side_ = ipc::FramedSocket(server);
+    } else {
+      auto [a, b] = ipc::socketpair_transport();
+      suo_side_ = std::move(a);
+      monitor_side_ = std::move(b);
+    }
+    suo_side_.set_metrics(&metrics_);
+    monitor_side_.set_metrics(&metrics_);
+    if (suo_side_.valid() && monitor_side_.valid()) {
+      supervisor_.on_connected();
+      gate_->store(true, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  IpcMode mode_;
+  runtime::Scheduler sched_;
+  runtime::EventBus bus_;
+  runtime::MetricsRegistry metrics_;
+  core::MonitorFleet fleet_;
+  ipc::ProcessSupervisor supervisor_;
+  ipc::FramedSocket suo_side_;      ///< Scripted SUO writes here.
+  ipc::FramedSocket monitor_side_;  ///< Fleet-facing end; pumped per publish.
+  std::shared_ptr<std::atomic<bool>> gate_;
+  std::string path_;
+  int listener_ = -1;
+  std::uint32_t seq_ = 0;
+};
+
 std::unique_ptr<Backend> make_backend(const ExecutorConfig& config) {
+  if (config.ipc != IpcMode::kOff) return std::make_unique<IpcBackend>(config);
   if (config.shards == 0) return std::make_unique<SingleBackend>();
   return std::make_unique<ShardedBackend>(config);
 }
@@ -129,6 +264,18 @@ std::unique_ptr<Backend> make_backend(const ExecutorConfig& config) {
 std::string fmt_value(std::int64_t v) { return std::to_string(v); }
 
 }  // namespace
+
+const char* to_string(IpcMode m) {
+  switch (m) {
+    case IpcMode::kOff:
+      return "off";
+    case IpcMode::kSocketpair:
+      return "socketpair";
+    case IpcMode::kUnix:
+      return "unix";
+  }
+  return "?";
+}
 
 const char* to_string(Verdict v) {
   switch (v) {
@@ -175,7 +322,7 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   auto backend = make_backend(config_);
   const std::size_t aspects = script.aspect_count();
   for (std::size_t k = 0; k < aspects; ++k) {
-    backend->add_monitor(aspect_name(k), counter_monitor(k, config_));
+    backend->add_monitor(aspect_name(k), counter_monitor(k, config_, backend->gate()));
   }
   backend->start();
 
@@ -294,16 +441,44 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
                               " out=" + fmt_value(published));
   };
 
+  // Kill-and-restart window (IPC modes): between suo_down_at and
+  // suo_up_at the SUO process is gone. Commands reach nobody — neither
+  // the model nor the scripted system advances, so no divergence is
+  // manufactured — and the comparators quiesce through the link gate.
+  // Each transition is traced exactly once (the no-error-flood policy).
+  const bool has_outage = config_.ipc != IpcMode::kOff && config_.suo_down_at >= 0 &&
+                          config_.suo_up_at > config_.suo_down_at;
+  bool link_down = false;
+  auto update_link = [&](runtime::SimTime t) {
+    if (!has_outage) return;
+    if (!link_down && t >= config_.suo_down_at && t < config_.suo_up_at) {
+      backend->set_link(false);
+      link_down = true;
+      ++result.link_outages;
+      trace.add(config_.suo_down_at, "ipc", "link down (suo killed)");
+    } else if (link_down && t >= config_.suo_up_at) {
+      backend->set_link(true);
+      link_down = false;
+      trace.add(config_.suo_up_at, "ipc", "link up (suo restarted)");
+    }
+  };
+
   const auto commands = script.sorted_commands();
   std::size_t i = 0;
   while (i < commands.size()) {
     const runtime::SimTime t = commands[i].at;
     backend->run_until(t);
+    update_link(t);
     poll_recovery(t);
     for (; i < commands.size() && commands[i].at == t; ++i) {
-      apply_command(commands[i].aspect, t);
+      if (link_down) {
+        trace.add(t, "cmd", aspect_name(commands[i].aspect) + " inc unreachable (link down)");
+      } else {
+        apply_command(commands[i].aspect, t);
+      }
     }
   }
+  update_link(script.horizon());
   backend->run_until(script.horizon());
   backend->stop();
 
@@ -448,10 +623,13 @@ std::string CampaignReport::to_json() const {
   out += "    \"seed\": " + std::to_string(config.seed) + ",\n";
   out += "    \"scenarios\": " + std::to_string(config.scenarios) + ",\n";
   out += "    \"aspects\": " + std::to_string(config.draw.aspects) + ",\n";
-  out += "    \"backend\": \"" +
-         (config.executor.shards == 0 ? std::string("single")
-                                      : "sharded(" + std::to_string(config.executor.shards) + ")") +
-         "\",\n";
+  std::string backend_label = config.executor.shards == 0
+                                  ? std::string("single")
+                                  : "sharded(" + std::to_string(config.executor.shards) + ")";
+  if (config.executor.ipc != IpcMode::kOff) {
+    backend_label += std::string("+ipc-") + to_string(config.executor.ipc);
+  }
+  out += "    \"backend\": \"" + backend_label + "\",\n";
   out += "    \"horizon_us\": " + std::to_string(config.draw.horizon) + ",\n";
   out += "    \"trace_fingerprint\": \"" + golden_trace().fingerprint() + "\"\n";
   out += "  },\n";

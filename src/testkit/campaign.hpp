@@ -47,6 +47,15 @@ const char* to_string(Verdict v);
 Verdict classify_verdict(bool manifested, std::size_t errors_on_target,
                          std::size_t errors_off_target);
 
+/// Transport between the scripted SUO and the monitors (src/ipc).
+enum class IpcMode : std::uint8_t {
+  kOff,         ///< Events go straight onto the backend bus (no IPC).
+  kSocketpair,  ///< Real kernel stream via socketpair(AF_UNIX) — hermetic.
+  kUnix,        ///< Real AF_UNIX listener/connect (abstract namespace).
+};
+
+const char* to_string(IpcMode m);
+
 /// How one scenario is executed.
 struct ExecutorConfig {
   /// 0 = single-scheduler MonitorFleet backend; N >= 1 = ShardedFleet.
@@ -59,6 +68,18 @@ struct ExecutorConfig {
   runtime::SimDuration startup_grace = runtime::msec(5);
   int max_consecutive = 2;
   recovery::EscalationConfig escalation;
+  /// Push every SUO event through the wire protocol over a real socket.
+  /// Only meaningful with shards == 0 (the IPC backend wraps the
+  /// single-scheduler fleet); verdicts and golden traces stay identical
+  /// to IpcMode::kOff because events carry virtual timestamps and each
+  /// one is pumped through the socket synchronously.
+  IpcMode ipc = IpcMode::kOff;
+  /// Kill-and-restart window: the SUO link drops at suo_down_at and a
+  /// restarted SUO is reconnected at suo_up_at (virtual time; both -1 =
+  /// no outage). Commands inside the window reach nobody; comparators
+  /// are quiesced through the link gate; the outage is traced once.
+  runtime::SimTime suo_down_at = -1;
+  runtime::SimTime suo_up_at = -1;
 };
 
 /// Outcome of one scenario run.
@@ -75,6 +96,7 @@ struct ScenarioResult {
   runtime::SimDuration detection_latency = -1;  ///< -1 when not detected.
   bool recovered = false;
   bool gave_up = false;  ///< Escalation exhausted during the scenario.
+  std::size_t link_outages = 0;  ///< SUO link down/up cycles (IPC modes).
   std::vector<recovery::RecoveryAction> actions;  ///< Ladder actions taken.
   GoldenTrace trace;
 };

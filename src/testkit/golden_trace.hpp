@@ -13,7 +13,12 @@
 // event payloads, error reports, counter values. Wall-clock latency
 // histograms and per-shard topology counters (cross_shard_out, shard
 // gauges) must stay out, or traces stop being comparable across shard
-// counts and hosts.
+// counts and hosts. The same exclusion applies to the ipc.* wire
+// counters (frames/bytes sent and received, heartbeat misses,
+// reconnects, RTT): they depend on transport framing, retry timing and
+// the kernel scheduler, so a campaign over AF_UNIX must fingerprint
+// identically to its in-process twin — capture_metrics callers filter
+// to the deterministic prefixes (comparator.*, model.*) only.
 #pragma once
 
 #include <cstdint>

@@ -357,6 +357,11 @@ std::map<std::string, runtime::Value> TvSystem::mode_snapshot() const {
   return m;
 }
 
+void TvSystem::republish_outputs() {
+  last_published_.clear();
+  publish_outputs();
+}
+
 void TvSystem::publish_outputs() {
   const runtime::SimTime now = sched_.now();
   std::map<std::string, runtime::Value> outs;

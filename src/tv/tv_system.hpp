@@ -129,6 +129,12 @@ class TvSystem {
   /// Number of frame ticks executed.
   std::uint64_t ticks() const { return ticks_; }
 
+  /// Re-announce every output observable on the bus regardless of the
+  /// publish-on-change filter. A reconnecting remote observer (src/ipc)
+  /// calls this through the SUO server so its observation table resyncs
+  /// to reality instead of waiting for the next change.
+  void republish_outputs();
+
  private:
   void frame_tick();
   void route(const std::vector<Command>& cmds);
