@@ -12,12 +12,19 @@
 #      campaign (in-process vs socketpair vs AF_UNIX, verdict for
 #      verdict) under ASan, including the SIGKILL/reconnect supervision
 #      test — the whole out-of-process SUO path with leak checking on
-#   6. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#   6. hub: the epoll event loop (timer catch-up, backpressure, accept
+#      storm, crash-loop backoff) under ASan, plus the multi-SUO
+#      campaign through the hub under TSan (the loop thread vs fleet
+#      shard threads share the scored path)
+#   7. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#   7. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#   8. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
+#   9. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#      repo root (frames/sec + ingest latency vs connection count)
 #
-# Stages 2-5 can be skipped for a quick tier-1-only run:
+# Each stage prints its wall time on completion. Stages 2-9 can be
+# skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
 
@@ -26,7 +33,20 @@ JOBS="${JOBS:-$(nproc)}"
 TIER1_ONLY=0
 [[ "${1:-}" == "--tier1-only" ]] && TIER1_ONLY=1
 
-stage() { printf '\n=== %s ===\n' "$*"; }
+STAGE_NAME=""
+STAGE_T0=0
+stage_end() {
+  if [[ -n "$STAGE_NAME" ]]; then
+    printf -- '--- %s: %ss\n' "$STAGE_NAME" "$(( $(date +%s) - STAGE_T0 ))"
+  fi
+}
+stage() {
+  stage_end
+  STAGE_NAME="$*"
+  STAGE_T0=$(date +%s)
+  printf '\n=== %s ===\n' "$*"
+}
+trap stage_end EXIT
 
 stage "tier-1: configure + build + ctest"
 cmake -B build -S . >/dev/null
@@ -65,6 +85,18 @@ cmake --build build-asan -j "$JOBS" --target ipc_test
 ./build-asan/tests/ipc_test \
   --gtest_filter='IpcWire.*:IpcCampaign.*:IpcSupervision.*'
 
+stage "hub: epoll loop + multi-SUO campaign under ASan and TSan"
+cmake --build build-asan -j "$JOBS" --target hub_test
+# The whole suite under ASan: event-loop timer semantics (fixed-rate
+# catch-up), backpressure eviction, accept storm, crash-loop backoff,
+# liveness accounting and the 8-SUO differential campaign.
+./build-asan/tests/hub_test
+# Under TSan the loop thread coexists with fleet shard threads and the
+# publisher test thread — the scored hub campaign must stay race-free.
+cmake --build build-tsan -j "$JOBS" --target hub_test
+./build-tsan/tests/hub_test \
+  --gtest_filter='HubCampaign.*:HubTest.PublisherStreamsToHorizonAndSaysGoodbye'
+
 stage "bench_scale: scaling experiment -> BENCH_scale.json"
 ./build/bench/bench_scale --benchmark_filter='BM_ShardedFleetEpoch/1' \
   --benchmark_min_time=0.05
@@ -78,5 +110,12 @@ stage "bench_ipc: transport experiment -> BENCH_ipc.json"
 test -s BENCH_ipc.json
 echo "BENCH_ipc.json written:"
 head -12 BENCH_ipc.json
+
+stage "bench_hub: fleet ingest experiment -> BENCH_hub.json"
+./build/bench/bench_hub --benchmark_filter='BM_EventLoopWakeDispatch' \
+  --benchmark_min_time=0.05
+test -s BENCH_hub.json
+echo "BENCH_hub.json written:"
+head -12 BENCH_hub.json
 
 stage "all checks passed"

@@ -1,0 +1,146 @@
+#include "hub/agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <thread>
+
+#include "faults/injector.hpp"
+#include "ipc/transport.hpp"
+#include "ipc/wire.hpp"
+#include "runtime/event_bus.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/scheduler.hpp"
+#include "tv/keys.hpp"
+
+namespace trader::hub {
+
+namespace {
+
+/// Keys a synthetic viewer presses (no power toggles: a publisher that
+/// turns its own set off produces a silent, uninteresting stream).
+constexpr tv::Key kViewerKeys[] = {
+    tv::Key::kChannelUp, tv::Key::kChannelDown, tv::Key::kVolumeUp,
+    tv::Key::kVolumeDown, tv::Key::kDigit1,     tv::Key::kDigit2,
+};
+
+}  // namespace
+
+int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
+  PublisherStats stats;
+  const int fd = ipc::connect_unix_retry(config.hub_path, config.connect_timeout_ms);
+  if (fd < 0) {
+    if (out != nullptr) *out = stats;
+    return 1;
+  }
+  ipc::FramedSocket sock(fd);
+
+  // Claim our slot.
+  ipc::Frame hello;
+  hello.type = ipc::FrameType::kHello;
+  hello.detail = config.name;
+  if (!sock.send(hello)) {
+    if (out != nullptr) *out = stats;
+    return 1;
+  }
+  ipc::Frame reply;
+  if (sock.recv(reply, config.connect_timeout_ms) != ipc::FramedSocket::RecvStatus::kFrame ||
+      reply.type != ipc::FrameType::kHelloAck) {
+    stats.rejected = true;
+    if (out != nullptr) *out = stats;
+    return 1;
+  }
+
+  // Host a private TV simulation; stream its bus traffic to the hub.
+  runtime::Scheduler sched;
+  runtime::EventBus bus;
+  faults::FaultInjector injector{runtime::Rng(config.seed ^ 0xfa17)};
+  tv::TvSystem tv(sched, bus, injector, config.tv);
+
+  std::uint32_t seq = 0;
+  bool link_ok = true;
+  const auto forward = [&](const runtime::Event& ev, ipc::FrameType type) {
+    if (!link_ok) return;
+    ipc::Frame f;
+    f.type = type;
+    f.seq = ++seq;
+    f.time = ev.timestamp;
+    f.event = ev;
+    if (sock.send(f)) {
+      ++stats.events_sent;
+    } else {
+      link_ok = false;
+    }
+  };
+  const auto in_sub = bus.subscribe("tv.input", [&](const runtime::Event& ev) {
+    forward(ev, ipc::FrameType::kInputEvent);
+  });
+  const auto out_sub = bus.subscribe("tv.output", [&](const runtime::Event& ev) {
+    forward(ev, ipc::FrameType::kOutputEvent);
+  });
+
+  tv.start();
+  runtime::Rng keys(config.seed);
+  runtime::SimTime next_key = config.key_period;
+  int rc = 0;
+
+  while (link_ok && sched.now() < config.horizon) {
+    const runtime::SimTime target =
+        std::min(config.horizon, sched.now() + config.step);
+    if (config.key_period > 0 && sched.now() >= next_key) {
+      const auto pick = static_cast<std::size_t>(
+          keys.uniform_int(0, static_cast<std::int64_t>(std::size(kViewerKeys)) - 1));
+      tv.press(kViewerKeys[pick]);
+      next_key += config.key_period;
+    }
+    sched.run_until(target);  // bus callbacks stream events inline
+
+    // Service hub traffic: liveness probes and eviction notices.
+    for (;;) {
+      ipc::Frame f;
+      const auto st = sock.recv(f, 0);
+      if (st == ipc::FramedSocket::RecvStatus::kTimeout) break;
+      if (st != ipc::FramedSocket::RecvStatus::kFrame) {
+        stats.evicted = true;
+        link_ok = false;
+        rc = 2;
+        break;
+      }
+      if (f.type == ipc::FrameType::kHeartbeat) {
+        ipc::Frame ack;
+        ack.type = ipc::FrameType::kHeartbeatAck;
+        ack.seq = ++seq;
+        ack.nonce = f.nonce;
+        if (!sock.send(ack)) {
+          link_ok = false;
+          rc = 2;
+          break;
+        }
+        ++stats.probes_answered;
+      } else if (f.type == ipc::FrameType::kShutdown) {
+        stats.evicted = true;
+        link_ok = false;
+        rc = 2;
+        break;
+      }
+      // Anything else (stray acks) is ignored: the hub never drives us.
+    }
+    if (config.pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(config.pace_us));
+    }
+  }
+
+  bus.unsubscribe(in_sub);
+  bus.unsubscribe(out_sub);
+  if (link_ok) {
+    ipc::Frame bye;
+    bye.type = ipc::FrameType::kShutdown;
+    bye.seq = ++seq;
+    bye.detail = "horizon reached";
+    sock.send(bye);
+  }
+  if (out != nullptr) *out = stats;
+  return rc;
+}
+
+}  // namespace trader::hub

@@ -1,0 +1,54 @@
+// HubPublisher: the SUO side of a hub link.
+//
+// Where src/ipc's SuoServer *answers* a monitor that drives virtual
+// time in lockstep, a hub publisher *pushes*: it hosts its own
+// simulated TV, connects out to the AwarenessHub, claims a slot with
+// kHello, and streams every tv.input / tv.output event as a frame
+// while answering the hub's liveness probes. This is the ArVI-style
+// topology — many instrumented systems feeding one central monitor —
+// and it is what a real fielded SUO would run: no knowledge of the
+// fleet, just "send what you observe, answer pings, say goodbye".
+//
+// run_hub_publisher() is the whole child-process body used by the
+// hub_host example (fork per SUO) and by in-process test threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sim_time.hpp"
+#include "tv/tv_system.hpp"
+
+namespace trader::hub {
+
+struct PublisherConfig {
+  std::string hub_path;    ///< AF_UNIX path of the hub listener.
+  std::string name;        ///< Slot to claim (kHello peer name).
+  tv::TvConfig tv;
+  std::uint64_t seed = 7;  ///< Key-press stream seed (per publisher).
+  /// Virtual time per loop iteration and total virtual horizon.
+  runtime::SimDuration step = runtime::msec(20);
+  runtime::SimTime horizon = runtime::msec(3000);
+  /// A seeded remote-control key press every `key_period` of virtual
+  /// time (0 = no synthetic input).
+  runtime::SimDuration key_period = runtime::msec(200);
+  /// Wall-clock pause per iteration, microseconds — paces the stream so
+  /// liveness probing has time to happen (0 = stream flat out).
+  std::int64_t pace_us = 0;
+  int connect_timeout_ms = 2000;
+};
+
+struct PublisherStats {
+  std::uint64_t events_sent = 0;
+  std::uint64_t probes_answered = 0;
+  bool rejected = false;   ///< Hub refused the kHello.
+  bool evicted = false;    ///< Hub closed the link before the horizon.
+};
+
+/// Connect, claim the slot, stream to the horizon, say kShutdown.
+/// Returns 0 on an orderly run, 1 on connect/handshake failure, 2 when
+/// the hub dropped the link mid-stream. `out` (optional) receives the
+/// final stats.
+int run_hub_publisher(const PublisherConfig& config, PublisherStats* out = nullptr);
+
+}  // namespace trader::hub

@@ -1,0 +1,189 @@
+#include "hub/connection.hpp"
+
+#include <sys/epoll.h>
+#include <sys/uio.h>
+
+#include <utility>
+
+namespace trader::hub {
+
+namespace {
+
+constexpr int kFlushIovBatch = 64;  ///< Buffers coalesced per writev.
+
+}  // namespace
+
+const char* to_string(CloseReason r) {
+  switch (r) {
+    case CloseReason::kPeerClosed:
+      return "peer closed";
+    case CloseReason::kProtocolError:
+      return "protocol error";
+    case CloseReason::kBackpressure:
+      return "backpressure";
+    case CloseReason::kEvicted:
+      return "evicted";
+    case CloseReason::kWriteFailed:
+      return "write failed";
+  }
+  return "?";
+}
+
+HubConnection::HubConnection(EventLoop& loop, int fd, ConnectionLimits limits,
+                             ConnectionCounters counters, FrameHandler on_frame,
+                             CloseHandler on_close)
+    : loop_(loop),
+      fd_(fd),
+      limits_(limits),
+      counters_(counters),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)) {
+  if (limits_.write_high_water < limits_.write_soft_water) {
+    limits_.write_high_water = limits_.write_soft_water;
+  }
+  ipc::set_nonblocking(fd_, true);
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t events) { on_events(events); });
+}
+
+HubConnection::~HubConnection() {
+  if (fd_ >= 0) {
+    loop_.defer_close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HubConnection::close(CloseReason reason) {
+  if (fd_ < 0) return;
+  loop_.defer_close(fd_);
+  fd_ = -1;
+  write_queue_.clear();
+  queued_bytes_ = 0;
+  if (on_close_) on_close_(reason);
+}
+
+void HubConnection::on_events(std::uint32_t events) {
+  if (fd_ < 0) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    close(CloseReason::kPeerClosed);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!flush()) return;  // connection died during flush
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0) handle_readable();
+}
+
+void HubConnection::handle_readable() {
+  std::uint64_t batch = 0;
+  std::uint8_t buf[16384];
+  for (;;) {
+    std::size_t n = 0;
+    const ipc::IoStatus status = ipc::read_some(fd_, buf, sizeof(buf), n);
+    if (status == ipc::IoStatus::kWouldBlock) break;
+    if (status == ipc::IoStatus::kClosed || status == ipc::IoStatus::kError) {
+      // EOF with a partial frame buffered is a truncated stream; the
+      // decoder never surfaces partial frames (fail closed).
+      if (batch > 0 && counters_.batch_frames != nullptr) {
+        counters_.batch_frames->record(static_cast<double>(batch));
+      }
+      close(CloseReason::kPeerClosed);
+      return;
+    }
+    if (counters_.bytes_in != nullptr) counters_.bytes_in->inc(n);
+    decoder_.feed(buf, n);
+
+    for (;;) {
+      ipc::Frame f;
+      const ipc::DecodeStatus ds = decoder_.next(f);
+      if (ds == ipc::DecodeStatus::kNeedMore) break;
+      if (ipc::is_decode_error(ds)) {
+        if (counters_.decode_errors != nullptr) counters_.decode_errors->inc();
+        close(CloseReason::kProtocolError);
+        return;
+      }
+      ++frames_received_;
+      ++batch;
+      if (counters_.frames_in != nullptr) counters_.frames_in->inc();
+      on_frame_(f);
+      if (fd_ < 0) return;  // on_frame closed us (policy rejection)
+    }
+    if (n < sizeof(buf)) break;  // short read — the socket is drained
+  }
+  if (batch > 0 && counters_.batch_frames != nullptr) {
+    counters_.batch_frames->record(static_cast<double>(batch));
+  }
+}
+
+bool HubConnection::send(const ipc::Frame& f) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> bytes = ipc::encode_frame(f);
+  if (bytes.empty()) return false;
+
+  queued_bytes_ += bytes.size();
+  write_queue_.push_back(std::move(bytes));
+  ++frames_sent_;
+  if (counters_.frames_out != nullptr) counters_.frames_out->inc();
+
+  if (queued_bytes_ > limits_.write_soft_water && !over_soft_water_) {
+    // One backpressure episode per soft-water crossing, not one count
+    // per queued frame — mirrors the one-outage-per-down policy.
+    over_soft_water_ = true;
+    if (counters_.backpressure != nullptr) counters_.backpressure->inc();
+  }
+  if (!flush()) return false;
+  if (queued_bytes_ > limits_.write_high_water) {
+    close(CloseReason::kBackpressure);
+    return false;
+  }
+  return true;
+}
+
+bool HubConnection::flush() {
+  while (!write_queue_.empty()) {
+    iovec iov[kFlushIovBatch];
+    int iovcnt = 0;
+    std::size_t first_offset = write_offset_;
+    for (const auto& buf : write_queue_) {
+      if (iovcnt == kFlushIovBatch) break;
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(buf.data()) + first_offset;
+      iov[iovcnt].iov_len = buf.size() - first_offset;
+      first_offset = 0;  // only the front buffer is partially consumed
+      ++iovcnt;
+    }
+
+    std::size_t n = 0;
+    const ipc::IoStatus status = ipc::writev_some(fd_, iov, iovcnt, n);
+    if (status == ipc::IoStatus::kWouldBlock) break;
+    if (status != ipc::IoStatus::kOk) {
+      close(status == ipc::IoStatus::kClosed ? CloseReason::kPeerClosed
+                                             : CloseReason::kWriteFailed);
+      return false;
+    }
+    if (counters_.bytes_out != nullptr) counters_.bytes_out->inc(n);
+    queued_bytes_ -= n;
+    while (n > 0 && !write_queue_.empty()) {
+      const std::size_t front_left = write_queue_.front().size() - write_offset_;
+      if (n >= front_left) {
+        n -= front_left;
+        write_offset_ = 0;
+        write_queue_.pop_front();
+      } else {
+        write_offset_ += n;
+        n = 0;
+      }
+    }
+  }
+  if (queued_bytes_ <= limits_.write_soft_water) over_soft_water_ = false;
+  update_write_interest();
+  return true;
+}
+
+void HubConnection::update_write_interest() {
+  if (fd_ < 0) return;
+  const bool want = !write_queue_.empty();
+  if (want == write_interest_) return;
+  write_interest_ = want;
+  loop_.modify_fd(fd_, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+}  // namespace trader::hub

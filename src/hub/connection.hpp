@@ -1,0 +1,120 @@
+// One hub-side SUO link: nonblocking protocol state machine.
+//
+// A HubConnection owns an accepted fd in nonblocking mode and adapts
+// the stream to whole frames in both directions:
+//
+//  * Inbound: readable events drain the fd until EAGAIN into the same
+//    fail-closed ipc::FrameDecoder the blocking transport uses; every
+//    complete frame goes to the owner's on_frame callback, and any
+//    decode error poisons the stream and closes the link (a corrupted
+//    SUO can never feed partial state into a monitor).
+//  * Outbound: frames are encoded into a bounded byte queue and
+//    flushed with coalesced writev batches (one syscall for many
+//    queued frames). A consumer that stops reading fills the queue:
+//    crossing the soft water mark counts hub.backpressure once per
+//    episode, crossing the hard mark evicts the connection — a slow
+//    SUO must not pin unbounded monitor memory.
+//
+// The connection registers itself with the EventLoop (EPOLLIN always,
+// EPOLLOUT only while the queue is non-empty) and never owns protocol
+// policy: handshake acceptance, slot mapping and liveness live in the
+// AwarenessHub.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hub/event_loop.hpp"
+#include "ipc/transport.hpp"
+#include "ipc/wire.hpp"
+#include "runtime/metrics.hpp"
+
+namespace trader::hub {
+
+/// Why a connection ended (owner callback argument).
+enum class CloseReason : std::uint8_t {
+  kPeerClosed,     ///< Orderly EOF or reset from the SUO side.
+  kProtocolError,  ///< Decoder poisoned — fail closed.
+  kBackpressure,   ///< Outbound queue crossed the hard water mark.
+  kEvicted,        ///< Hub policy (liveness death, slot rejection, shutdown).
+  kWriteFailed,    ///< Transport write error.
+};
+
+const char* to_string(CloseReason r);
+
+/// Instruments shared by all connections of one hub.
+struct ConnectionCounters {
+  runtime::Counter* frames_in = nullptr;
+  runtime::Counter* frames_out = nullptr;
+  runtime::Counter* bytes_in = nullptr;
+  runtime::Counter* bytes_out = nullptr;
+  runtime::Counter* decode_errors = nullptr;
+  runtime::Counter* backpressure = nullptr;
+  runtime::Histogram* batch_frames = nullptr;  ///< Frames per readable drain.
+};
+
+struct ConnectionLimits {
+  /// Queue bytes that count one hub.backpressure episode.
+  std::size_t write_soft_water = 64 * 1024;
+  /// Queue bytes that evict the connection (slow consumer).
+  std::size_t write_high_water = 256 * 1024;
+};
+
+class HubConnection {
+ public:
+  using FrameHandler = std::function<void(const ipc::Frame&)>;
+  using CloseHandler = std::function<void(CloseReason)>;
+
+  /// Takes ownership of `fd`, switches it to nonblocking and registers
+  /// with the loop. `on_frame` receives every decoded frame; `on_close`
+  /// fires exactly once, after which the connection is dead.
+  HubConnection(EventLoop& loop, int fd, ConnectionLimits limits, ConnectionCounters counters,
+                FrameHandler on_frame, CloseHandler on_close);
+  ~HubConnection();
+
+  HubConnection(const HubConnection&) = delete;
+  HubConnection& operator=(const HubConnection&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Encode and queue one frame, then attempt an opportunistic flush.
+  /// False when the frame could not be queued (encode failure, link
+  /// already dead, or the queue crossed the hard water mark — the
+  /// connection is closed with kBackpressure in that case).
+  bool send(const ipc::Frame& f);
+
+  /// Close from hub policy; fires on_close(reason) if still open.
+  void close(CloseReason reason);
+
+  std::size_t queued_bytes() const { return queued_bytes_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  /// Coalesced writev flush; returns false when the link died.
+  bool flush();
+  void update_write_interest();
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  ConnectionLimits limits_;
+  ConnectionCounters counters_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  ipc::FrameDecoder decoder_;
+  std::deque<std::vector<std::uint8_t>> write_queue_;
+  std::size_t write_offset_ = 0;  ///< Consumed bytes of write_queue_.front().
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  bool write_interest_ = false;
+  bool over_soft_water_ = false;  ///< Inside one backpressure episode.
+};
+
+}  // namespace trader::hub

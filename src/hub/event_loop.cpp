@@ -1,0 +1,223 @@
+#include "hub/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace trader::hub {
+
+namespace {
+
+constexpr int kMaxEvents = 128;
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || timer_fd_ < 0 || wake_fd_ < 0) return;
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = timer_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  for (const int fd : pending_close_) ::close(fd);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::int64_t EventLoop::now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+}
+
+void EventLoop::set_metrics(runtime::MetricsRegistry* m) {
+  loop_ns_ = m != nullptr ? &m->histogram("hub.loop_ns") : nullptr;
+}
+
+bool EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  if (epoll_fd_ < 0 || fd < 0 || fds_.count(fd) != 0) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fds_.emplace(fd, std::move(cb));
+  return true;
+}
+
+bool EventLoop::modify_fd(int fd, std::uint32_t events) {
+  if (epoll_fd_ < 0 || fds_.count(fd) == 0) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::defer_close(int fd) {
+  remove_fd(fd);
+  if (in_poll_) {
+    pending_close_.push_back(fd);
+  } else {
+    ::close(fd);
+  }
+}
+
+EventLoop::TimerId EventLoop::add_timer(std::int64_t delay_ns, std::int64_t interval_ns,
+                                        TimerCallback cb) {
+  const TimerId id = next_timer_id_++;
+  const std::int64_t deadline = now_ns() + (delay_ns > 0 ? delay_ns : 0);
+  timers_.emplace(deadline, Timer{id, interval_ns > 0 ? interval_ns : 0, std::move(cb)});
+  timer_deadlines_[id] = deadline;
+  arm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  const auto it = timer_deadlines_.find(id);
+  if (it == timer_deadlines_.end()) return;
+  auto [lo, hi] = timers_.equal_range(it->second);
+  for (auto t = lo; t != hi; ++t) {
+    if (t->second.id == id) {
+      timers_.erase(t);
+      break;
+    }
+  }
+  timer_deadlines_.erase(it);
+  arm_timerfd();
+}
+
+void EventLoop::arm_timerfd() {
+  if (timer_fd_ < 0) return;
+  itimerspec spec{};
+  if (!timers_.empty()) {
+    // Absolute arm to the earliest deadline; a deadline already in the
+    // past must still tick, so clamp to 1ns instead of disarming.
+    std::int64_t at = timers_.begin()->first;
+    if (at <= now_ns()) at = now_ns();
+    if (at <= 0) at = 1;
+    spec.it_value.tv_sec = at / 1'000'000'000LL;
+    spec.it_value.tv_nsec = at % 1'000'000'000LL;
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) spec.it_value.tv_nsec = 1;
+  }
+  ::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+int EventLoop::dispatch_timers() {
+  // Drain the expiration count (level-triggered fd must be read).
+  std::uint64_t expirations = 0;
+  while (::read(timer_fd_, &expirations, sizeof(expirations)) > 0) {
+  }
+
+  int fired = 0;
+  // Snapshot "due" against a fixed now: a stalled loop owes a periodic
+  // one fire per missed period, and each catch-up fire re-registers at
+  // deadline+interval (still <= now until caught up), so the outer
+  // rounds drain the whole debt in this one dispatch. The fixed
+  // snapshot guarantees termination — deadlines only move forward.
+  const std::int64_t now = now_ns();
+  for (;;) {
+    // Collect this round first: callbacks may add/cancel timers.
+    std::vector<std::pair<std::int64_t, Timer>> due;
+    while (!timers_.empty() && timers_.begin()->first <= now) {
+      auto it = timers_.begin();
+      timer_deadlines_.erase(it->second.id);
+      due.emplace_back(it->first, std::move(it->second));
+      timers_.erase(it);
+    }
+    if (due.empty()) break;
+    for (auto& [deadline, timer] : due) {
+      if (timer.interval_ns > 0) {
+        // Re-register before the callback runs so the callback can
+        // cancel its own timer; next deadline sits on the original
+        // schedule grid — never `now + interval` (no drift).
+        const std::int64_t next = deadline + timer.interval_ns;
+        timer_deadlines_[timer.id] = next;
+        timers_.emplace(next, timer);
+      }
+      ++fired;
+      timer.cb();
+    }
+  }
+  arm_timerfd();
+  return fired;
+}
+
+int EventLoop::poll(int timeout_ms) {
+  if (epoll_fd_ < 0) return -1;
+  epoll_event events[kMaxEvents];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+
+  const std::int64_t t0 = now_ns();
+  in_poll_ = true;
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drained = 0;
+      while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+      }
+      continue;
+    }
+    if (fd == timer_fd_) {
+      dispatched += dispatch_timers();
+      continue;
+    }
+    // A callback earlier in this batch may have deregistered this fd —
+    // skip the stale readiness record.
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    ++dispatched;
+    it->second(events[i].events);
+  }
+  in_poll_ = false;
+  for (const int fd : pending_close_) ::close(fd);
+  pending_close_.clear();
+
+  ++iterations_;
+  if (loop_ns_ != nullptr && dispatched > 0) {
+    loop_ns_->record(static_cast<double>(now_ns() - t0));
+  }
+  return dispatched;
+}
+
+void EventLoop::run() {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (poll(-1) < 0) break;
+  }
+}
+
+void EventLoop::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+}  // namespace trader::hub

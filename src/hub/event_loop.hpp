@@ -1,0 +1,117 @@
+// Nonblocking event loop: epoll + timerfd timers + eventfd wakeup.
+//
+// The awareness hub multiplexes hundreds of SUO links over one thread;
+// this is the reactor underneath it. Design constraints, in order:
+//
+//  * One epoll_wait per iteration services every readable/writable
+//    connection, the timer wheel and cross-thread wakeups — no
+//    per-connection threads, no per-read poll() like the blocking
+//    FramedSocket path.
+//  * Timers are fixed-rate, not fixed-delay: a periodic timer's next
+//    deadline is computed from its *scheduled* deadline, never from
+//    "now" at fire time. If the loop stalls for several periods the
+//    timer fires once per missed period on resume (catch-up), so a
+//    liveness window paced by the wheel cannot be silently stretched
+//    by a slow iteration — the heartbeat-deadline drift bug class.
+//  * Callbacks may add/remove fds and timers reentrantly. Closing an
+//    fd from inside a callback defers the ::close to the end of the
+//    iteration so the kernel cannot recycle the fd number into a
+//    stale readiness record of the same epoll_wait batch.
+//
+// The loop is single-threaded by contract; wake() and request_stop()
+// are the only thread-safe entry points (they write the eventfd).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace trader::hub {
+
+class EventLoop {
+ public:
+  /// Receives the ready epoll event mask (EPOLLIN/EPOLLOUT/...).
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Register `fd` for `events` (EPOLL* mask). The loop never owns the
+  /// fd — pair every add_fd with remove_fd before closing it.
+  bool add_fd(int fd, std::uint32_t events, FdCallback cb);
+  bool modify_fd(int fd, std::uint32_t events);
+  /// Deregister `fd`. Safe from inside any callback; pending readiness
+  /// records for it in the current batch are skipped.
+  void remove_fd(int fd);
+
+  /// Close `fd` at the end of the current iteration (or immediately
+  /// when called outside poll()). Implies remove_fd.
+  void defer_close(int fd);
+
+  /// One-shot timer after `delay_ns`, or fixed-rate periodic when
+  /// `interval_ns` > 0 (first fire after `delay_ns`, then every
+  /// interval measured on the scheduled grid — see header comment).
+  TimerId add_timer(std::int64_t delay_ns, std::int64_t interval_ns, TimerCallback cb);
+  void cancel_timer(TimerId id);
+
+  /// Run one iteration: wait up to `timeout_ms` (-1 = until activity),
+  /// dispatch ready fds and due timers. Returns the number of
+  /// callbacks dispatched, or -1 on an unrecoverable epoll error.
+  int poll(int timeout_ms);
+
+  /// poll(-1) until request_stop().
+  void run();
+
+  /// Make the current/next poll() return promptly. Thread-safe.
+  void wake();
+  /// Stop run() after the current iteration. Thread-safe.
+  void request_stop();
+  bool stop_requested() const { return stop_requested_; }
+
+  /// CLOCK_MONOTONIC now, nanoseconds — the timer wheel's clock.
+  static std::int64_t now_ns();
+
+  std::size_t fd_count() const { return fds_.size(); }
+  std::size_t timer_count() const { return timers_.size(); }
+  std::uint64_t iterations() const { return iterations_; }
+
+  /// Record per-iteration dispatch latency in `m` ("hub.loop_ns").
+  void set_metrics(runtime::MetricsRegistry* m);
+
+ private:
+  struct Timer {
+    TimerId id = 0;
+    std::int64_t interval_ns = 0;  ///< 0 = one-shot.
+    TimerCallback cb;
+  };
+
+  void arm_timerfd();
+  int dispatch_timers();
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, FdCallback> fds_;
+  std::multimap<std::int64_t, Timer> timers_;  ///< deadline_ns -> timer
+  std::unordered_map<TimerId, std::int64_t> timer_deadlines_;
+  std::vector<int> pending_close_;
+  TimerId next_timer_id_ = 1;
+  std::uint64_t iterations_ = 0;
+  bool in_poll_ = false;
+  std::atomic<bool> stop_requested_{false};
+  runtime::Histogram* loop_ns_ = nullptr;
+};
+
+}  // namespace trader::hub

@@ -1,0 +1,220 @@
+// AwarenessHub: one epoll loop multiplexing a fleet of remote SUOs.
+//
+// The paper's Fig. 2 deployment runs the System Under Observation in
+// its own process; src/ipc scales that to one monitor per blocking
+// socket. The hub inverts the topology for fleet scale: N SUO
+// publisher processes connect *in* to a single AF_UNIX listener, and
+// one nonblocking EventLoop drives every link plus the liveness wheel
+// on one thread. Decoded input/output events are published into a
+// ShardedFleet, whose epoch-lockstep delivery keeps verdicts and
+// counter fingerprints identical to in-process runs — the hub adds a
+// transport, never semantics.
+//
+// Slot model: each expected SUO is pre-registered as a named slot
+// (its aspect). A connection claims a slot with the kHello peer name;
+// unknown names, already-claimed slots and reconnects that land
+// inside the slot's backoff window are rejected with kShutdown. The
+// slot's ProcessSupervisor persists across reconnects, so outage
+// accounting (exactly one report per up->down) and capped seeded
+// backoff survive the connection churn they describe.
+//
+// Liveness is hub-driven: a fixed-rate EventLoop timer probes every
+// live slot with kHeartbeat; a slot that fails to ack for
+// heartbeat_miss_threshold consecutive probes is declared dead and
+// evicted. Because the timer is fixed-rate with catch-up firing, a
+// stalled loop iteration cannot silently stretch the liveness window.
+// While a slot is down its LinkGatedModel gate quiesces comparison —
+// the monitors degrade instead of flooding the error stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/interfaces.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/sharded_fleet.hpp"
+#include "hub/connection.hpp"
+#include "hub/event_loop.hpp"
+#include "ipc/supervisor.hpp"
+#include "ipc/wire.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace trader::hub {
+
+struct HubConfig {
+  /// Listener path; '@' prefix = Linux abstract namespace. Empty picks
+  /// a unique abstract name ("@trader-hub-<pid>-<n>").
+  std::string path;
+  int listen_backlog = 64;
+
+  /// Fleet geometry (see ShardedFleetConfig).
+  std::size_t shards = 1;
+  runtime::SimDuration epoch = runtime::msec(10);
+  std::uint64_t seed = 0x5eed;
+
+  /// Hub-driven liveness probing. Off for lockstep test drivers that
+  /// pump the loop manually (a probe between pumps would see misses).
+  bool probe_liveness = true;
+  std::int64_t heartbeat_interval_ms = 50;
+  /// Per-slot supervision policy (miss threshold, reconnect backoff).
+  ipc::SupervisorConfig supervisor;
+
+  /// Prefix ingested event topics with "<slot>/" — lets many SUOs that
+  /// all publish "tv.input" style topics coexist in one fleet.
+  bool namespace_topics = false;
+
+  /// Advance the fleet automatically to the watermark (minimum last
+  /// event time across up slots) after each poll. Off when the caller
+  /// drives virtual time via run_until().
+  bool auto_advance = false;
+
+  /// Per-connection outbound queue policy.
+  ConnectionLimits limits;
+
+  /// Accepted protocol range for handshakes.
+  std::uint8_t min_version = ipc::kMinProtocolVersion;
+  std::uint8_t max_version = ipc::kProtocolVersion;
+};
+
+class AwarenessHub {
+ public:
+  explicit AwarenessHub(HubConfig config = {});
+  ~AwarenessHub();
+
+  AwarenessHub(const AwarenessHub&) = delete;
+  AwarenessHub& operator=(const AwarenessHub&) = delete;
+
+  /// Register an expected SUO. Returns the slot's link gate (true while
+  /// the slot's connection is up) for wrapping models in LinkGatedModel.
+  /// Slots must be added before start().
+  std::shared_ptr<std::atomic<bool>> add_slot(const std::string& name);
+
+  /// Gate of an existing slot (adds the slot when unknown).
+  std::shared_ptr<std::atomic<bool>> slot_gate(const std::string& name);
+
+  /// Add a monitor to the underlying fleet. `slot` is bookkeeping only:
+  /// the monitor subscribes to whatever topics its builder configured.
+  core::AwarenessMonitor& add_monitor(const std::string& slot, const std::string& aspect,
+                                      core::MonitorBuilder builder);
+
+  /// Bind the listener, start the fleet and (optionally) the liveness
+  /// wheel. False when the listener cannot be created.
+  bool start();
+  void stop();
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// One event-loop iteration (accepts, reads, flushes, timers).
+  /// Returns the number of dispatched callbacks, -1 on loop failure.
+  int poll(int timeout_ms);
+  /// poll() until request_stop(). Thread-safe to stop.
+  void run();
+  void request_stop() { loop_.request_stop(); }
+
+  /// Advance fleet virtual time (epoch-lockstep, deterministic).
+  void run_until(runtime::SimTime t) { fleet_.run_until(t); }
+  runtime::SimTime now() const { return fleet_.now(); }
+
+  const std::string& path() const { return config_.path; }
+  std::size_t connection_count() const { return connections_.size(); }
+  std::size_t slot_count() const { return slots_.size(); }
+  bool slot_up(const std::string& name) const;
+  const ipc::ProcessSupervisor* slot_supervisor(const std::string& name) const;
+
+  /// Total event frames published into the fleet so far.
+  std::uint64_t events_ingested() const { return events_ingested_; }
+
+  /// Observe every event right after it is published into the fleet
+  /// (benches timestamp the decode->publish path through this).
+  using IngestTap = std::function<void(const runtime::Event&)>;
+  void set_ingest_tap(IngestTap tap) { ingest_tap_ = std::move(tap); }
+
+  core::ShardedFleet& fleet() { return fleet_; }
+
+  /// Link-outage reports (observable "hub.link/<slot>"), one per
+  /// up->down transition. Orderly kShutdown teardown is not an outage.
+  const std::vector<core::ErrorReport>& link_errors() const { return link_errors_; }
+  void set_error_notify(core::IErrorNotify* notify) { notify_ = notify; }
+  void set_trace(runtime::TraceLog* trace) { trace_ = trace; }
+
+  /// Hub instruments ("hub.*") merged with the fleet-wide snapshot.
+  runtime::MetricsSnapshot metrics() const;
+  runtime::MetricsRegistry& hub_metrics() { return metrics_; }
+
+  EventLoop& loop() { return loop_; }
+
+ private:
+  struct Slot {
+    std::string name;
+    ipc::ProcessSupervisor supervisor;
+    std::shared_ptr<std::atomic<bool>> gate;
+    HubConnection* conn = nullptr;  ///< Live claimed connection, or null.
+    std::int64_t earliest_reconnect_ns = 0;
+    std::int64_t up_since_ns = 0;  ///< Wall stamp of the current claim.
+    /// Consecutive sessions that crashed before surviving one liveness
+    /// window — the hub-side crash-loop detector (see slot_down).
+    int unstable_downs = 0;
+    std::uint64_t probe_nonce = 0;
+    std::int64_t probe_sent_ns = 0;
+    bool probe_outstanding = false;
+    bool acked_since_probe = true;  ///< No miss on the first probe.
+    runtime::SimTime watermark = 0;
+    std::uint32_t seq = 0;  ///< Outbound sequence toward this slot.
+  };
+
+  /// One accepted connection and its hub-side protocol state.
+  struct Peer {
+    std::unique_ptr<HubConnection> conn;
+    Slot* slot = nullptr;   ///< Null until the kHello claims a slot.
+    bool orderly = false;   ///< Peer announced kShutdown — not an outage.
+  };
+
+  void on_accept_ready(std::uint32_t events);
+  void on_frame(Peer* peer, const ipc::Frame& f);
+  void on_close(Peer* peer, CloseReason reason);
+  void handle_hello(Peer* peer, const ipc::Frame& f);
+  void reject(Peer* peer, const std::string& why);
+  void probe_tick();
+  void slot_down(Slot& slot, bool orderly);
+  void ingest(Peer* peer, const ipc::Frame& f);
+  void auto_advance();
+  void reap();
+  void trace(runtime::TraceLevel level, const std::string& msg);
+
+  HubConfig config_;
+  EventLoop loop_;
+  core::ShardedFleet fleet_;
+  runtime::MetricsRegistry metrics_;
+  int listen_fd_ = -1;
+  EventLoop::TimerId probe_timer_ = 0;
+  bool stopping_ = false;
+
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+  std::unordered_map<Peer*, std::unique_ptr<Peer>> connections_;
+  std::vector<std::unique_ptr<Peer>> dead_;  ///< Reaped at a safe point.
+
+  std::uint64_t events_ingested_ = 0;
+  std::uint64_t nonce_counter_ = 0;
+  IngestTap ingest_tap_;
+  std::vector<core::ErrorReport> link_errors_;
+  core::IErrorNotify* notify_ = nullptr;
+  runtime::TraceLog* trace_ = nullptr;
+
+  // hub.* instruments (shared across connections).
+  ConnectionCounters conn_counters_;
+  runtime::Gauge* connections_gauge_ = nullptr;
+  runtime::Counter* accepted_ = nullptr;
+  runtime::Counter* rejected_ = nullptr;
+  runtime::Counter* evicted_ = nullptr;
+  runtime::Counter* outages_ = nullptr;
+  runtime::Counter* probes_ = nullptr;
+  runtime::Histogram* rtt_ns_ = nullptr;
+};
+
+}  // namespace trader::hub

@@ -1,5 +1,6 @@
 #include "ipc/transport.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -11,6 +12,64 @@
 #include <thread>
 
 namespace trader::ipc {
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return flags == want || ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+IoStatus read_some(int fd, void* buf, std::size_t cap, std::size_t& n) {
+  n = 0;
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, cap);
+    if (r > 0) {
+      n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus write_some(int fd, const void* data, std::size_t len, std::size_t& n) {
+  n = 0;
+  for (;;) {
+    const ssize_t r = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (r >= 0) {
+      n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus writev_some(int fd, const iovec* iov, int iovcnt, std::size_t& n) {
+  n = 0;
+  msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    // sendmsg rather than writev: only the msg path takes MSG_NOSIGNAL,
+    // and a gathered flush against a dead peer must not raise SIGPIPE.
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r >= 0) {
+      n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
 
 namespace {
 
@@ -87,13 +146,25 @@ bool FramedSocket::send(const Frame& f) {
   }
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      close();
-      return false;
+    std::size_t n = 0;
+    switch (write_some(fd_, bytes.data() + off, bytes.size() - off, n)) {
+      case IoStatus::kOk:
+        off += n;
+        break;
+      case IoStatus::kWouldBlock: {
+        // Blocking semantics even on a nonblocking fd: wait for space.
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+          close();
+          return false;
+        }
+        break;
+      }
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        close();
+        return false;
     }
-    off += static_cast<std::size_t>(n);
   }
   if (frames_sent_ != nullptr) frames_sent_->inc();
   if (bytes_sent_ != nullptr) bytes_sent_->inc(bytes.size());
@@ -135,19 +206,22 @@ FramedSocket::RecvStatus FramedSocket::recv(Frame& out, int timeout_ms) {
     if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) return RecvStatus::kTimeout;
 
     std::uint8_t buf[16384];
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      close();
-      return RecvStatus::kClosed;
+    std::size_t n = 0;
+    switch (read_some(fd_, buf, sizeof(buf), n)) {
+      case IoStatus::kOk:
+        break;
+      case IoStatus::kWouldBlock:
+        continue;  // spurious readiness; re-poll with the remaining budget
+      case IoStatus::kClosed:
+        // EOF with a partial frame buffered is a truncated stream — the
+        // decoder never surfaces the partial frame (fail closed).
+        close();
+        return RecvStatus::kClosed;
+      case IoStatus::kError:
+        close();
+        return RecvStatus::kClosed;
     }
-    if (n == 0) {
-      // EOF with a partial frame buffered is a truncated stream — the
-      // decoder never surfaces the partial frame (fail closed).
-      close();
-      return RecvStatus::kClosed;
-    }
-    decoder_.feed(buf, static_cast<std::size_t>(n));
+    decoder_.feed(buf, n);
     if (bytes_received_ != nullptr) bytes_received_->inc(static_cast<std::uint64_t>(n));
   }
 }

@@ -15,6 +15,8 @@
 // excluded from golden-trace fingerprints (see testkit/golden_trace.hpp).
 #pragma once
 
+#include <sys/uio.h>
+
 #include <string>
 #include <utility>
 
@@ -22,6 +24,32 @@
 #include "runtime/metrics.hpp"
 
 namespace trader::ipc {
+
+// ---------------------------------------------------------------------------
+// Shared fd-level I/O. One EINTR/EAGAIN policy for every socket user:
+// the blocking FramedSocket path and the hub's nonblocking event loop
+// call the same helpers instead of each reimplementing errno handling.
+
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< `n` bytes transferred (n may be < requested: partial).
+  kWouldBlock,  ///< Nonblocking fd has no capacity/data right now (n == 0).
+  kClosed,      ///< Orderly EOF (reads) or EPIPE/ECONNRESET (writes).
+  kError,       ///< Unrecoverable errno; treat the fd as dead.
+};
+
+/// Set or clear O_NONBLOCK. Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool on);
+
+/// One read(2) with EINTR retry. kOk fills `n` (>= 1).
+IoStatus read_some(int fd, void* buf, std::size_t cap, std::size_t& n);
+
+/// One send(2) (MSG_NOSIGNAL) with EINTR retry; kOk may be a partial
+/// write — callers own the resume-from-offset loop.
+IoStatus write_some(int fd, const void* data, std::size_t len, std::size_t& n);
+
+/// Gathered write of up to `iovcnt` buffers (the hub's coalesced queue
+/// flush). Same partial-write contract as write_some.
+IoStatus writev_some(int fd, const iovec* iov, int iovcnt, std::size_t& n);
 
 /// A connected stream socket speaking length-prefixed frames.
 class FramedSocket {

@@ -13,6 +13,7 @@
 #include "core/monitor_builder.hpp"
 #include "core/sharded_fleet.hpp"
 #include "faults/injector.hpp"
+#include "hub/hub.hpp"
 #include "ipc/link_gate.hpp"
 #include "ipc/supervisor.hpp"
 #include "ipc/transport.hpp"
@@ -75,6 +76,12 @@ class Backend {
   virtual runtime::MetricsSnapshot metrics() const = 0;
   /// Comparison gate shared with the models (IPC backends only).
   virtual std::shared_ptr<const std::atomic<bool>> gate() const { return nullptr; }
+  /// Per-aspect comparison gate; the hub backend gates each slot
+  /// independently, the single-link IPC backend shares one gate.
+  virtual std::shared_ptr<const std::atomic<bool>> gate_for(const std::string& aspect) {
+    (void)aspect;
+    return gate();
+  }
   /// Tear down / re-establish the SUO link (IPC backends only).
   virtual void set_link(bool up) { (void)up; }
 };
@@ -255,7 +262,138 @@ class IpcBackend : public Backend {
   std::uint32_t seq_ = 0;
 };
 
+// The hub backend runs the full fleet-over-sockets topology inside the
+// campaign: every aspect gets its own AF_UNIX connection into one
+// AwarenessHub epoll loop, which decodes frames and publishes them into
+// its ShardedFleet. The driver stays synchronous — after each send it
+// pumps the loop until the frame has been ingested — so publish-then-
+// deliver ordering (and therefore every verdict and golden-trace
+// fingerprint) matches the in-process backends exactly. This is the
+// differential gate for the whole hub subsystem: epoll readiness,
+// nonblocking decode, slot handshakes and per-slot gating all sit in
+// the scored path.
+class HubBackend : public Backend {
+ public:
+  explicit HubBackend(const ExecutorConfig& config) {
+    hub::HubConfig hc;
+    hc.shards = config.shards == 0 ? 1 : config.shards;
+    hc.epoch = config.epoch;
+    hc.seed = config.seed;
+    hc.probe_liveness = false;  // the driver pumps; wall-clock probes would misfire
+    hc.supervisor.backoff_initial_ms = 1;  // virtual-time campaign, no wall budget
+    hub_ = std::make_unique<hub::AwarenessHub>(hc);
+  }
+
+  void add_monitor(const std::string& aspect, core::MonitorBuilder builder) override {
+    aspects_.push_back(aspect);
+    hub_->add_monitor(aspect, aspect, std::move(builder));
+  }
+
+  std::shared_ptr<const std::atomic<bool>> gate_for(const std::string& aspect) override {
+    return hub_->slot_gate(aspect);
+  }
+
+  void start() override {
+    hub_->start();
+    set_link(true);
+  }
+
+  void stop() override {
+    for (auto& c : clients_) c.close();
+    drain_disconnects();
+    hub_->stop();
+  }
+
+  void run_until(runtime::SimTime t) override { hub_->run_until(t); }
+
+  void publish(const runtime::Event& ev) override {
+    if (!link_up_) return;  // SUO process is down
+    const auto dot = ev.topic.rfind('.');
+    const std::size_t k = std::stoul(ev.topic.substr(dot + 1));
+    if (k >= clients_.size()) return;
+    ipc::Frame f;
+    f.type = ev.topic.rfind("in.", 0) == 0 ? ipc::FrameType::kInputEvent
+                                           : ipc::FrameType::kOutputEvent;
+    f.seq = ++seq_;
+    f.time = hub_->now();
+    f.event = ev;
+    if (!clients_[k].send(f)) {
+      set_link(false);
+      return;
+    }
+    // Synchronous pump: run the loop until this frame has been decoded
+    // and published into the fleet, preserving publish-then-deliver
+    // ordering exactly as the in-process backends see it.
+    const std::uint64_t target = hub_->events_ingested() + 1;
+    while (hub_->events_ingested() < target) {
+      if (hub_->poll(2000) <= 0) {
+        set_link(false);  // loop failure or 2s of silence: link is gone
+        return;
+      }
+    }
+  }
+
+  std::vector<core::AspectError> errors() const override { return hub_->fleet().errors(); }
+  const core::ComparatorStats& stats(const std::string& aspect) override {
+    return hub_->fleet().monitor(aspect).stats();
+  }
+  runtime::MetricsSnapshot metrics() const override { return hub_->metrics(); }
+
+  void set_link(bool up) override {
+    if (up == link_up_) return;
+    if (!up) {
+      // Kill the whole SUO process: every connection drops at once. The
+      // hub notices the EOFs, downs the slots and flips the gates.
+      for (auto& c : clients_) c.close();
+      drain_disconnects();
+      link_up_ = false;
+      return;
+    }
+    clients_.clear();
+    clients_.resize(aspects_.size());
+    bool all_up = true;
+    for (std::size_t k = 0; k < aspects_.size(); ++k) {
+      all_up = connect_slot(k) && all_up;
+    }
+    link_up_ = all_up;
+  }
+
+ private:
+  bool connect_slot(std::size_t k) {
+    const int fd = ipc::connect_unix_retry(hub_->path(), /*timeout_ms=*/2000);
+    if (fd < 0) return false;
+    clients_[k] = ipc::FramedSocket(fd);
+    ipc::Frame hello;
+    hello.type = ipc::FrameType::kHello;
+    hello.detail = aspects_[k];
+    if (!clients_[k].send(hello)) return false;
+    for (;;) {
+      ipc::Frame ack;
+      const auto st = clients_[k].recv(ack, 0);
+      if (st == ipc::FramedSocket::RecvStatus::kFrame) {
+        return ack.type == ipc::FrameType::kHelloAck;
+      }
+      if (st != ipc::FramedSocket::RecvStatus::kTimeout) return false;
+      if (hub_->poll(2000) < 0) return false;
+    }
+  }
+
+  /// Pump until the hub has processed every pending hangup.
+  void drain_disconnects() {
+    while (hub_->connection_count() > 0) {
+      if (hub_->poll(2000) <= 0) break;
+    }
+  }
+
+  std::unique_ptr<hub::AwarenessHub> hub_;
+  std::vector<std::string> aspects_;
+  std::vector<ipc::FramedSocket> clients_;  ///< Indexed like aspects_.
+  bool link_up_ = false;
+  std::uint32_t seq_ = 0;
+};
+
 std::unique_ptr<Backend> make_backend(const ExecutorConfig& config) {
+  if (config.ipc == IpcMode::kHub) return std::make_unique<HubBackend>(config);
   if (config.ipc != IpcMode::kOff) return std::make_unique<IpcBackend>(config);
   if (config.shards == 0) return std::make_unique<SingleBackend>();
   return std::make_unique<ShardedBackend>(config);
@@ -273,6 +411,8 @@ const char* to_string(IpcMode m) {
       return "socketpair";
     case IpcMode::kUnix:
       return "unix";
+    case IpcMode::kHub:
+      return "hub";
   }
   return "?";
 }
@@ -322,7 +462,7 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   auto backend = make_backend(config_);
   const std::size_t aspects = script.aspect_count();
   for (std::size_t k = 0; k < aspects; ++k) {
-    backend->add_monitor(aspect_name(k), counter_monitor(k, config_, backend->gate()));
+    backend->add_monitor(aspect_name(k), counter_monitor(k, config_, backend->gate_for(aspect_name(k))));
   }
   backend->start();
 

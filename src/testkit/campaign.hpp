@@ -47,11 +47,13 @@ const char* to_string(Verdict v);
 Verdict classify_verdict(bool manifested, std::size_t errors_on_target,
                          std::size_t errors_off_target);
 
-/// Transport between the scripted SUO and the monitors (src/ipc).
+/// Transport between the scripted SUO and the monitors (src/ipc, src/hub).
 enum class IpcMode : std::uint8_t {
   kOff,         ///< Events go straight onto the backend bus (no IPC).
   kSocketpair,  ///< Real kernel stream via socketpair(AF_UNIX) — hermetic.
   kUnix,        ///< Real AF_UNIX listener/connect (abstract namespace).
+  kHub,         ///< AwarenessHub epoll loop: one AF_UNIX connection per
+                ///< aspect into one event loop feeding a sharded fleet.
 };
 
 const char* to_string(IpcMode m);
@@ -69,10 +71,12 @@ struct ExecutorConfig {
   int max_consecutive = 2;
   recovery::EscalationConfig escalation;
   /// Push every SUO event through the wire protocol over a real socket.
-  /// Only meaningful with shards == 0 (the IPC backend wraps the
-  /// single-scheduler fleet); verdicts and golden traces stay identical
-  /// to IpcMode::kOff because events carry virtual timestamps and each
-  /// one is pumped through the socket synchronously.
+  /// kSocketpair/kUnix wrap the single-scheduler fleet (shards == 0);
+  /// kHub multiplexes one connection per aspect through the epoll hub
+  /// into a ShardedFleet (`shards` counts, 0 = 1). Verdicts and golden
+  /// traces stay identical to IpcMode::kOff because events carry
+  /// virtual timestamps and each one is pumped through the socket
+  /// synchronously.
   IpcMode ipc = IpcMode::kOff;
   /// Kill-and-restart window: the SUO link drops at suo_down_at and a
   /// restarted SUO is reconnected at suo_up_at (virtual time; both -1 =

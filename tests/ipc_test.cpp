@@ -5,6 +5,7 @@
 // boundary, kill-and-restart of a real suo_host child process, and
 // verdict-for-verdict campaign equivalence across transports.
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -381,6 +382,90 @@ TEST(IpcTransport, UnixListenerAcceptsAndCarriesFrames) {
   EXPECT_EQ(got.nonce, 42u);
 
   ::close(listener);
+  ipc::unlink_unix(path);
+}
+
+// A nonblocking writer hitting a full kernel buffer mid-frame must get
+// partial-write/kWouldBlock from write_some — never a short silent
+// success — and the frame must still arrive whole once the reader
+// drains. This is the exact contract the hub's coalesced flush relies
+// on to resume from an offset.
+TEST(IpcTransport, PartialWriteNonblockingResumesMidFrame) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 1;  // kernel clamps to its minimum, still < our frame
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+  ASSERT_TRUE(ipc::set_nonblocking(sv[0], true));
+
+  ipc::Frame f;
+  f.type = ipc::FrameType::kOutputEvent;
+  f.event.topic = "tv.output";
+  f.event.name = "sound_level";
+  f.event.fields["pad"] = std::string(32 * 1024, 'q');  // dwarfs SO_SNDBUF
+  const auto wire = ipc::encode_frame(f);
+  ASSERT_FALSE(wire.empty());
+
+  // Phase 1: write until the buffer is full. We must observe a partial
+  // frame on the wire (some bytes in, kWouldBlock before the end).
+  std::size_t off = 0;
+  bool would_block = false;
+  while (off < wire.size()) {
+    std::size_t n = 0;
+    const auto st = ipc::write_some(sv[0], wire.data() + off, wire.size() - off, n);
+    if (st == ipc::IoStatus::kWouldBlock) {
+      would_block = true;
+      break;
+    }
+    ASSERT_EQ(st, ipc::IoStatus::kOk);
+    off += n;
+  }
+  ASSERT_TRUE(would_block) << "frame fit the buffer; shrink SO_SNDBUF";
+  ASSERT_GT(off, 0u);
+  ASSERT_LT(off, wire.size());
+
+  // Phase 2: drain the reader concurrently while the writer resumes
+  // from its offset; the decoder must reassemble exactly one frame.
+  ipc::FrameDecoder decoder;
+  ipc::Frame got;
+  bool complete = false;
+  std::uint8_t buf[4096];
+  while (!complete) {
+    if (off < wire.size()) {
+      std::size_t n = 0;
+      const auto st = ipc::write_some(sv[0], wire.data() + off, wire.size() - off, n);
+      ASSERT_NE(st, ipc::IoStatus::kError);
+      ASSERT_NE(st, ipc::IoStatus::kClosed);
+      off += n;
+    }
+    std::size_t n = 0;
+    const auto st = ipc::read_some(sv[1], buf, sizeof(buf), n);
+    if (st == ipc::IoStatus::kOk) decoder.feed(buf, n);
+    complete = decoder.next(got) == ipc::DecodeStatus::kOk;
+    ASSERT_FALSE(decoder.poisoned());
+  }
+  EXPECT_EQ(off, wire.size());
+  EXPECT_EQ(got.event.name, "sound_level");
+  EXPECT_EQ(got.event.str_field("pad").size(), 32u * 1024u);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// Two listeners on one abstract-namespace name: the kernel owns the
+// name, so the second bind must fail cleanly (-1) instead of stealing
+// or shadowing the first — that is what makes hub listener paths safe
+// to derive from the pid without filesystem cleanup.
+TEST(IpcTransport, AbstractNamespaceBindCollisionFails) {
+  const std::string path = "@trader-bind-collision-" + std::to_string(::getpid());
+  const int first = ipc::listen_unix(path);
+  ASSERT_GE(first, 0);
+  const int second = ipc::listen_unix(path);
+  EXPECT_EQ(second, -1) << "duplicate abstract bind must fail closed";
+
+  // The original listener still works after the failed collision.
+  const int client_fd = ipc::connect_unix_retry(path, 2000);
+  ASSERT_GE(client_fd, 0);
+  ::close(client_fd);
+  ::close(first);
   ipc::unlink_unix(path);
 }
 
