@@ -28,9 +28,11 @@
 #include "ipc/wire.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/scheduler.hpp"
+#include "testkit/campaign.hpp"
 
 namespace rt = trader::runtime;
 namespace ipc = trader::ipc;
+namespace tk = trader::testkit;
 using trader::bench::Table;
 using trader::bench::banner;
 using trader::bench::fmt;
@@ -56,8 +58,11 @@ ipc::Frame sample_output_frame() {
 }
 
 /// Make one connected FramedSocket pair on the requested transport.
-std::pair<ipc::FramedSocket, ipc::FramedSocket> make_pair_on(const std::string& transport) {
-  if (transport == "socketpair") return ipc::socketpair_transport();
+/// Transports are named by the campaign backend registry
+/// (testkit::to_string), so BENCH_ipc.json rows and campaign reports
+/// can never label the same wire differently.
+std::pair<ipc::FramedSocket, ipc::FramedSocket> make_pair_on(tk::IpcMode transport) {
+  if (transport == tk::IpcMode::kSocketpair) return ipc::socketpair_transport();
   const std::string path = "@trader-bench-ipc-" + std::to_string(::getpid());
   const int listener = ipc::listen_unix(path);
   const int client = ipc::connect_unix_retry(path, 2000);
@@ -72,7 +77,7 @@ struct ThroughputRun {
 };
 
 /// One writer thread floods frames; the main thread drains and counts.
-ThroughputRun run_throughput(const std::string& transport, int frames) {
+ThroughputRun run_throughput(tk::IpcMode transport, int frames) {
   auto [rx, tx] = make_pair_on(transport);
   const auto encoded_size = ipc::encode_frame(sample_output_frame()).size();
 
@@ -106,7 +111,7 @@ struct RttRun {
 
 /// Heartbeat round-trips against a live SuoServer on a worker thread —
 /// the exact exchange that paces lockstep virtual-time advancement.
-RttRun run_rtt(const std::string& transport, int rounds) {
+RttRun run_rtt(tk::IpcMode transport, int rounds) {
   auto [server_sock, client_sock] = make_pair_on(transport);
   ipc::SuoServer server;
   std::thread host([&server, s = std::move(server_sock)]() mutable { server.serve(s); });
@@ -149,7 +154,7 @@ void report() {
 
   const int frames = 200000;
   const int rounds = 2000;
-  const std::vector<std::string> transports{"socketpair", "af_unix"};
+  const std::vector<tk::IpcMode> transports{tk::IpcMode::kSocketpair, tk::IpcMode::kUnix};
 
   std::vector<ThroughputRun> tputs;
   std::vector<RttRun> rtts;
@@ -160,7 +165,8 @@ void report() {
 
   Table t({"transport", "frames/sec", "MB/sec", "rtt p50 us", "rtt p99 us", "rtt mean us"});
   for (std::size_t i = 0; i < transports.size(); ++i) {
-    t.row({transports[i], fmt(tputs[i].frames_per_sec, 0), fmt(tputs[i].mb_per_sec, 1),
+    t.row({tk::to_string(transports[i]), fmt(tputs[i].frames_per_sec, 0),
+           fmt(tputs[i].mb_per_sec, 1),
            fmt(rtts[i].p50_us, 1), fmt(rtts[i].p99_us, 1), fmt(rtts[i].mean_us, 1)});
   }
   t.print();
@@ -173,7 +179,7 @@ void report() {
   json << "  \"frames\": " << frames << ",\n  \"rtt_rounds\": " << rounds << ",\n";
   json << "  \"transports\": [\n";
   for (std::size_t i = 0; i < transports.size(); ++i) {
-    json << "    {\"transport\": \"" << transports[i] << "\""
+    json << "    {\"transport\": \"" << tk::to_string(transports[i]) << "\""
          << ", \"frames_per_sec\": " << fmt(tputs[i].frames_per_sec, 0)
          << ", \"mb_per_sec\": " << fmt(tputs[i].mb_per_sec, 2)
          << ", \"rtt_p50_us\": " << fmt(rtts[i].p50_us, 2)

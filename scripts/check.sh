@@ -16,14 +16,19 @@
 #      storm, crash-loop backoff) under ASan, plus the multi-SUO
 #      campaign through the hub under TSan (the loop thread vs fleet
 #      shard threads share the scored path)
-#   7. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#   7. exec: executor-v2 equivalence — the three-kernel property suite
+#      (interpreter vs compiled vs batched) plus arena growth/reuse
+#      under ASan, and the shared-program multi-thread test under TSan;
+#      then bench_exec leaves BENCH_exec.json in the repo root
+#      (steps/sec/core + bytes/monitor per kernel)
+#   8. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#   8. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#   9. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
-#   9. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#  10. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
 #      repo root (frames/sec + ingest latency vs connection count)
 #
-# Each stage prints its wall time on completion. Stages 2-9 can be
+# Each stage prints its wall time on completion. Stages 2-10 can be
 # skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
@@ -96,6 +101,23 @@ cmake --build build-asan -j "$JOBS" --target hub_test
 cmake --build build-tsan -j "$JOBS" --target hub_test
 ./build-tsan/tests/hub_test \
   --gtest_filter='HubCampaign.*:HubTest.PublisherStreamsToHorizonAndSaysGoodbye'
+
+stage "exec: executor-v2 equivalence under ASan + TSan -> BENCH_exec.json"
+cmake --build build-asan -j "$JOBS" --target exec_test
+# Three-kernel step-for-step equivalence on random machines, plus the
+# arena slot-recycling churn loop with leak checking on.
+./build-asan/tests/exec_test
+# One immutable ModelProgram shared by four threads of batches — the
+# ShardedFleet sharing pattern must be race-free.
+cmake --build build-tsan -j "$JOBS" --target exec_test
+./build-tsan/tests/exec_test \
+  --gtest_filter='BatchExecutor.SharedProgramAcrossThreadsIsRaceFree'
+cmake --build build -j "$JOBS" --target bench_exec
+./build/bench/bench_exec --benchmark_filter='BM_BatchedDispatch' \
+  --benchmark_min_time=0.05
+test -s BENCH_exec.json
+echo "BENCH_exec.json written:"
+head -12 BENCH_exec.json
 
 stage "bench_scale: scaling experiment -> BENCH_scale.json"
 ./build/bench/bench_scale --benchmark_filter='BM_ShardedFleetEpoch/1' \

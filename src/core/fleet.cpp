@@ -19,15 +19,8 @@ AwarenessMonitor& MonitorFleet::adopt(const std::string& aspect,
 }
 
 AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect, MonitorBuilder builder) {
+  builder.default_arena(arena_);
   return adopt(aspect, builder.build(sched_, bus_));
-}
-
-AwarenessMonitor& MonitorFleet::add_monitor(const std::string& aspect,
-                                            std::unique_ptr<IModelImpl> model,
-                                            MonitorSpec params) {
-  return adopt(aspect,
-               std::make_unique<AwarenessMonitor>(sched_, bus_, std::move(model),
-                                                  std::move(params)));
 }
 
 void MonitorFleet::set_metrics(runtime::MetricsRegistry* metrics) {

@@ -36,12 +36,14 @@ class MonitorFleet {
 
   /// Add a monitor watching one aspect, described by a builder. Returns
   /// a reference usable for per-aspect configuration before start().
+  /// Builders without an explicit arena batch their model state into
+  /// the fleet's arena, so monitors sharing a ModelProgram share one
+  /// dense BatchExecutor.
   AwarenessMonitor& add_monitor(const std::string& aspect, MonitorBuilder builder);
 
-  /// Deprecated Params-struct path; use the MonitorBuilder overload.
-  [[deprecated("use add_monitor(aspect, MonitorBuilder)")]]
-  AwarenessMonitor& add_monitor(const std::string& aspect, std::unique_ptr<IModelImpl> model,
-                                MonitorSpec params);
+  /// The fleet's batched model state (footprint introspection).
+  ModelArena& arena() { return *arena_; }
+  const ModelArena& arena() const { return *arena_; }
 
   void set_recovery_handler(AspectRecoveryHandler handler) { handler_ = std::move(handler); }
 
@@ -72,6 +74,7 @@ class MonitorFleet {
 
   runtime::Scheduler& sched_;
   runtime::EventBus& bus_;
+  std::shared_ptr<ModelArena> arena_ = std::make_shared<ModelArena>();
   runtime::MetricsRegistry* metrics_ = nullptr;
   std::vector<Entry> entries_;
   std::vector<AspectError> errors_;

@@ -51,11 +51,15 @@ class InterpretedModel : public IModelImpl {
   statemachine::StateMachine machine_;
 };
 
-/// Runs a StateMachineDef through the flat-table compiled executor.
+/// Runs a StateMachineDef through the flat-table compiled executor
+/// (a batch of size 1 since executor v2 — the machine's program owns
+/// the definition copy, so no def_ member is needed here).
 class CompiledModel : public IModelImpl {
  public:
-  explicit CompiledModel(statemachine::StateMachineDef def)
-      : def_(std::move(def)), machine_(def_) {}
+  explicit CompiledModel(const statemachine::StateMachineDef& def) : machine_(def) {}
+  /// Share an already compiled program across models.
+  explicit CompiledModel(statemachine::ModelProgramPtr program)
+      : machine_(std::move(program)) {}
 
   void start(runtime::SimTime now) override { machine_.start(now); }
   bool dispatch(const statemachine::SmEvent& ev, runtime::SimTime now) override {
@@ -74,7 +78,6 @@ class CompiledModel : public IModelImpl {
   statemachine::CompiledMachine& machine() { return machine_; }
 
  private:
-  statemachine::StateMachineDef def_;
   statemachine::CompiledMachine machine_;
 };
 

@@ -1,0 +1,36 @@
+#include "core/model_program.hpp"
+
+namespace trader::core {
+
+std::unique_ptr<ModelInstance> ModelArena::make_instance(const ModelProgramPtr& program) {
+  auto& batch = batches_[program.get()];
+  if (!batch) batch = std::make_shared<statemachine::BatchExecutor>(program);
+  return std::make_unique<ModelInstance>(batch);
+}
+
+std::size_t ModelArena::live_instances() const {
+  std::size_t n = 0;
+  for (const auto& [program, batch] : batches_) n += batch->live_count();
+  return n;
+}
+
+std::size_t ModelArena::slot_count() const {
+  std::size_t n = 0;
+  for (const auto& [program, batch] : batches_) n += batch->slot_count();
+  return n;
+}
+
+std::size_t ModelArena::approx_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [program, batch] : batches_) {
+    n += batch->slot_count() * batch->approx_bytes_per_instance();
+  }
+  return n;
+}
+
+const statemachine::BatchExecutor* ModelArena::batch(const ModelProgramPtr& program) const {
+  auto it = batches_.find(program.get());
+  return it == batches_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace trader::core

@@ -1,0 +1,100 @@
+// Shared model programs and arena-batched model instances.
+//
+// The executor-v2 redesign splits "the model" into two artifacts with
+// different lifetimes and sharing rules:
+//
+//   ModelProgram  (statemachine/program.hpp) — the compiled, immutable
+//                 table set. Compile once per spec, share across any
+//                 number of monitors and threads.
+//   ModelInstance — one monitor's mutable model state, stored as a slot
+//                 in a per-arena BatchExecutor so thousands of
+//                 instances of the same program sit in dense arrays.
+//
+// A ModelArena is the per-runtime-island home of that batched state:
+// MonitorFleet keeps one, every ShardedFleet shard keeps its own (the
+// batch stays single-threaded while the program is shared), and a
+// standalone MonitorBuilder::build() without an arena makes a private
+// batch of size 1 — the legacy one-model-object-per-monitor path,
+// reimplemented on the same kernel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interfaces.hpp"
+#include "statemachine/batch.hpp"
+#include "statemachine/program.hpp"
+
+namespace trader::core {
+
+using statemachine::ModelProgramPtr;
+
+/// Compile `def` once into an immutable, shareable program.
+inline ModelProgramPtr compile_model(statemachine::StateMachineDef def) {
+  return statemachine::ModelProgram::compile(std::move(def));
+}
+
+/// IModelImpl facade over one slot of a shared BatchExecutor. Holds the
+/// batch alive (shared_ptr) and returns the slot to its free list on
+/// destruction, so monitor churn recycles arena rows instead of growing
+/// them. Honours the IEnableCompare "nocompare[:X]" convention like the
+/// other model impls.
+class ModelInstance : public IModelImpl {
+ public:
+  explicit ModelInstance(std::shared_ptr<statemachine::BatchExecutor> batch)
+      : batch_(std::move(batch)), id_(batch_->add_instance()) {}
+  ~ModelInstance() override { batch_->release(id_); }
+
+  ModelInstance(const ModelInstance&) = delete;
+  ModelInstance& operator=(const ModelInstance&) = delete;
+
+  void start(runtime::SimTime now) override { batch_->start(id_, now); }
+  bool dispatch(const statemachine::SmEvent& ev, runtime::SimTime now) override {
+    return batch_->dispatch(id_, ev, now);
+  }
+  void advance_time(runtime::SimTime now) override { batch_->advance_time(id_, now); }
+  std::vector<statemachine::ModelOutput> drain_outputs() override {
+    return batch_->drain_outputs(id_);
+  }
+  bool comparison_enabled(const std::string& observable) const override {
+    const auto& vars = batch_->vars(id_);
+    if (vars.get_bool("nocompare", false)) return false;
+    return !vars.get_bool("nocompare:" + observable, false);
+  }
+  std::string state_name() const override { return batch_->active_leaf(id_); }
+
+  statemachine::BatchExecutor& batch() { return *batch_; }
+  const statemachine::BatchExecutor& batch() const { return *batch_; }
+  statemachine::BatchExecutor::InstanceId id() const { return id_; }
+
+ private:
+  std::shared_ptr<statemachine::BatchExecutor> batch_;
+  statemachine::BatchExecutor::InstanceId id_;
+};
+
+/// One runtime island's batched model state: a BatchExecutor per
+/// distinct ModelProgram, instances handed out as IModelImpl slots.
+/// Single-threaded, like the scheduler/bus it sits next to.
+class ModelArena {
+ public:
+  /// Claim a slot in the batch for `program` (created on first use).
+  std::unique_ptr<ModelInstance> make_instance(const ModelProgramPtr& program);
+
+  std::size_t batch_count() const { return batches_.size(); }
+  std::size_t live_instances() const;
+  std::size_t slot_count() const;
+  /// Dense + fixed cold bytes across all slots (E18 accounting).
+  std::size_t approx_bytes() const;
+
+  /// The batch backing `program`, or nullptr when no instance was ever
+  /// made (introspection for tests and footprint reports).
+  const statemachine::BatchExecutor* batch(const ModelProgramPtr& program) const;
+
+ private:
+  std::map<const statemachine::ModelProgram*, std::shared_ptr<statemachine::BatchExecutor>>
+      batches_;
+};
+
+}  // namespace trader::core

@@ -8,8 +8,7 @@
 // different aspects, and different kinds of faults" (§3).
 //
 // Construction goes through MonitorBuilder (monitor_builder.hpp); the
-// raw MonitorSpec constructor remains for the builder and for the
-// deprecated AwarenessMonitor::Params compatibility path.
+// raw MonitorSpec constructor remains for the builder.
 #pragma once
 
 #include <functional>
@@ -31,8 +30,7 @@ namespace trader::core {
 using RecoveryHandler = std::function<void(const ErrorReport&)>;
 
 /// Complete wiring description of one awareness monitor. Produced by
-/// MonitorBuilder; the deprecated AwarenessMonitor::Params alias keeps
-/// pre-builder call sites compiling.
+/// MonitorBuilder.
 struct MonitorSpec {
   AwarenessConfig config;
   std::string input_topic = "tv.input";
@@ -98,9 +96,6 @@ class Controller : public IControl, public IErrorNotify {
 /// One fully wired awareness monitor.
 class AwarenessMonitor {
  public:
-  /// Deprecated spelling of MonitorSpec; construct via MonitorBuilder.
-  using Params [[deprecated("use MonitorBuilder instead of raw Params")]] = MonitorSpec;
-
   AwarenessMonitor(runtime::Scheduler& sched, runtime::EventBus& bus,
                    std::unique_ptr<IModelImpl> model, MonitorSpec spec);
 

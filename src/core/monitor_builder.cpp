@@ -18,7 +18,27 @@ MonitorBuilder& MonitorBuilder::model(statemachine::StateMachineDef def) {
 }
 
 MonitorBuilder& MonitorBuilder::compiled_model(statemachine::StateMachineDef def) {
-  model_ = std::make_unique<CompiledModel>(std::move(def));
+  return with_program(compile_model(std::move(def)));
+}
+
+MonitorBuilder& MonitorBuilder::with_program(ModelProgramPtr program) {
+  program_ = std::move(program);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::arena(std::shared_ptr<ModelArena> arena) {
+  arena_ = std::move(arena);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::default_arena(std::shared_ptr<ModelArena> arena) {
+  if (!arena_) arena_ = std::move(arena);
+  return *this;
+}
+
+MonitorBuilder& MonitorBuilder::wrap_model(
+    std::function<std::unique_ptr<IModelImpl>(std::unique_ptr<IModelImpl>)> wrap) {
+  wrap_ = std::move(wrap);
   return *this;
 }
 
@@ -118,10 +138,23 @@ std::unique_ptr<AwarenessMonitor> MonitorBuilder::build() {
 
 std::unique_ptr<AwarenessMonitor> MonitorBuilder::build(runtime::Scheduler& sched,
                                                         runtime::EventBus& bus) {
-  if (!model_) {
-    throw std::logic_error("MonitorBuilder::build(): no model set; call model(...) first");
+  std::unique_ptr<IModelImpl> model = std::move(model_);
+  if (!model && program_) {
+    if (arena_) {
+      model = arena_->make_instance(program_);
+    } else {
+      // No arena in sight: a private batch of size 1 — the legacy
+      // one-model-object-per-monitor path on the batched kernel.
+      model = std::make_unique<ModelInstance>(
+          std::make_shared<statemachine::BatchExecutor>(program_));
+    }
   }
-  auto monitor = std::make_unique<AwarenessMonitor>(sched, bus, std::move(model_), spec_);
+  if (!model) {
+    throw std::logic_error(
+        "MonitorBuilder::build(): no model set; call model(...) or with_program(...) first");
+  }
+  if (wrap_) model = wrap_(std::move(model));
+  auto monitor = std::make_unique<AwarenessMonitor>(sched, bus, std::move(model), spec_);
   if (on_error_) monitor->set_recovery_handler(std::move(on_error_));
   if (trace_ != nullptr) monitor->set_trace(trace_);
   if (metrics_ != nullptr) monitor->set_metrics(metrics_);

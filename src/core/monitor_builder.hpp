@@ -19,10 +19,12 @@
 // one description can land on any shard.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/model_program.hpp"
 #include "core/monitor.hpp"
 #include "statemachine/definition.hpp"
 
@@ -36,12 +38,28 @@ class MonitorBuilder {
   MonitorBuilder(runtime::Scheduler& sched, runtime::EventBus& bus)
       : sched_(&sched), bus_(&bus) {}
 
-  /// The executable specification model (required).
+  /// The executable specification model (one of model/with_program is
+  /// required).
   MonitorBuilder& model(std::unique_ptr<IModelImpl> model);
   /// Convenience: run `def` through the interpreting executor.
   MonitorBuilder& model(statemachine::StateMachineDef def);
-  /// Convenience: run `def` through the compiled executor.
+  /// Convenience: compile `def` into a private program (batched
+  /// executor, batch of size 1 unless an arena groups it).
   MonitorBuilder& compiled_model(statemachine::StateMachineDef def);
+
+  /// Share an already compiled program: N monitors built from the same
+  /// ModelProgramPtr store one table set, and when they land in the
+  /// same arena their state packs into one dense batch.
+  MonitorBuilder& with_program(ModelProgramPtr program);
+  /// Batch the model state into `arena` (fleets inject their own via
+  /// default_arena; explicit arena() wins).
+  MonitorBuilder& arena(std::shared_ptr<ModelArena> arena);
+  /// Fleet placement hook: adopts `arena` only when none was set.
+  MonitorBuilder& default_arena(std::shared_ptr<ModelArena> arena);
+  /// Decorate the model right after construction (link gating etc.);
+  /// applies to both the model() and with_program() paths.
+  MonitorBuilder& wrap_model(
+      std::function<std::unique_ptr<IModelImpl>(std::unique_ptr<IModelImpl>)> wrap);
 
   MonitorBuilder& input_topic(std::string topic);
   /// Appends; the first call replaces the default {"tv.output"}.
@@ -83,6 +101,9 @@ class MonitorBuilder {
   runtime::Scheduler* sched_ = nullptr;
   runtime::EventBus* bus_ = nullptr;
   std::unique_ptr<IModelImpl> model_;
+  ModelProgramPtr program_;
+  std::shared_ptr<ModelArena> arena_;
+  std::function<std::unique_ptr<IModelImpl>(std::unique_ptr<IModelImpl>)> wrap_;
   MonitorSpec spec_;
   RecoveryHandler on_error_;
   runtime::TraceLog* trace_ = nullptr;

@@ -95,6 +95,7 @@ AwarenessMonitor& ShardedFleet::add_monitor(const std::string& aspect, MonitorBu
   add_route(builder.input_topic(), shard.index_);
   for (const auto& topic : builder.output_topics()) add_route(topic, shard.index_);
 
+  builder.default_arena(shard.arena_);
   auto monitor = builder.build(shard.sched_, shard.bus_);
   AwarenessMonitor& ref = *monitor;
   const std::string name = aspect;

@@ -64,6 +64,11 @@ class ShardedFleet {
     runtime::EventBus& bus() { return bus_; }
     runtime::Rng& rng() { return rng_; }
     runtime::MetricsRegistry& metrics() { return metrics_; }
+    /// This shard's batched model state. Monitors placed here share
+    /// per-program BatchExecutors; the arena (like the scheduler) is
+    /// only ever touched from this shard's worker thread, while the
+    /// ModelPrograms inside it are immutable and fleet-wide.
+    ModelArena& arena() { return *arena_; }
     std::size_t index() const { return index_; }
 
     /// Deterministic publish from inside this shard (e.g. from a
@@ -88,6 +93,7 @@ class ShardedFleet {
     runtime::Rng rng_;
     runtime::MetricsRegistry metrics_;
     runtime::Mailbox mailbox_;
+    std::shared_ptr<ModelArena> arena_ = std::make_shared<ModelArena>();
     runtime::Counter* cross_shard_out_ = nullptr;
     std::uint64_t route_seq_ = 0;
     bool routing_suppressed_ = false;

@@ -1,220 +1,11 @@
 #include "statemachine/compiled.hpp"
 
-#include <algorithm>
-
 namespace trader::statemachine {
 
-namespace {
-const SmEvent kNullEvent{};
+CompiledMachine::CompiledMachine(const StateMachineDef& def)
+    : CompiledMachine(ModelProgram::compile(def)) {}
 
-// Leaf reached from `s` by following initial children.
-StateId drill_initial(const StateMachineDef& def, StateId s) {
-  while (!def.state(s).children.empty()) s = def.state(s).initial_child;
-  return s;
-}
-}  // namespace
-
-CompiledMachine::CompiledMachine(const StateMachineDef& def) : def_(def) {
-  for (std::size_t i = 0; i < def.states().size(); ++i) {
-    if (def.states()[i].history) {
-      throw CompileError("CompiledMachine: history state '" +
-                         def.path(static_cast<StateId>(i)) + "' is not supported");
-    }
-  }
-  // Enumerate leaves and their root-paths.
-  for (std::size_t i = 0; i < def.states().size(); ++i) {
-    const auto id = static_cast<StateId>(i);
-    if (!def.is_leaf(id)) continue;
-    LeafRow row;
-    row.leaf = id;
-    for (StateId s = id; s != kNoState; s = def.state(s).parent) row.path.push_back(s);
-    std::reverse(row.path.begin(), row.path.end());
-    leaf_index_[id] = static_cast<int>(leaves_.size());
-    leaves_.push_back(std::move(row));
-  }
-  // Build per-leaf tables, innermost-first then definition order.
-  for (auto& row : leaves_) {
-    for (auto it = row.path.rbegin(); it != row.path.rend(); ++it) {
-      std::vector<const TransitionDef*> here;
-      for (const auto& t : def.transitions()) {
-        if (t.source == *it) here.push_back(&t);
-      }
-      std::sort(here.begin(), here.end(),
-                [](const TransitionDef* a, const TransitionDef* b) { return a->index < b->index; });
-      for (const TransitionDef* t : here) {
-        CompiledTrans ct = compile_transition(row, *t);
-        if (t->after > 0) {
-          row.timed.push_back(ct);
-        } else if (t->event.empty()) {
-          row.completions.push_back(ct);
-        } else {
-          row.by_event[t->event].push_back(ct);
-        }
-      }
-    }
-  }
-}
-
-CompiledMachine::CompiledTrans CompiledMachine::compile_transition(const LeafRow& row,
-                                                                   const TransitionDef& t) const {
-  CompiledTrans ct;
-  ct.def = &t;
-  if (t.internal) return ct;  // no exits/entries, stays on the same leaf
-  // Boundary as in the interpreter: LCA, bumped one level up for self /
-  // ancestor-descendant transitions.
-  StateId lca = t.source;
-  while (lca != kNoState && !(def_.is_ancestor(lca, t.source) && def_.is_ancestor(lca, t.target))) {
-    lca = def_.state(lca).parent;
-  }
-  if (lca == t.source || lca == t.target) {
-    lca = (lca == kNoState) ? kNoState : def_.state(lca).parent;
-  }
-  // Exits: leaf-first until the boundary.
-  for (auto it = row.path.rbegin(); it != row.path.rend(); ++it) {
-    if (*it == lca) break;
-    ct.exits.push_back(*it);
-  }
-  // Entries: boundary(exclusive) -> target, then drill to the initial leaf.
-  std::vector<StateId> chain;
-  for (StateId s = t.target; s != lca && s != kNoState; s = def_.state(s).parent) {
-    chain.push_back(s);
-  }
-  std::reverse(chain.begin(), chain.end());
-  StateId cur = t.target;
-  while (!def_.state(cur).children.empty()) {
-    cur = def_.state(cur).initial_child;
-    chain.push_back(cur);
-  }
-  ct.entries = std::move(chain);
-  ct.target_leaf = leaf_index_.at(drill_initial(def_, t.target));
-  return ct;
-}
-
-void CompiledMachine::run_action(const Action& a, const SmEvent& ev, runtime::SimTime now) {
-  if (!a) return;
-  ActionEnv env{vars_, ev, now,
-                [this, now](const std::string& name, std::map<std::string, runtime::Value> f) {
-                  outputs_.push_back(ModelOutput{name, std::move(f), now});
-                }};
-  a(env);
-}
-
-runtime::SimTime CompiledMachine::entry_time(StateId s) const {
-  auto it = entered_at_.find(s);
-  return it != entered_at_.end() ? it->second : 0;
-}
-
-void CompiledMachine::start(runtime::SimTime now) {
-  entered_at_.clear();
-  if (def_.top_initial() == kNoState) return;
-  const StateId leaf = drill_initial(def_, def_.top_initial());
-  leaf_ = leaf_index_.at(leaf);
-  for (StateId s : leaves_[static_cast<std::size_t>(leaf_)].path) {
-    entered_at_[s] = now;
-    run_action(def_.state(s).on_entry, kNullEvent, now);
-  }
-  run_completions(now);
-}
-
-bool CompiledMachine::fire(const CompiledTrans& ct, const SmEvent& ev, runtime::SimTime now) {
-  ++fired_;
-  if (ct.def->internal) {
-    run_action(ct.def->action, ev, now);
-    return true;
-  }
-  for (StateId s : ct.exits) {
-    run_action(def_.state(s).on_exit, ev, now);
-    entered_at_.erase(s);
-  }
-  run_action(ct.def->action, ev, now);
-  for (StateId s : ct.entries) {
-    entered_at_[s] = now;
-    run_action(def_.state(s).on_entry, ev, now);
-  }
-  leaf_ = ct.target_leaf;
-  return true;
-}
-
-void CompiledMachine::run_completions(runtime::SimTime now) {
-  for (int i = 0; i < kMaxMicrosteps; ++i) {
-    const auto& comps = leaves_[static_cast<std::size_t>(leaf_)].completions;
-    const CompiledTrans* enabled = nullptr;
-    for (const auto& ct : comps) {
-      if (ct.def->guard && !ct.def->guard(vars_, kNullEvent)) continue;
-      enabled = &ct;
-      break;
-    }
-    if (enabled == nullptr) return;
-    fire(*enabled, kNullEvent, now);
-  }
-  livelock_ = true;
-}
-
-bool CompiledMachine::dispatch(const SmEvent& ev, runtime::SimTime now) {
-  if (leaf_ < 0) return false;
-  const auto& row = leaves_[static_cast<std::size_t>(leaf_)];
-  auto it = row.by_event.find(ev.name);
-  if (it == row.by_event.end()) return false;
-  for (const auto& ct : it->second) {
-    if (ct.def->guard && !ct.def->guard(vars_, ev)) continue;
-    fire(ct, ev, now);
-    run_completions(now);
-    return true;
-  }
-  return false;
-}
-
-int CompiledMachine::advance_time(runtime::SimTime now) {
-  int fired_count = 0;
-  for (int iter = 0; iter < kMaxMicrosteps; ++iter) {
-    const auto& row = leaves_[static_cast<std::size_t>(leaf_)];
-    const CompiledTrans* best = nullptr;
-    runtime::SimTime best_due = 0;
-    for (const auto& ct : row.timed) {
-      const runtime::SimTime due = entry_time(ct.def->source) + ct.def->after;
-      if (due > now) continue;
-      if (ct.def->guard && !ct.def->guard(vars_, kNullEvent)) continue;
-      if (best == nullptr || due < best_due) {
-        best = &ct;
-        best_due = due;
-      }
-    }
-    if (best == nullptr) return fired_count;
-    fire(*best, kNullEvent, best_due);
-    run_completions(best_due);
-    ++fired_count;
-  }
-  livelock_ = true;
-  return fired_count;
-}
-
-runtime::SimTime CompiledMachine::next_deadline() const {
-  if (leaf_ < 0) return -1;
-  runtime::SimTime best = -1;
-  for (const auto& ct : leaves_[static_cast<std::size_t>(leaf_)].timed) {
-    const runtime::SimTime due = entry_time(ct.def->source) + ct.def->after;
-    if (best < 0 || due < best) best = due;
-  }
-  return best;
-}
-
-bool CompiledMachine::in(const std::string& name) const {
-  if (leaf_ < 0) return false;
-  for (StateId s : leaves_[static_cast<std::size_t>(leaf_)].path) {
-    if (def_.state(s).name == name || def_.path(s) == name) return true;
-  }
-  return false;
-}
-
-std::string CompiledMachine::active_leaf() const {
-  if (leaf_ < 0) return {};
-  return def_.path(leaves_[static_cast<std::size_t>(leaf_)].leaf);
-}
-
-std::vector<ModelOutput> CompiledMachine::drain_outputs() {
-  std::vector<ModelOutput> out;
-  out.swap(outputs_);
-  return out;
-}
+CompiledMachine::CompiledMachine(ModelProgramPtr program)
+    : batch_(std::move(program)), id_(batch_.add_instance()) {}
 
 }  // namespace trader::statemachine

@@ -1,85 +1,55 @@
 // Flat-table compiled executor — the "generated C code" stand-in.
 //
 // §4.3: Stateflow's code generation produces C code that the Model
-// Executor runs. CompiledMachine plays that role here: it flattens a
-// hierarchical definition into per-leaf transition tables at construction
-// time, so each dispatch is a table lookup plus guard evaluation instead
-// of a tree walk. Semantics are identical to the interpreting
-// StateMachine for machines without history states (history needs
-// dynamic resolution and is rejected at compile time).
+// Executor runs. CompiledMachine plays that role here, and since the
+// executor-v2 redesign it is literally a batch of size 1: the tables
+// live in an immutable, shareable ModelProgram (program.hpp) and the
+// per-instance state in a private single-slot BatchExecutor
+// (batch.hpp). Semantics are identical to the interpreting StateMachine
+// for machines without history states (history needs dynamic resolution
+// and is rejected at compile time).
 #pragma once
 
-#include <map>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "statemachine/batch.hpp"
 #include "statemachine/machine.hpp"
+#include "statemachine/program.hpp"
 
 namespace trader::statemachine {
-
-/// Thrown when a definition uses features the compiler does not support.
-class CompileError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Table-driven executor over the leaf states of a StateMachineDef.
 class CompiledMachine {
  public:
+  /// Compile a private program from `def` (copied into the program).
   explicit CompiledMachine(const StateMachineDef& def);
+  /// Run an already compiled program — N machines share one table set.
+  explicit CompiledMachine(ModelProgramPtr program);
 
-  void start(runtime::SimTime now);
-  bool dispatch(const SmEvent& ev, runtime::SimTime now);
-  int advance_time(runtime::SimTime now);
-  runtime::SimTime next_deadline() const;
+  void start(runtime::SimTime now) { batch_.start(id_, now); }
+  bool dispatch(const SmEvent& ev, runtime::SimTime now) { return batch_.dispatch(id_, ev, now); }
+  int advance_time(runtime::SimTime now) { return batch_.advance_time(id_, now); }
+  runtime::SimTime next_deadline() const { return batch_.next_deadline(id_); }
 
-  bool started() const { return leaf_ >= 0; }
-  bool in(const std::string& name) const;
-  std::string active_leaf() const;
+  bool started() const { return batch_.started(id_); }
+  bool in(const std::string& name) const { return batch_.in(id_, name); }
+  std::string active_leaf() const { return batch_.active_leaf(id_); }
 
-  Context& vars() { return vars_; }
-  const Context& vars() const { return vars_; }
-  std::vector<ModelOutput> drain_outputs();
-  bool livelock_detected() const { return livelock_; }
-  std::uint64_t transitions_fired() const { return fired_; }
+  Context& vars() { return batch_.vars(id_); }
+  const Context& vars() const { return batch_.vars(id_); }
+  std::vector<ModelOutput> drain_outputs() { return batch_.drain_outputs(id_); }
+  bool livelock_detected() const { return batch_.livelock_detected(id_); }
+  std::uint64_t transitions_fired() const { return batch_.transitions_fired(id_); }
 
   /// Number of leaf states (rows in the table).
-  std::size_t leaf_count() const { return leaves_.size(); }
+  std::size_t leaf_count() const { return batch_.program().leaf_count(); }
+
+  const ModelProgramPtr& program() const { return batch_.program_ptr(); }
 
  private:
-  static constexpr int kMaxMicrosteps = 64;
-
-  struct CompiledTrans {
-    const TransitionDef* def = nullptr;
-    std::vector<StateId> exits;    // leaf-first
-    std::vector<StateId> entries;  // top-down
-    int target_leaf = -1;          // index into leaves_; -1 for internal
-  };
-
-  struct LeafRow {
-    StateId leaf = kNoState;
-    std::vector<StateId> path;  // root..leaf
-    std::map<std::string, std::vector<CompiledTrans>> by_event;
-    std::vector<CompiledTrans> completions;
-    std::vector<CompiledTrans> timed;  // def->after holds the delay
-  };
-
-  CompiledTrans compile_transition(const LeafRow& row, const TransitionDef& t) const;
-  bool fire(const CompiledTrans& ct, const SmEvent& ev, runtime::SimTime now);
-  void run_completions(runtime::SimTime now);
-  void run_action(const Action& a, const SmEvent& ev, runtime::SimTime now);
-  runtime::SimTime entry_time(StateId s) const;
-
-  const StateMachineDef& def_;
-  std::vector<LeafRow> leaves_;
-  std::map<StateId, int> leaf_index_;
-  Context vars_;
-  int leaf_ = -1;
-  std::map<StateId, runtime::SimTime> entered_at_;
-  std::vector<ModelOutput> outputs_;
-  bool livelock_ = false;
-  std::uint64_t fired_ = 0;
+  BatchExecutor batch_;
+  BatchExecutor::InstanceId id_;
 };
 
 }  // namespace trader::statemachine

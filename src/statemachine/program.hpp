@@ -1,0 +1,128 @@
+// ModelProgram: the immutable compiled form of a state machine.
+//
+// The flat-table CompiledMachine (compiled.hpp) played the role of
+// Stateflow's generated C code for ONE machine; a fleet of thousands of
+// identical spec models would compile — and store — the same tables
+// thousands of times. ModelProgram splits the executor in two:
+//
+//   ModelProgram   — everything that depends only on the *definition*:
+//                    interned event ids, per-leaf dispatch spans,
+//                    precomputed exit/entry chains, timed/completion
+//                    tables. Immutable after compile(); shared by any
+//                    number of instances across any number of threads.
+//   BatchExecutor  — everything that depends on the *instance*: current
+//                    leaf, per-depth entry times, variables, outputs.
+//                    Stored as dense structure-of-arrays (batch.hpp) so
+//                    thousands of instances step in one tight loop.
+//
+// Compilation rejects the same feature set CompiledMachine rejected
+// (history states need dynamic resolution) and preserves its dispatch
+// semantics exactly: innermost source first, definition order among
+// peers, earliest-due-first timed firing, bounded completion chains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "statemachine/definition.hpp"
+
+namespace trader::statemachine {
+
+/// Thrown when a definition uses features the compiler does not support.
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ModelProgram {
+ public:
+  /// A precompiled transition as seen from one source leaf.
+  struct Trans {
+    const TransitionDef* def = nullptr;  ///< Guard/action/after/internal.
+    std::uint32_t exits_begin = 0;       ///< Span into state_pool(): leaf-first.
+    std::uint32_t exits_len = 0;
+    std::uint32_t entries_begin = 0;     ///< Span into state_pool(): top-down.
+    std::uint32_t entries_len = 0;
+    std::int32_t target_leaf = -1;       ///< Row index after firing; -1 internal.
+    std::int32_t boundary_depth = -1;    ///< Depth of the LCA (-1 = above root).
+    std::int32_t source_depth = 0;       ///< Depth of def->source in the row path.
+  };
+
+  /// Contiguous [begin, begin+len) range inside trans().
+  struct Span {
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// One leaf state's row: its root path and transition tables.
+  struct Leaf {
+    StateId state = kNoState;
+    std::uint32_t path_begin = 0;  ///< Span into state_pool(): root..leaf.
+    std::uint32_t path_len = 0;
+    std::uint32_t dispatch_begin = 0;  ///< event_count() Spans in dispatch().
+    Span completions;
+    Span timed;
+  };
+
+  /// Compile `def` (copied into the program). Throws CompileError on
+  /// history states, mirroring CompiledMachine's feature set.
+  static std::shared_ptr<const ModelProgram> compile(StateMachineDef def);
+
+  const StateMachineDef& def() const { return def_; }
+  std::size_t leaf_count() const { return leaves_.size(); }
+  std::size_t event_count() const { return event_ids_.size(); }
+  /// Deepest root..leaf path in the machine (the per-instance entry-time
+  /// array is this many SimTime slots wide).
+  std::size_t max_depth() const { return max_depth_; }
+  std::size_t transition_count() const { return trans_.size(); }
+
+  /// Interned id of an event name, or -1 when no transition consumes it.
+  int event_id(const std::string& name) const {
+    auto it = event_ids_.find(name);
+    return it == event_ids_.end() ? -1 : it->second;
+  }
+
+  /// Row index of the initial configuration's leaf (-1 for an empty def).
+  int initial_leaf() const { return initial_leaf_; }
+  /// Row index of a leaf state id (-1 when `s` is not a leaf).
+  int leaf_index(StateId s) const {
+    auto it = leaf_index_.find(s);
+    return it == leaf_index_.end() ? -1 : it->second;
+  }
+
+  const Leaf& leaf(int row) const { return leaves_[static_cast<std::size_t>(row)]; }
+  const std::vector<StateId>& state_pool() const { return state_pool_; }
+  const std::vector<Trans>& trans() const { return trans_; }
+  /// Dispatch span for (leaf row, event id).
+  const Span& dispatch_span(int row, int event) const {
+    return dispatch_[leaf(row).dispatch_begin + static_cast<std::uint32_t>(event)];
+  }
+
+  /// Fixed bytes this program would add per instance in a batch (dense
+  /// arrays only; variables and pending outputs are accounted by the
+  /// batch, which owns them).
+  std::size_t dense_bytes_per_instance() const;
+
+ private:
+  explicit ModelProgram(StateMachineDef def) : def_(std::move(def)) {}
+
+  Trans compile_transition(const Leaf& row, const TransitionDef& t);
+
+  StateMachineDef def_;
+  std::map<std::string, int> event_ids_;
+  std::vector<Leaf> leaves_;
+  std::map<StateId, int> leaf_index_;
+  std::vector<StateId> state_pool_;  ///< Flat paths/exits/entries storage.
+  std::vector<Trans> trans_;
+  std::vector<Span> dispatch_;  ///< leaf_count() x event_count() spans.
+  std::size_t max_depth_ = 0;
+  int initial_leaf_ = -1;
+};
+
+using ModelProgramPtr = std::shared_ptr<const ModelProgram>;
+
+}  // namespace trader::statemachine

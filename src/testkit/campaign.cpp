@@ -10,6 +10,7 @@
 
 #include "core/fleet.hpp"
 #include "core/model_impl.hpp"
+#include "core/model_program.hpp"
 #include "core/monitor_builder.hpp"
 #include "core/sharded_fleet.hpp"
 #include "faults/injector.hpp"
@@ -40,18 +41,25 @@ sm::StateMachineDef counter_model() {
 }
 
 core::MonitorBuilder counter_monitor(std::size_t k, const ExecutorConfig& config,
+                                     const core::ModelProgramPtr& program,
                                      std::shared_ptr<const std::atomic<bool>> gate) {
   core::MonitorBuilder builder;
+  if (config.engine == ExecutorConfig::ModelEngine::kBatched) {
+    builder.with_program(program);  // one table set across aspects AND scenarios
+  } else {
+    builder.model(std::make_unique<core::InterpretedModel>(counter_model()));
+  }
   // With an IPC link in the path the model is wrapped in a LinkGatedModel
   // so comparisons quiesce while the SUO is unreachable (the §4.3
   // graceful-degradation policy); a null gate means in-process wiring.
-  std::unique_ptr<core::IModelImpl> model =
-      std::make_unique<core::InterpretedModel>(counter_model());
   if (gate != nullptr) {
-    model = std::make_unique<ipc::LinkGatedModel>(std::move(model), std::move(gate));
+    builder.wrap_model(
+        [gate = std::move(gate)](std::unique_ptr<core::IModelImpl> model)
+            -> std::unique_ptr<core::IModelImpl> {
+          return std::make_unique<ipc::LinkGatedModel>(std::move(model), gate);
+        });
   }
-  builder.model(std::move(model))
-      .input_topic("in." + std::to_string(k))
+  builder.input_topic("in." + std::to_string(k))
       .output_topic("out." + std::to_string(k))
       .threshold("count", 0.0, config.max_consecutive)
       .comparison_period(config.comparison_period)
@@ -157,23 +165,20 @@ class ShardedBackend : public Backend {
 // which is exactly the equivalence the tier-1 suite asserts.
 class IpcBackend : public Backend {
  public:
-  explicit IpcBackend(const ExecutorConfig& config) : mode_(config.ipc), fleet_(sched_, bus_) {
+  /// Strategy producing a connected (SUO side, monitor side) stream
+  /// pair — the ONLY transport-specific piece. Each registered IPC mode
+  /// supplies its own factory, so a new transport is one registration
+  /// instead of `if (mode == ...)` edits across ctor/set_link/dtor.
+  using StreamPair = std::pair<ipc::FramedSocket, ipc::FramedSocket>;
+  using PairFactory = std::function<StreamPair()>;
+
+  IpcBackend(const ExecutorConfig& config, PairFactory make_pair)
+      : make_pair_(std::move(make_pair)), fleet_(sched_, bus_) {
+    (void)config;
     fleet_.set_metrics(&metrics_);
     supervisor_.set_metrics(&metrics_);
     gate_ = std::make_shared<std::atomic<bool>>(false);
-    if (mode_ == IpcMode::kUnix) {
-      static std::atomic<std::uint64_t> instance{0};
-      // Abstract-namespace path: no filesystem entry, auto-cleaned by
-      // the kernel, unique per process x backend instance.
-      path_ = "@trader-campaign-" + std::to_string(::getpid()) + "-" +
-              std::to_string(instance.fetch_add(1));
-      listener_ = ipc::listen_unix(path_);
-    }
     set_link(true);
-  }
-
-  ~IpcBackend() override {
-    if (listener_ >= 0) ::close(listener_);
   }
 
   void add_monitor(const std::string& aspect, core::MonitorBuilder builder) override {
@@ -229,16 +234,9 @@ class IpcBackend : public Backend {
       return;
     }
     supervisor_.next_backoff_ms();  // the reconnect attempt (no wall sleep here)
-    if (mode_ == IpcMode::kUnix) {
-      const int client = ipc::connect_unix(path_);
-      const int server = ipc::accept_unix(listener_, /*timeout_ms=*/2000);
-      suo_side_ = ipc::FramedSocket(client);
-      monitor_side_ = ipc::FramedSocket(server);
-    } else {
-      auto [a, b] = ipc::socketpair_transport();
-      suo_side_ = std::move(a);
-      monitor_side_ = std::move(b);
-    }
+    auto [a, b] = make_pair_();
+    suo_side_ = std::move(a);
+    monitor_side_ = std::move(b);
     suo_side_.set_metrics(&metrics_);
     monitor_side_.set_metrics(&metrics_);
     if (suo_side_.valid() && monitor_side_.valid()) {
@@ -248,7 +246,7 @@ class IpcBackend : public Backend {
   }
 
  private:
-  IpcMode mode_;
+  PairFactory make_pair_;
   runtime::Scheduler sched_;
   runtime::EventBus bus_;
   runtime::MetricsRegistry metrics_;
@@ -257,9 +255,30 @@ class IpcBackend : public Backend {
   ipc::FramedSocket suo_side_;      ///< Scripted SUO writes here.
   ipc::FramedSocket monitor_side_;  ///< Fleet-facing end; pumped per publish.
   std::shared_ptr<std::atomic<bool>> gate_;
-  std::string path_;
-  int listener_ = -1;
   std::uint32_t seq_ = 0;
+};
+
+/// One AF_UNIX listener (abstract namespace: no filesystem entry,
+/// kernel-cleaned) shared by every reconnect of one backend instance.
+struct UnixEndpoint {
+  std::string path;
+  int listener = -1;
+
+  UnixEndpoint() {
+    static std::atomic<std::uint64_t> instance{0};
+    path = "@trader-campaign-" + std::to_string(::getpid()) + "-" +
+           std::to_string(instance.fetch_add(1));
+    listener = ipc::listen_unix(path);
+  }
+  ~UnixEndpoint() {
+    if (listener >= 0) ::close(listener);
+  }
+
+  IpcBackend::StreamPair make_pair() {
+    const int client = ipc::connect_unix(path);
+    const int server = ipc::accept_unix(listener, /*timeout_ms=*/2000);
+    return {ipc::FramedSocket(client), ipc::FramedSocket(server)};
+  }
 };
 
 // The hub backend runs the full fleet-over-sockets topology inside the
@@ -392,11 +411,49 @@ class HubBackend : public Backend {
   std::uint32_t seq_ = 0;
 };
 
+// ------------------------------------------------------- backend registry
+//
+// One row per IpcMode: the canonical backend name (the single source
+// for to_string/backend_label, so JSON reports and bench emitters can
+// never drift) and the factory. Adding a transport = adding one entry.
+struct BackendEntry {
+  const char* name;
+  std::unique_ptr<Backend> (*make)(const ExecutorConfig&);
+};
+
+const std::map<IpcMode, BackendEntry>& backend_registry() {
+  static const std::map<IpcMode, BackendEntry> registry = {
+      {IpcMode::kOff,
+       {"off",
+        [](const ExecutorConfig& config) -> std::unique_ptr<Backend> {
+          if (config.shards == 0) return std::make_unique<SingleBackend>();
+          return std::make_unique<ShardedBackend>(config);
+        }}},
+      {IpcMode::kSocketpair,
+       {"socketpair",
+        [](const ExecutorConfig& config) -> std::unique_ptr<Backend> {
+          return std::make_unique<IpcBackend>(config, [] {
+            return IpcBackend::StreamPair{ipc::socketpair_transport()};
+          });
+        }}},
+      {IpcMode::kUnix,
+       {"unix",
+        [](const ExecutorConfig& config) -> std::unique_ptr<Backend> {
+          auto endpoint = std::make_shared<UnixEndpoint>();
+          return std::make_unique<IpcBackend>(
+              config, [endpoint] { return endpoint->make_pair(); });
+        }}},
+      {IpcMode::kHub,
+       {"hub",
+        [](const ExecutorConfig& config) -> std::unique_ptr<Backend> {
+          return std::make_unique<HubBackend>(config);
+        }}},
+  };
+  return registry;
+}
+
 std::unique_ptr<Backend> make_backend(const ExecutorConfig& config) {
-  if (config.ipc == IpcMode::kHub) return std::make_unique<HubBackend>(config);
-  if (config.ipc != IpcMode::kOff) return std::make_unique<IpcBackend>(config);
-  if (config.shards == 0) return std::make_unique<SingleBackend>();
-  return std::make_unique<ShardedBackend>(config);
+  return backend_registry().at(config.ipc).make(config);
 }
 
 std::string fmt_value(std::int64_t v) { return std::to_string(v); }
@@ -404,17 +461,30 @@ std::string fmt_value(std::int64_t v) { return std::to_string(v); }
 }  // namespace
 
 const char* to_string(IpcMode m) {
-  switch (m) {
-    case IpcMode::kOff:
-      return "off";
-    case IpcMode::kSocketpair:
-      return "socketpair";
-    case IpcMode::kUnix:
-      return "unix";
-    case IpcMode::kHub:
-      return "hub";
+  const auto& registry = backend_registry();
+  const auto it = registry.find(m);
+  return it == registry.end() ? "?" : it->second.name;
+}
+
+const char* to_string(ExecutorConfig::ModelEngine e) {
+  switch (e) {
+    case ExecutorConfig::ModelEngine::kBatched:
+      return "batched";
+    case ExecutorConfig::ModelEngine::kInterpreted:
+      return "interpreted";
   }
   return "?";
+}
+
+std::string backend_label(const ExecutorConfig& config) {
+  std::string label = config.shards == 0
+                          ? std::string("single")
+                          : "sharded(" + std::to_string(config.shards) + ")";
+  if (config.ipc != IpcMode::kOff) label += std::string("+ipc-") + to_string(config.ipc);
+  if (config.engine != ExecutorConfig::ModelEngine::kBatched) {
+    label += std::string("+") + to_string(config.engine);
+  }
+  return label;
 }
 
 const char* to_string(Verdict v) {
@@ -444,6 +514,9 @@ Verdict classify_verdict(bool manifested, std::size_t errors_on_target,
 
 ScenarioExecutor::ScenarioExecutor(ExecutorConfig config) : config_(config) {
   if (config_.epoch <= 0) config_.epoch = runtime::msec(10);
+  // Compile the scripted counter spec once; every aspect of every
+  // scenario shares these tables (the executor-v2 sharing model).
+  counter_program_ = core::compile_model(counter_model());
 }
 
 ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
@@ -462,7 +535,8 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   auto backend = make_backend(config_);
   const std::size_t aspects = script.aspect_count();
   for (std::size_t k = 0; k < aspects; ++k) {
-    backend->add_monitor(aspect_name(k), counter_monitor(k, config_, backend->gate_for(aspect_name(k))));
+    backend->add_monitor(aspect_name(k), counter_monitor(k, config_, counter_program_,
+                                                         backend->gate_for(aspect_name(k))));
   }
   backend->start();
 
@@ -763,13 +837,7 @@ std::string CampaignReport::to_json() const {
   out += "    \"seed\": " + std::to_string(config.seed) + ",\n";
   out += "    \"scenarios\": " + std::to_string(config.scenarios) + ",\n";
   out += "    \"aspects\": " + std::to_string(config.draw.aspects) + ",\n";
-  std::string backend_label = config.executor.shards == 0
-                                  ? std::string("single")
-                                  : "sharded(" + std::to_string(config.executor.shards) + ")";
-  if (config.executor.ipc != IpcMode::kOff) {
-    backend_label += std::string("+ipc-") + to_string(config.executor.ipc);
-  }
-  out += "    \"backend\": \"" + backend_label + "\",\n";
+  out += "    \"backend\": \"" + backend_label(config.executor) + "\",\n";
   out += "    \"horizon_us\": " + std::to_string(config.draw.horizon) + ",\n";
   out += "    \"trace_fingerprint\": \"" + golden_trace().fingerprint() + "\"\n";
   out += "  },\n";

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@
 #include "runtime/sim_time.hpp"
 #include "testkit/golden_trace.hpp"
 #include "testkit/scenario.hpp"
+
+namespace trader::statemachine {
+class ModelProgram;
+}
 
 namespace trader::testkit {
 
@@ -56,10 +61,17 @@ enum class IpcMode : std::uint8_t {
                 ///< aspect into one event loop feeding a sharded fleet.
 };
 
+/// Canonical backend name, read from the backend registry — the same
+/// string for every consumer (campaign JSON, bench emitters, logs).
 const char* to_string(IpcMode m);
 
 /// How one scenario is executed.
 struct ExecutorConfig {
+  /// Which model-stepping kernel backs the scripted monitors.
+  enum class ModelEngine : std::uint8_t {
+    kBatched,      ///< Shared ModelProgram, arena-batched executor (production).
+    kInterpreted,  ///< Legacy per-monitor interpreting executor.
+  };
   /// 0 = single-scheduler MonitorFleet backend; N >= 1 = ShardedFleet.
   std::size_t shards = 0;
   /// Epoch grid (both backends deliver external events on it).
@@ -78,6 +90,10 @@ struct ExecutorConfig {
   /// virtual timestamps and each one is pumped through the socket
   /// synchronously.
   IpcMode ipc = IpcMode::kOff;
+  /// Model kernel. The batched executor is the default; the legacy
+  /// interpreter remains selectable so the differential tests can pin
+  /// both kernels to one golden trace.
+  ModelEngine engine = ModelEngine::kBatched;
   /// Kill-and-restart window: the SUO link drops at suo_down_at and a
   /// restarted SUO is reconnected at suo_up_at (virtual time; both -1 =
   /// no outage). Commands inside the window reach nobody; comparators
@@ -85,6 +101,13 @@ struct ExecutorConfig {
   runtime::SimTime suo_down_at = -1;
   runtime::SimTime suo_up_at = -1;
 };
+
+const char* to_string(ExecutorConfig::ModelEngine e);
+
+/// One-line config echo shared by campaign JSON reports and bench
+/// emitters: "single" / "sharded(N)", "+ipc-<mode>" when a wire is in
+/// the path, "+interpreted" when the legacy interpreter is selected.
+std::string backend_label(const ExecutorConfig& config);
 
 /// Outcome of one scenario run.
 struct ScenarioResult {
@@ -118,6 +141,9 @@ class ScenarioExecutor {
 
  private:
   ExecutorConfig config_;
+  /// The scripted counter spec, compiled once and shared by every
+  /// aspect of every scenario this executor replays (batched engine).
+  std::shared_ptr<const statemachine::ModelProgram> counter_program_;
 };
 
 /// A whole campaign: generator parameters plus executor parameters.

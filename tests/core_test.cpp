@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "core/fleet.hpp"
 #include "core/model_impl.hpp"
 #include "core/monitor_builder.hpp"
 #include "faults/injector.hpp"
@@ -451,29 +452,85 @@ TEST(TvMonitor, DetectionLatencyIsBoundedByComparatorSettings) {
   EXPECT_LE(detected - injected, rt::msec(200));
 }
 
-// --------------------------------------------- Deprecated Params-struct shim
+// ------------------------------------------ Builder-only construction surface
 
-// Pre-builder call sites spelled the configuration as a Params struct.
-// The alias is deprecated (this test intentionally triggers the build
-// warning) but must keep working until the next major cleanup.
-TEST(Monitor, DeprecatedParamsStructStillWorks) {
+// What the deprecated Params-struct shim used to exercise, spelled as
+// every call site must now spell it: a MonitorBuilder chain.
+TEST(Monitor, BuilderReplacesDeprecatedParamsStruct) {
   rt::Scheduler sched;
   rt::EventBus bus;
   EchoSuo suo(sched, bus);
-  core::AwarenessMonitor::Params params;
-  params.input_topic = "suo.in";
-  params.output_topics = {"suo.out"};
-  core::ObservableConfig oc;
-  oc.name = "count";
-  params.config.observables.push_back(oc);
-  params.config.comparison_period = rt::msec(10);
-  params.config.startup_grace = rt::msec(5);
-  core::AwarenessMonitor monitor(sched, bus,
-                                 std::make_unique<core::InterpretedModel>(counter_model()),
-                                 std::move(params));
-  monitor.start();
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .model(counter_model())
+                     .input_topic("suo.in")
+                     .output_topic("suo.out")
+                     .threshold("count", 0.0, 1)
+                     .comparison_period(rt::msec(10))
+                     .startup_grace(rt::msec(5))
+                     .build();
+  monitor->start();
   suo.input("inc");
   suo.output("count", std::int64_t{9});
   sched.run_for(rt::msec(100));
-  EXPECT_EQ(monitor.errors().size(), 1u);
+  EXPECT_EQ(monitor->errors().size(), 1u);
+}
+
+// with_program without an arena: the legacy one-model-per-monitor path,
+// reimplemented as a private batch of size 1.
+TEST(Monitor, WithProgramBuildsStandaloneBatchOfOne) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  EchoSuo suo(sched, bus);
+  auto program = core::compile_model(counter_model());
+  auto monitor = core::MonitorBuilder(sched, bus)
+                     .with_program(program)
+                     .input_topic("suo.in")
+                     .output_topic("suo.out")
+                     .threshold("count", 0.0, 1)
+                     .comparison_period(rt::msec(10))
+                     .startup_grace(rt::msec(5))
+                     .build();
+  monitor->start();
+  suo.input("inc");
+  suo.output("count", std::int64_t{9});
+  sched.run_for(rt::msec(100));
+  EXPECT_EQ(monitor->errors().size(), 1u);
+}
+
+TEST(Monitor, BuildWithoutModelOrProgramThrows) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  EXPECT_THROW(core::MonitorBuilder(sched, bus).build(), std::logic_error);
+}
+
+// N monitors built from one ModelProgramPtr inside a fleet pack their
+// state into one dense batch in the fleet's arena.
+TEST(Monitor, FleetBatchesMonitorsSharingOneProgram) {
+  rt::Scheduler sched;
+  rt::EventBus bus;
+  core::MonitorFleet fleet(sched, bus);
+  auto program = core::compile_model(counter_model());
+  for (int k = 0; k < 5; ++k) {
+    core::MonitorBuilder builder;
+    builder.with_program(program)
+        .input_topic("suo.in")
+        .output_topic("suo.out")
+        .threshold("count", 0.0, 1)
+        .comparison_period(rt::msec(10));
+    fleet.add_monitor("aspect" + std::to_string(k), std::move(builder));
+  }
+  EXPECT_EQ(fleet.arena().batch_count(), 1u);
+  EXPECT_EQ(fleet.arena().live_instances(), 5u);
+  const auto* batch = fleet.arena().batch(program);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->slot_count(), 5u);
+  fleet.start();
+  EchoSuo suo(sched, bus);
+  suo.input("inc");
+  suo.output("count", std::int64_t{9});
+  sched.run_for(rt::msec(100));
+  // Every monitor watches the same topics, so each one reports.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(fleet.error_count("aspect" + std::to_string(k)), 1u);
+  }
 }
