@@ -1,0 +1,155 @@
+// E19: coverage-guided scenario fuzzing — scenarios/sec, corpus growth
+// and coverage saturation.
+//
+// The fuzzer (DESIGN.md §4g) earns its keep only if mutate-execute-
+// score cycles are cheap enough to run thousands of scenarios in a CI
+// stage. This bench measures end-to-end campaign throughput
+// (scenarios/sec including mutation, execution, fingerprinting and
+// minimization), and records the corpus growth and coverage-cell
+// saturation curves at checkpoints every 50 iterations — the shape that
+// shows novelty getting harder to find as the walk covers the
+// behaviour space. Results land in BENCH_fuzz.json for
+// scripts/check.sh.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "testkit/fuzz.hpp"
+
+namespace rt = trader::runtime;
+namespace tk = trader::testkit;
+using trader::bench::Table;
+using trader::bench::banner;
+using trader::bench::fmt;
+using trader::bench::fmt_int;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::size_t kIterations = 600;
+constexpr std::size_t kCheckpoint = 50;
+
+void report() {
+  banner("E19", "coverage-guided fuzzing: scenarios/sec, corpus growth, saturation");
+
+  tk::FuzzConfig cfg;
+  cfg.seed = 2026;
+  cfg.seed_scenarios = 10;
+  cfg.iterations = kIterations;
+
+  const double start = now_ms();
+  const auto rep = tk::FuzzCampaignRunner(cfg).run();
+  const double wall = now_ms() - start;
+
+  const std::size_t total_execs = rep.executions + rep.minimize_executions;
+  const double scen_per_sec = total_execs / (wall / 1000.0);
+
+  // Coverage saturation: replay the growth curve at checkpoints and
+  // count the coverage cells first seen by each prefix (first_seen is
+  // the global execution index, so the prefix count is exact).
+  Table t({"iterations", "corpus", "coverage cells", "new cells in window"});
+  std::size_t prev_cells = 0;
+  std::vector<std::size_t> cp_corpus, cp_cells;
+  for (std::size_t cp = kCheckpoint; cp <= kIterations; cp += kCheckpoint) {
+    std::size_t cells = 0;
+    for (const auto& [key, cell] : rep.coverage) {
+      if (cell.first_seen < cfg.seed_scenarios + cp) ++cells;
+    }
+    const std::size_t corpus = rep.corpus_growth[cp - 1];
+    t.row({fmt_int(static_cast<std::int64_t>(cp)), fmt_int(static_cast<std::int64_t>(corpus)),
+           fmt_int(static_cast<std::int64_t>(cells)),
+           fmt_int(static_cast<std::int64_t>(cells - prev_cells))});
+    cp_corpus.push_back(corpus);
+    cp_cells.push_back(cells);
+    prev_cells = cells;
+  }
+  t.print();
+
+  std::printf("%zu fuzz + %zu minimize executions in %s ms => %s scenarios/sec\n",
+              rep.executions, rep.minimize_executions, fmt(wall, 1).c_str(),
+              fmt(scen_per_sec, 0).c_str());
+  std::printf("corpus %zu, coverage cells %zu, findings %zu, detection floor %s\n\n",
+              rep.corpus.size(), rep.coverage.size(), rep.findings.size(),
+              fmt(rep.detection_floor(), 4).c_str());
+
+  std::ofstream json("BENCH_fuzz.json");
+  json << "{\n  \"experiment\": \"bench_fuzz\",\n";
+  json << "  \"seed\": " << cfg.seed << ",\n";
+  json << "  \"iterations\": " << kIterations << ",\n";
+  json << "  \"checkpoint\": " << kCheckpoint << ",\n";
+  json << "  \"executions\": " << rep.executions << ",\n";
+  json << "  \"minimize_executions\": " << rep.minimize_executions << ",\n";
+  json << "  \"wall_ms\": " << fmt(wall, 1) << ",\n";
+  json << "  \"scenarios_per_sec\": " << fmt(scen_per_sec, 0) << ",\n";
+  json << "  \"corpus\": " << rep.corpus.size() << ",\n";
+  json << "  \"coverage_cells\": " << rep.coverage.size() << ",\n";
+  json << "  \"findings\": " << rep.findings.size() << ",\n";
+  json << "  \"detection_floor\": " << fmt(rep.detection_floor(), 4) << ",\n";
+  json << "  \"growth_checkpoints\": [";
+  for (std::size_t i = 0; i < cp_corpus.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << cp_corpus[i];
+  }
+  json << "],\n  \"coverage_checkpoints\": [";
+  for (std::size_t i = 0; i < cp_cells.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << cp_cells[i];
+  }
+  json << "]\n}\n";
+  std::printf("wrote BENCH_fuzz.json (scenarios/sec + growth and saturation curves)\n");
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+void BM_MutateScenario(benchmark::State& state) {
+  tk::ScenarioDraw draw;
+  const tk::ScenarioMutator mutator(draw);
+  rt::Rng rng(7);
+  rt::Rng draw_rng(11);
+  const auto parent = tk::draw_scenario(draw_rng, 0, draw);
+  const auto second = tk::draw_scenario(draw_rng, 1, draw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mutator.mutate(rng, parent, second, "bm"));
+  }
+}
+BENCHMARK(BM_MutateScenario);
+
+void BM_ShapeFingerprint(benchmark::State& state) {
+  // A realistic scenario-sized trace (one executed script's worth).
+  tk::ScenarioExecutor executor;
+  rt::Rng draw_rng(11);
+  const auto result = executor.run(tk::draw_scenario(draw_rng, 0, tk::ScenarioDraw{}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tk::shape_fingerprint(result.trace));
+  }
+}
+BENCHMARK(BM_ShapeFingerprint);
+
+void BM_FuzzIteration(benchmark::State& state) {
+  // Mutate + execute + fingerprint + score: one full loop body.
+  tk::ScenarioDraw draw;
+  const tk::ScenarioMutator mutator(draw);
+  tk::ScenarioExecutor executor;
+  rt::Rng rng(7);
+  rt::Rng draw_rng(11);
+  const auto parent = tk::draw_scenario(draw_rng, 0, draw);
+  const auto second = tk::draw_scenario(draw_rng, 1, draw);
+  for (auto _ : state) {
+    const auto child = mutator.mutate(rng, parent, second, "bm");
+    const auto result = executor.run(child);
+    benchmark::DoNotOptimize(tk::shape_fingerprint(result.trace));
+    benchmark::DoNotOptimize(tk::coverage_key(child, result, rt::msec(20)));
+  }
+}
+BENCHMARK(BM_FuzzIteration);
+
+}  // namespace
+
+TRADER_BENCH_MAIN(report)

@@ -8,27 +8,35 @@
 #      ASan — fails on any missed-detection regression (detection floor
 #      is asserted inside the campaign tests) or on a single-vs-sharded
 #      trace divergence
-#   5. ipc: the wire codec property tests plus the cross-transport
+#   5. fuzz: the coverage-guided scenario fuzzer under ASan — mutation
+#      determinism, the miss-preserving minimizer, the cross-backend
+#      corpus differential, and a seed-pinned smoke campaign (bounded
+#      iteration budget) that must replay byte-identically and leaves
+#      FUZZ_corpus.json (corpus + coverage map + minimized findings) in
+#      the repo root
+#   6. ipc: the wire codec property tests plus the cross-transport
 #      campaign (in-process vs socketpair vs AF_UNIX, verdict for
 #      verdict) under ASan, including the SIGKILL/reconnect supervision
 #      test — the whole out-of-process SUO path with leak checking on
-#   6. hub: the epoll event loop (timer catch-up, backpressure, accept
+#   7. hub: the epoll event loop (timer catch-up, backpressure, accept
 #      storm, crash-loop backoff) under ASan, plus the multi-SUO
 #      campaign through the hub under TSan (the loop thread vs fleet
 #      shard threads share the scored path)
-#   7. exec: executor-v2 equivalence — the three-kernel property suite
+#   8. exec: executor-v2 equivalence — the three-kernel property suite
 #      (interpreter vs compiled vs batched) plus arena growth/reuse
 #      under ASan, and the shared-program multi-thread test under TSan;
 #      then bench_exec leaves BENCH_exec.json in the repo root
 #      (steps/sec/core + bytes/monitor per kernel)
-#   8. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#   9. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#   9. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#  10. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
-#  10. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#  11. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
 #      repo root (frames/sec + ingest latency vs connection count)
+#  12. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
+#      repo root (scenarios/sec + corpus growth and coverage curves)
 #
-# Each stage prints its wall time on completion. Stages 2-10 can be
+# Each stage prints its wall time on completion. Stages 2-12 can be
 # skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
@@ -81,6 +89,21 @@ cmake --build build-asan -j "$JOBS" --target testkit_test campaign_demo
 grep -q 'traces identical' CAMPAIGN_report.txt
 echo "campaign headline:"
 grep 'detection rate' CAMPAIGN_report.txt
+
+stage "fuzz: coverage-guided scenario fuzzer under ASan"
+cmake --build build-asan -j "$JOBS" --target fuzz_test fuzz_demo
+# Mutation determinism, coverage monotonicity, the miss-preserving
+# minimizer and the 20-script cross-backend corpus differential, with
+# leak checking on.
+./build-asan/tests/fuzz_test
+# Seed-pinned smoke campaign with a bounded iteration budget: the demo
+# runs the same campaign twice and exits nonzero unless the reruns are
+# byte-identical; it leaves the corpus + findings JSON in the repo root.
+./build-asan/examples/fuzz_demo 2026 120 > FUZZ_report.txt
+grep -q 'byte-identical: yes' FUZZ_report.txt
+test -s FUZZ_corpus.json
+echo "fuzz headline:"
+grep -E 'corpus:|detection floor' FUZZ_report.txt
 
 stage "ipc: codec properties + cross-transport campaign under ASan"
 cmake --build build-asan -j "$JOBS" --target ipc_test
@@ -139,5 +162,13 @@ stage "bench_hub: fleet ingest experiment -> BENCH_hub.json"
 test -s BENCH_hub.json
 echo "BENCH_hub.json written:"
 head -12 BENCH_hub.json
+
+stage "bench_fuzz: fuzzing experiment -> BENCH_fuzz.json"
+cmake --build build -j "$JOBS" --target bench_fuzz
+./build/bench/bench_fuzz --benchmark_filter='BM_MutateScenario' \
+  --benchmark_min_time=0.05
+test -s BENCH_fuzz.json
+echo "BENCH_fuzz.json written:"
+head -12 BENCH_fuzz.json
 
 stage "all checks passed"

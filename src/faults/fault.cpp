@@ -24,6 +24,8 @@ const char* to_string(FaultKind kind) {
       return "crash";
     case FaultKind::kMemoryCorruption:
       return "memory-corruption";
+    case FaultKind::kResourceEater:
+      return "resource-eater";
   }
   return "?";
 }

@@ -30,6 +30,8 @@ enum class FaultKind : std::uint8_t {
   kCodingDeviation,    ///< Stream deviates from the coding standard (external).
   kCrash,              ///< Component dies (divide-by-zero style).
   kMemoryCorruption,   ///< A state variable overwritten with a wrong value.
+  kResourceEater,      ///< Shared-resource starvation (§4.7 CPU/bus eater):
+                       ///< the component falls behind and processes late.
 };
 
 const char* to_string(FaultKind kind);

@@ -25,12 +25,20 @@ std::optional<FaultSpec> FaultInjector::active_spec(FaultKind kind, const std::s
 
 bool FaultInjector::fires(FaultKind kind, const std::string& target, runtime::SimTime now,
                           const std::string& detail) {
+  // Strongest-wins merge over overlapping same-kind specs (injector.hpp
+  // overlap table): pick the winner first, then spend at most one draw.
+  const FaultSpec* winner = nullptr;
   for (const auto& f : plan_) {
     if (f.kind != kind || f.target != target || !f.active_at(now)) continue;
-    if (f.intensity >= 1.0 || rng_.bernoulli(f.intensity)) {
-      log_.push_back(FaultActivation{f, now, detail});
-      return true;
+    if (winner == nullptr || f.intensity > winner->intensity ||
+        (f.intensity == winner->intensity && f.activate_at < winner->activate_at)) {
+      winner = &f;
     }
+  }
+  if (winner == nullptr) return false;
+  if (winner->intensity >= 1.0 || rng_.bernoulli(winner->intensity)) {
+    log_.push_back(FaultActivation{*winner, now, detail});
+    return true;
   }
   return false;
 }

@@ -16,6 +16,27 @@
 //     with activations that had no observable effect, which silently
 //     deflates measured detection rates. When the component computes
 //     the faulty effect itself, decide first, then log via record().
+//
+// Overlap rule — what happens when two planned faults cover the same
+// target at the same instant:
+//
+//   | overlap                      | semantics                             |
+//   |------------------------------|---------------------------------------|
+//   | different kinds, same target | independent: each kind is queried and |
+//   |                              | fired separately; effects compose     |
+//   | same kind, same target       | merged, strongest-wins: one           |
+//   |                              | manifestation per fires() call with   |
+//   |                              | P(fire) = max intensity; ground truth |
+//   |                              | logs the winning spec exactly once    |
+//   |                              | (intensity tie -> earliest            |
+//   |                              | activate_at, then plan order)         |
+//   | same kind, different target  | unrelated plans; never interact       |
+//
+// The merge is explicit so that composed campaign scenarios (the fuzz
+// driver splices fault plans freely) stay deterministic: a fires() call
+// consumes at most ONE rng draw regardless of how many same-kind specs
+// overlap, so adding an overlapping spec never perturbs the draw
+// sequence seen by later manifestation checks.
 #pragma once
 
 #include <optional>
@@ -48,7 +69,9 @@ class FaultInjector {
   /// fault is active. Records a ground-truth activation when it fires —
   /// call this only where the fault's effect actually lands (a message
   /// genuinely dropped/corrupted); use is_active()/active_spec() for
-  /// pure queries.
+  /// pure queries. Overlapping same-kind specs merge strongest-wins
+  /// (see the overlap table above): at most one rng draw and one
+  /// logged activation per call.
   bool fires(FaultKind kind, const std::string& target, runtime::SimTime now,
              const std::string& detail = {});
 

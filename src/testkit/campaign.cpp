@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <tuple>
 
 #include "core/fleet.hpp"
@@ -102,9 +103,19 @@ void sort_errors(std::vector<core::AspectError>& errs) {
                    });
 }
 
+// The in-process backends carry a *virtual* SUO link: the same shared
+// gate the IPC backends flip on a real socket teardown, minus the
+// socket. set_link(false) drops every publish and quiesces comparators
+// through LinkGatedModel, so a kill-restart scenario fingerprints
+// identically whether the SUO is a struct in this process or a peer
+// behind a kernel stream — which is what lets the fuzzer's outage
+// mutations run on the fast backend and still replay differentially.
 class SingleBackend : public Backend {
  public:
-  SingleBackend() : fleet_(sched_, bus_) { fleet_.set_metrics(&metrics_); }
+  SingleBackend() : fleet_(sched_, bus_) {
+    fleet_.set_metrics(&metrics_);
+    gate_ = std::make_shared<std::atomic<bool>>(true);
+  }
 
   void add_monitor(const std::string& aspect, core::MonitorBuilder builder) override {
     fleet_.add_monitor(aspect, std::move(builder));
@@ -113,6 +124,7 @@ class SingleBackend : public Backend {
   void stop() override { fleet_.stop(); }
   void run_until(runtime::SimTime t) override { sched_.run_until(t); }
   void publish(const runtime::Event& ev) override {
+    if (!gate_->load(std::memory_order_relaxed)) return;  // SUO unreachable
     runtime::Event stamped = ev;
     stamped.timestamp = sched_.now();
     bus_.publish(stamped);
@@ -126,18 +138,23 @@ class SingleBackend : public Backend {
     return fleet_.monitor(aspect).stats();
   }
   runtime::MetricsSnapshot metrics() const override { return metrics_.snapshot(); }
+  std::shared_ptr<const std::atomic<bool>> gate() const override { return gate_; }
+  void set_link(bool up) override { gate_->store(up, std::memory_order_relaxed); }
 
  private:
   runtime::Scheduler sched_;
   runtime::EventBus bus_;
   runtime::MetricsRegistry metrics_;
   core::MonitorFleet fleet_;
+  std::shared_ptr<std::atomic<bool>> gate_;
 };
 
 class ShardedBackend : public Backend {
  public:
   explicit ShardedBackend(const ExecutorConfig& config)
-      : fleet_(core::ShardedFleetConfig{config.shards, config.epoch, config.seed}) {}
+      : fleet_(core::ShardedFleetConfig{config.shards, config.epoch, config.seed}) {
+    gate_ = std::make_shared<std::atomic<bool>>(true);
+  }
 
   void add_monitor(const std::string& aspect, core::MonitorBuilder builder) override {
     fleet_.add_monitor(aspect, std::move(builder));
@@ -145,15 +162,23 @@ class ShardedBackend : public Backend {
   void start() override { fleet_.start(); }
   void stop() override { fleet_.stop(); }
   void run_until(runtime::SimTime t) override { fleet_.run_until(t); }
-  void publish(const runtime::Event& ev) override { fleet_.publish(ev); }
+  void publish(const runtime::Event& ev) override {
+    if (!gate_->load(std::memory_order_relaxed)) return;  // SUO unreachable
+    fleet_.publish(ev);
+  }
   std::vector<core::AspectError> errors() const override { return fleet_.errors(); }
   const core::ComparatorStats& stats(const std::string& aspect) override {
     return fleet_.monitor(aspect).stats();
   }
   runtime::MetricsSnapshot metrics() const override { return fleet_.metrics(); }
+  std::shared_ptr<const std::atomic<bool>> gate() const override { return gate_; }
+  // The driver only flips the link between run_until epochs, so the
+  // relaxed store is ordered against shard threads by the epoch barrier.
+  void set_link(bool up) override { gate_->store(up, std::memory_order_relaxed); }
 
  private:
   core::ShardedFleet fleet_;
+  std::shared_ptr<std::atomic<bool>> gate_;
 };
 
 // The IPC backend puts the real wire in the campaign's SUO-to-monitor
@@ -543,6 +568,7 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   struct AspectState {
     std::int64_t model_count = 0;
     std::int64_t system_count = 0;
+    std::int64_t backlog = 0;  ///< Increments deferred by a resource eater.
     bool crashed = false;
   };
   std::vector<AspectState> states(aspects);
@@ -558,6 +584,7 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   // state it corrupted afterwards.
   auto resync = [&](std::size_t k) {
     states[k].system_count = states[k].model_count;
+    states[k].backlog = 0;
     states[k].crashed = false;
     runtime::Event out;
     out.topic = "out." + std::to_string(k);
@@ -615,6 +642,7 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
     if (!st.crashed && injector.fires(FaultKind::kCrash, target, now, "component crashed")) {
       st.crashed = true;
       st.system_count = 0;  // restart-from-scratch once repaired
+      st.backlog = 0;       // the deferred queue dies with the component
     }
     if (st.crashed) {
       trace.add(now, "cmd", target + " inc dropped (dead)");
@@ -623,6 +651,24 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
     if (injector.fires(FaultKind::kStuckComponent, target, now, "command swallowed")) {
       trace.add(now, "cmd", target + " inc swallowed (stuck)");
       return;
+    }
+    // Resource eater (§4.7, TASS): a CPU/bus eater steals the cycles
+    // this command needed, so the component queues it and keeps
+    // reporting its stale state — the published count lags the model
+    // until the eater releases the resource and the backlog drains.
+    if (injector.fires(FaultKind::kResourceEater, target, now, "processing deferred (starved)")) {
+      ++st.backlog;
+      runtime::Event out;
+      out.topic = "out." + idx;
+      out.name = "count";
+      out.fields["value"] = st.system_count;
+      backend->publish(out);
+      trace.add(now, "cmd", target + " inc deferred (eater) out=" + fmt_value(st.system_count));
+      return;
+    }
+    if (st.backlog > 0) {  // resource back: drain the deferred queue first
+      st.system_count += st.backlog;
+      st.backlog = 0;
     }
 
     const bool lost = injector.fires(FaultKind::kMessageLoss, target, now, "increment lost");
@@ -655,25 +701,30 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
                               " out=" + fmt_value(published));
   };
 
-  // Kill-and-restart window (IPC modes): between suo_down_at and
-  // suo_up_at the SUO process is gone. Commands reach nobody — neither
-  // the model nor the scripted system advances, so no divergence is
-  // manufactured — and the comparators quiesce through the link gate.
-  // Each transition is traced exactly once (the no-error-flood policy).
-  const bool has_outage = config_.ipc != IpcMode::kOff && config_.suo_down_at >= 0 &&
-                          config_.suo_up_at > config_.suo_down_at;
+  // Kill-and-restart window: between suo_down and suo_up the SUO is
+  // gone. Commands reach nobody — neither the model nor the scripted
+  // system advances, so no divergence is manufactured — and the
+  // comparators quiesce through the link gate: a real socket teardown
+  // on the IPC backends, the virtual link on the in-process ones (same
+  // gate, same trace, so outage scenarios replay differentially). A
+  // script-level outage overrides the executor-level window. Each
+  // transition is traced exactly once (the no-error-flood policy).
+  const runtime::SimTime suo_down =
+      script.suo_down() >= 0 ? script.suo_down() : config_.suo_down_at;
+  const runtime::SimTime suo_up = script.suo_down() >= 0 ? script.suo_up() : config_.suo_up_at;
+  const bool has_outage = suo_down >= 0 && suo_up > suo_down;
   bool link_down = false;
   auto update_link = [&](runtime::SimTime t) {
     if (!has_outage) return;
-    if (!link_down && t >= config_.suo_down_at && t < config_.suo_up_at) {
+    if (!link_down && t >= suo_down && t < suo_up) {
       backend->set_link(false);
       link_down = true;
       ++result.link_outages;
-      trace.add(config_.suo_down_at, "ipc", "link down (suo killed)");
-    } else if (link_down && t >= config_.suo_up_at) {
+      trace.add(suo_down, "ipc", "link down (suo killed)");
+    } else if (link_down && t >= suo_up) {
       backend->set_link(true);
       link_down = false;
-      trace.add(config_.suo_up_at, "ipc", "link up (suo restarted)");
+      trace.add(suo_up, "ipc", "link up (suo restarted)");
     }
   };
 
@@ -707,13 +758,21 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   }
 
   // ------------------------------------------------- score the scenario
-  const std::string target = result.fault_planned ? result.fault.target : std::string();
+  // "On target" spans the union of planned fault targets: for a
+  // single-fault script this is exactly the classic one-target scoring;
+  // for the fuzzer's composed plans it keeps the verdict coherent (a
+  // detected off-first-fault manifestation is a detection, not noise).
+  std::set<std::string> targets;
+  for (const auto& spec : script.fault_plan()) targets.insert(spec.target);
   result.fault_manifested = !injector.activations().empty();
   if (result.fault_manifested) {
     result.first_manifestation = injector.activations().front().time;
   }
+  for (const auto& a : injector.activations()) {
+    if (campaign_detectable(a.spec.kind)) result.detectable_manifested = true;
+  }
   for (const auto& ae : backend->errors()) {
-    if (ae.aspect == target) {
+    if (targets.count(ae.aspect) != 0) {
       if (result.errors_on_target == 0) result.first_detection = ae.report.detected_at;
       ++result.errors_on_target;
     } else {
@@ -723,15 +782,18 @@ ScenarioResult ScenarioExecutor::run(const ScenarioScript& script) {
   result.verdict =
       classify_verdict(result.fault_manifested, result.errors_on_target, result.errors_off_target);
   if (result.verdict == Verdict::kDetected) {
-    const runtime::SimTime first = injector.first_activation(target);
-    result.detection_latency = result.first_detection - first;
-    std::size_t target_index = 0;
-    for (std::size_t k = 0; k < aspects; ++k) {
-      if (aspect_name(k) == target) target_index = k;
+    runtime::SimTime first = -1;
+    for (const auto& target : targets) {
+      const runtime::SimTime t = injector.first_activation(target);
+      if (t >= 0 && (first < 0 || t < first)) first = t;
     }
-    result.recovered = !gave_up &&
-                       states[target_index].system_count == states[target_index].model_count &&
-                       !states[target_index].crashed;
+    result.detection_latency = result.first_detection - first;
+    result.recovered = !gave_up;
+    for (std::size_t k = 0; k < aspects; ++k) {
+      if (targets.count(aspect_name(k)) == 0) continue;
+      result.recovered = result.recovered &&
+                         states[k].system_count == states[k].model_count && !states[k].crashed;
+    }
   }
   result.gave_up = gave_up;
 
@@ -806,7 +868,7 @@ double CampaignReport::detection_rate_detectable() const {
   std::size_t manifested = 0;
   std::size_t detected = 0;
   for (const auto& r : results) {
-    if (!r.fault_planned || !campaign_detectable(r.fault.kind) || !r.fault_manifested) continue;
+    if (!r.detectable_manifested) continue;
     ++manifested;
     if (r.verdict == Verdict::kDetected) ++detected;
   }

@@ -98,6 +98,9 @@ struct ExecutorConfig {
   /// restarted SUO is reconnected at suo_up_at (virtual time; both -1 =
   /// no outage). Commands inside the window reach nobody; comparators
   /// are quiesced through the link gate; the outage is traced once.
+  /// Honored on every backend — the in-process fleets gate a virtual
+  /// link so outage scenarios fingerprint identically across IpcModes.
+  /// A ScenarioScript::outage window overrides this executor-level one.
   runtime::SimTime suo_down_at = -1;
   runtime::SimTime suo_up_at = -1;
 };
@@ -109,12 +112,18 @@ const char* to_string(ExecutorConfig::ModelEngine e);
 /// the path, "+interpreted" when the legacy interpreter is selected.
 std::string backend_label(const ExecutorConfig& config);
 
-/// Outcome of one scenario run.
+/// Outcome of one scenario run. Scripts may plan several (possibly
+/// overlapping) faults: "on target" means on ANY planned fault's target
+/// aspect, which reduces to the classic single-target reading for
+/// one-fault scripts and stays coherent for the fuzzer's composed ones.
 struct ScenarioResult {
   std::string name;
   faults::FaultSpec fault;  ///< First planned fault (meaningless when !fault_planned).
   bool fault_planned = false;
   bool fault_manifested = false;
+  /// A fault of a campaign_detectable kind manifested — the scenarios
+  /// the detection-floor rate is computed over.
+  bool detectable_manifested = false;
   std::size_t errors_on_target = 0;
   std::size_t errors_off_target = 0;
   Verdict verdict = Verdict::kTrueNegative;
@@ -123,7 +132,7 @@ struct ScenarioResult {
   runtime::SimDuration detection_latency = -1;  ///< -1 when not detected.
   bool recovered = false;
   bool gave_up = false;  ///< Escalation exhausted during the scenario.
-  std::size_t link_outages = 0;  ///< SUO link down/up cycles (IPC modes).
+  std::size_t link_outages = 0;  ///< SUO link down/up cycles.
   std::vector<recovery::RecoveryAction> actions;  ///< Ladder actions taken.
   GoldenTrace trace;
 };

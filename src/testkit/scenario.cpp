@@ -48,6 +48,27 @@ ScenarioScript& ScenarioScript::inject(faults::FaultKind kind, std::size_t targe
       faults::FaultSpec{kind, aspect_name(target_aspect), activate_at, duration, intensity, {}});
 }
 
+ScenarioScript& ScenarioScript::commands(std::vector<ScriptCommand> cmds) {
+  commands_ = std::move(cmds);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::faults(std::vector<faults::FaultSpec> plan) {
+  faults_ = std::move(plan);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::outage(runtime::SimTime down, runtime::SimTime up) {
+  if (down < 0) {
+    suo_down_ = -1;
+    suo_up_ = -1;
+  } else {
+    suo_down_ = down;
+    suo_up_ = up;
+  }
+  return *this;
+}
+
 std::vector<ScriptCommand> ScenarioScript::sorted_commands() const {
   std::vector<ScriptCommand> sorted = commands_;
   std::stable_sort(sorted.begin(), sorted.end(), [](const ScriptCommand& a,
@@ -66,6 +87,7 @@ bool campaign_detectable(faults::FaultKind kind) {
     case FaultKind::kModeDesync:
     case FaultKind::kCrash:
     case FaultKind::kMemoryCorruption:
+    case FaultKind::kResourceEater:  // lagging output is value-visible
       return true;
     default:
       return false;

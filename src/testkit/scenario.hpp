@@ -54,10 +54,26 @@ class ScenarioScript {
                          runtime::SimTime activate_at, runtime::SimDuration duration,
                          double intensity = 1.0);
 
+  /// Replace the whole command list / fault plan — the mutation hooks
+  /// the fuzz driver uses (testkit/fuzz.hpp) to splice and shrink
+  /// scripts without re-deriving them from a builder chain.
+  ScenarioScript& commands(std::vector<ScriptCommand> cmds);
+  ScenarioScript& faults(std::vector<faults::FaultSpec> plan);
+
+  /// Kill-and-restart window carried by the scenario itself: the SUO is
+  /// unreachable in [down, up). Honored by ScenarioExecutor on every
+  /// backend (virtual link on the in-process fleets, real link drop on
+  /// the IPC/hub ones) and overrides the executor-level window.
+  /// down < 0 clears the window.
+  ScenarioScript& outage(runtime::SimTime down, runtime::SimTime up);
+
   const std::string& name() const { return name_; }
   std::size_t aspect_count() const { return aspects_; }
   runtime::SimTime horizon() const { return horizon_; }
   const std::vector<faults::FaultSpec>& fault_plan() const { return faults_; }
+  runtime::SimTime suo_down() const { return suo_down_; }
+  runtime::SimTime suo_up() const { return suo_up_; }
+  bool has_outage() const { return suo_down_ >= 0 && suo_up_ > suo_down_; }
 
   /// Commands sorted by (time, aspect) — the deterministic replay order.
   std::vector<ScriptCommand> sorted_commands() const;
@@ -68,6 +84,8 @@ class ScenarioScript {
   runtime::SimTime horizon_ = runtime::msec(500);
   std::vector<ScriptCommand> commands_;
   std::vector<faults::FaultSpec> faults_;
+  runtime::SimTime suo_down_ = -1;
+  runtime::SimTime suo_up_ = -1;
 };
 
 /// Parameters for drawing random scenarios (CampaignRunner's generator).
@@ -88,7 +106,9 @@ bool campaign_detectable(faults::FaultKind kind);
 
 /// Default campaign mix: every detectable kind plus the two kinds whose
 /// manifestation is invisible to a counter comparator (task-overrun,
-/// bad-signal), which exercise the "missed" verdict arm.
+/// bad-signal), which exercise the "missed" verdict arm. Deliberately
+/// excludes kResourceEater: the E16 uniform draw is the fixed baseline
+/// the coverage-guided fuzzer (testkit/fuzz.hpp) is measured against.
 std::vector<faults::FaultKind> campaign_default_kinds();
 
 /// Draw scenario `index` of a campaign deterministically from `rng`.
