@@ -1,0 +1,108 @@
+// Fleet-level online diagnosis, end to end (the §5 awareness loop
+// closed over §4.4's spectrum-based diagnosis).
+//
+// A small fleet of SUO publishers connects to one AwarenessHub; each
+// hosts an instrumented SyntheticProgram with a fault seeded into a
+// different feature. Every synthetic key press runs one instrumented
+// step whose block coverage + error verdict ships to the hub as a
+// kSpectrum frame. The hub folds the stream into its FleetAggregator,
+// and the demo prints what an operator would watch: per-slot health,
+// live top-k suspect rankings converging on each SUO's seeded fault,
+// and the component-level verdict naming the feature to restart.
+//
+//   build/examples/fleetdiag_demo
+#include <cstdio>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/agent.hpp"
+#include "hub/hub.hpp"
+
+namespace rt = trader::runtime;
+namespace hub = trader::hub;
+
+int main() {
+  constexpr std::size_t kFleet = 3;
+
+  std::printf("Step 1: start one awareness hub for a fleet of %zu SUOs.\n", kFleet);
+  hub::HubConfig config;
+  config.probe_liveness = false;
+  config.diag.top_k = 5;
+  hub::AwarenessHub awareness_hub(config);
+  std::vector<std::string> slots;
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    slots.push_back("tv" + std::to_string(k));
+    awareness_hub.add_slot(slots.back());
+  }
+  if (!awareness_hub.start()) {
+    std::printf("cannot start hub listener\n");
+    return 1;
+  }
+
+  std::printf("Step 2: each SUO streams events AND per-step coverage spectra\n");
+  std::printf("        (kSpectrum frames, sent only on a v2-negotiated link).\n");
+  std::vector<std::thread> suos;
+  std::vector<hub::PublisherStats> stats(kFleet);
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    hub::PublisherConfig pub;
+    pub.hub_path = awareness_hub.path();
+    pub.name = slots[k];
+    pub.seed = 100 + k;
+    pub.horizon = rt::msec(2000);
+    pub.key_period = rt::msec(25);
+    pub.diag.enabled = true;
+    pub.diag.program.total_blocks = 6000;
+    pub.diag.program.feature_count = 6;
+    pub.diag.fault_feature = k;  // a different buggy feature per SUO
+    pub.diag.flush_steps = 8;
+    suos.emplace_back([pub, &stats, k] { hub::run_hub_publisher(pub, &stats[k]); });
+  }
+  while (awareness_hub.connection_count() > 0 ||
+         awareness_hub.diagnosis().steps_ingested() == 0) {
+    if (awareness_hub.poll(10) < 0) break;
+  }
+  for (auto& t : suos) t.join();
+
+  std::printf("Step 3: the hub's aggregator folded every report incrementally —\n");
+  auto& diag = awareness_hub.diagnosis();
+  std::printf("        %llu reports, %llu steps across %zu slots\n",
+              static_cast<unsigned long long>(diag.reports_ingested()),
+              static_cast<unsigned long long>(diag.steps_ingested()), diag.slot_count());
+
+  std::printf("Step 4: per-slot health and live top suspects:\n");
+  for (const auto& health : diag.fleet_health()) {
+    std::printf("        %s: %llu steps, error rate %.2f\n", health.slot.c_str(),
+                static_cast<unsigned long long>(health.steps), health.error_rate);
+    const auto top = diag.top_suspects(health.slot);
+    for (std::size_t i = 0; i < 3 && i < top.size(); ++i) {
+      std::printf("          #%zu block %zu  score %.3f\n", i + 1, top[i].block,
+                  top[i].score);
+    }
+  }
+
+  std::printf("Step 5: fleet-wide view (every slot's spectra merged):\n");
+  const auto fleet_top = diag.fleet_top_suspects();
+  for (std::size_t i = 0; i < 3 && i < fleet_top.size(); ++i) {
+    std::printf("        #%zu block %zu  score %.3f\n", i + 1, fleet_top[i].block,
+                fleet_top[i].score);
+  }
+
+  std::printf("Step 6: component-level verdict per slot (which feature to restart):\n");
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    const auto components = diag.component_ranking(slots[k], [](std::size_t block) {
+      return "feature" + std::to_string(block / 1000);  // demo-sized pools
+    });
+    if (!components.empty()) {
+      std::printf("        %s -> %s (score %.3f)\n", slots[k].c_str(),
+                  components[0].component.c_str(), components[0].score);
+    }
+  }
+
+  awareness_hub.stop();
+  std::printf("\nThe awareness loop is closed: observe (spectra over the wire),\n");
+  std::printf("diagnose (incremental SFL at the hub), ready to recover (restart\n");
+  std::printf("the top component) — all while the fleet keeps running.\n");
+  return 0;
+}

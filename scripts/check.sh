@@ -22,21 +22,27 @@
 #      storm, crash-loop backoff) under ASan, plus the multi-SUO
 #      campaign through the hub under TSan (the loop thread vs fleet
 #      shard threads share the scored path)
-#   8. exec: executor-v2 equivalence — the three-kernel property suite
+#   8. fleetdiag: fleet-level online diagnosis under ASan (reporter
+#      chunking, online-vs-offline ranking equivalence over real
+#      sockets, slot lifecycle, fuzz-findings replay) and TSan
+#      (concurrent ingest vs ranking queries); then bench_diag_hub
+#      leaves BENCH_fleetdiag.json in the repo root (spectrum ingest
+#      sweep + per-fault-kind diagnosis accuracy)
+#   9. exec: executor-v2 equivalence — the three-kernel property suite
 #      (interpreter vs compiled vs batched) plus arena growth/reuse
 #      under ASan, and the shared-program multi-thread test under TSan;
 #      then bench_exec leaves BENCH_exec.json in the repo root
 #      (steps/sec/core + bytes/monitor per kernel)
-#   9. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#  10. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#  10. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#  11. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
-#  11. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#  12. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
 #      repo root (frames/sec + ingest latency vs connection count)
-#  12. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
+#  13. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
 #      repo root (scenarios/sec + corpus growth and coverage curves)
 #
-# Each stage prints its wall time on completion. Stages 2-12 can be
+# Each stage prints its wall time on completion. Stages 2-13 can be
 # skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
@@ -124,6 +130,24 @@ cmake --build build-asan -j "$JOBS" --target hub_test
 cmake --build build-tsan -j "$JOBS" --target hub_test
 ./build-tsan/tests/hub_test \
   --gtest_filter='HubCampaign.*:HubTest.PublisherStreamsToHorizonAndSaysGoodbye'
+
+stage "fleetdiag: online diagnosis under ASan and TSan -> BENCH_fleetdiag.json"
+cmake --build build-asan -j "$JOBS" --target fleetdiag_test
+# Reporter chunking, the online-vs-offline ranking differential (every
+# prefix, 1/2/4 shards over real sockets), slot lifecycle (reconnect
+# persistence, retirement on permanent failure), the version-gated
+# publisher path and the fuzz-findings diagnosis replay — leak-checked.
+./build-asan/tests/fleetdiag_test
+# Concurrent ingest (hub loop thread) vs live ranking queries (operator
+# threads) on one shared aggregator must be race-free.
+cmake --build build-tsan -j "$JOBS" --target fleetdiag_test
+./build-tsan/tests/fleetdiag_test --gtest_filter='FleetDiagConcurrency.*'
+cmake --build build -j "$JOBS" --target bench_diag_hub
+./build/bench/bench_diag_hub --benchmark_filter='BM_AggregatorIngest' \
+  --benchmark_min_time=0.05
+test -s BENCH_fleetdiag.json
+echo "BENCH_fleetdiag.json written:"
+head -12 BENCH_fleetdiag.json
 
 stage "exec: executor-v2 equivalence under ASan + TSan -> BENCH_exec.json"
 cmake --build build-asan -j "$JOBS" --target exec_test

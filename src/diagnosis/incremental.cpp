@@ -1,0 +1,115 @@
+#include "diagnosis/incremental.hpp"
+
+#include <algorithm>
+
+namespace trader::diagnosis {
+
+void IncrementalSflCounts::ensure_span(std::uint32_t max_block) {
+  if (max_block >= a11_.size()) {
+    a11_.resize(max_block + 1, 0);
+    a10_.resize(max_block + 1, 0);
+  }
+}
+
+void IncrementalSflCounts::add(const std::vector<std::uint32_t>& blocks, bool error) {
+  if (!blocks.empty()) ensure_span(blocks.back());
+  for (const std::uint32_t b : blocks) {
+    ensure_span(b);  // tolerate unsorted input (sorted input resizes once)
+    if (a11_[b] + a10_[b] == 0) ++touched_;
+    if (error) {
+      ++a11_[b];
+    } else {
+      ++a10_[b];
+    }
+  }
+  if (error) {
+    ++error_steps_;
+  } else {
+    ++pass_steps_;
+  }
+}
+
+void IncrementalSflCounts::retire(const std::vector<std::uint32_t>& blocks, bool error) {
+  for (const std::uint32_t b : blocks) {
+    if (b >= a11_.size()) continue;
+    std::uint32_t& cell = error ? a11_[b] : a10_[b];
+    if (cell == 0) continue;  // clamped: never retired more than added
+    --cell;
+    if (a11_[b] + a10_[b] == 0) --touched_;
+  }
+  if (error) {
+    if (error_steps_ > 0) --error_steps_;
+  } else {
+    if (pass_steps_ > 0) --pass_steps_;
+  }
+}
+
+SflCounts IncrementalSflCounts::counts(std::size_t block) const {
+  SflCounts k;
+  if (block < a11_.size()) {
+    k.a11 = a11_[block];
+    k.a10 = a10_[block];
+  }
+  k.a01 = static_cast<std::uint32_t>(error_steps_) - k.a11;
+  k.a00 = static_cast<std::uint32_t>(pass_steps_) - k.a10;
+  return k;
+}
+
+DiagnosisReport IncrementalSflCounts::report(Coefficient coefficient) const {
+  DiagnosisReport out;
+  out.coefficient = coefficient;
+  out.ranking.reserve(touched_);
+  for (std::size_t b = 0; b < a11_.size(); ++b) {
+    if (a11_[b] + a10_[b] == 0) continue;
+    out.ranking.push_back(BlockScore{b, similarity(coefficient, counts(b))});
+  }
+  out.blocks_considered = out.ranking.size();
+  std::stable_sort(out.ranking.begin(), out.ranking.end(),
+                   [](const BlockScore& a, const BlockScore& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<BlockScore> IncrementalSflCounts::top_k(std::size_t k, Coefficient coefficient) const {
+  std::vector<BlockScore> scored;
+  scored.reserve(touched_);
+  for (std::size_t b = 0; b < a11_.size(); ++b) {
+    if (a11_[b] + a10_[b] == 0) continue;
+    scored.push_back(BlockScore{b, similarity(coefficient, counts(b))});
+  }
+  const std::size_t n = std::min(k, scored.size());
+  // Candidates arrive in ascending block order, so breaking score ties
+  // by block id reproduces stable_sort's order for the first n entries.
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(n),
+                    scored.end(), [](const BlockScore& a, const BlockScore& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.block < b.block;
+                    });
+  scored.resize(n);
+  return scored;
+}
+
+void IncrementalSflCounts::merge(const IncrementalSflCounts& other) {
+  if (other.a11_.size() > a11_.size()) {
+    a11_.resize(other.a11_.size(), 0);
+    a10_.resize(other.a10_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.a11_.size(); ++b) {
+    const std::uint32_t add = other.a11_[b] + other.a10_[b];
+    if (add == 0) continue;
+    if (a11_[b] + a10_[b] == 0) ++touched_;
+    a11_[b] += other.a11_[b];
+    a10_[b] += other.a10_[b];
+  }
+  error_steps_ += other.error_steps_;
+  pass_steps_ += other.pass_steps_;
+}
+
+void IncrementalSflCounts::clear() {
+  a11_.clear();
+  a10_.clear();
+  error_steps_ = 0;
+  pass_steps_ = 0;
+  touched_ = 0;
+}
+
+}  // namespace trader::diagnosis

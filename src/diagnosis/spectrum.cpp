@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "diagnosis/incremental.hpp"
+
 namespace trader::diagnosis {
 
 const char* to_string(Coefficient c) {
@@ -89,29 +91,23 @@ DiagnosisReport SflRanker::rank(const observation::BlockCoverageRecorder& covera
     throw std::invalid_argument("error vector length (" + std::to_string(errors.size()) +
                                 ") != step count (" + std::to_string(coverage.step_count()) + ")");
   }
-  DiagnosisReport report;
-  report.coefficient = coefficient;
-
+  // The batch path is the streaming path replayed: feed each step's
+  // spectrum into the incremental accumulator, then rank once. Only
+  // blocks executed at least once carry information, which the
+  // accumulator tracks by construction (untouched ids are never added).
+  IncrementalSflCounts acc;
   const std::size_t blocks = coverage.block_count();
   const std::size_t steps = coverage.step_count();
-  // Only blocks executed at least once carry information.
-  std::vector<bool> touched(blocks, false);
+  std::vector<std::uint32_t> executed;
   for (std::size_t s = 0; s < steps; ++s) {
+    executed.clear();
     const auto& row = coverage.matrix()[s];
     for (std::size_t b = 0; b < blocks; ++b) {
-      if (row[b]) touched[b] = true;
+      if (row[b]) executed.push_back(static_cast<std::uint32_t>(b));
     }
+    acc.add(executed, errors[s]);
   }
-
-  for (std::size_t b = 0; b < blocks; ++b) {
-    if (!touched[b]) continue;
-    const SflCounts k = counts_for(coverage, errors, b);
-    report.ranking.push_back(BlockScore{b, similarity(coefficient, k)});
-  }
-  report.blocks_considered = report.ranking.size();
-  std::stable_sort(report.ranking.begin(), report.ranking.end(),
-                   [](const BlockScore& a, const BlockScore& b) { return a.score > b.score; });
-  return report;
+  return acc.report(coefficient);
 }
 
 std::size_t DiagnosisReport::rank_of(std::size_t block) const {

@@ -1,0 +1,84 @@
+#include "fleetdiag/reporter.hpp"
+
+#include <algorithm>
+
+namespace trader::fleetdiag {
+
+SpectrumReporter::SpectrumReporter(ReporterConfig config)
+    : config_(config), current_(config.block_count, false) {
+  if (config_.frame_budget > ipc::kMaxFramePayload) config_.frame_budget = ipc::kMaxFramePayload;
+}
+
+void SpectrumReporter::hit(std::uint32_t block) {
+  if (block >= config_.block_count) return;
+  if (current_[block]) return;
+  current_[block] = true;
+  touched_.push_back(block);
+}
+
+void SpectrumReporter::end_step(bool error) {
+  std::sort(touched_.begin(), touched_.end());
+  for (const std::uint32_t b : touched_) current_[b] = false;
+  std::vector<std::uint32_t> blocks;
+  blocks.swap(touched_);
+  add_step(std::move(blocks), error);
+}
+
+void SpectrumReporter::end_step_from(const observation::BlockCoverageRecorder& coverage,
+                                     bool error) {
+  std::vector<std::uint32_t> blocks;
+  blocks.reserve(coverage.current_touched().size());
+  for (const std::size_t b : coverage.current_touched()) {
+    if (b < config_.block_count) blocks.push_back(static_cast<std::uint32_t>(b));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  add_step(std::move(blocks), error);
+}
+
+void SpectrumReporter::add_step(std::vector<std::uint32_t> sorted_blocks, bool error) {
+  ipc::SpectrumStep step;
+  step.error = error;
+  step.blocks = std::move(sorted_blocks);
+  // A step too wide for even an empty frame can never ship; drop it
+  // whole rather than emitting a frame encode_frame() would refuse.
+  if (step_wire_size(step) + 8 > config_.frame_budget) {
+    ++oversize_steps_;
+    return;
+  }
+  pending_.push_back(std::move(step));
+  ++steps_reported_;
+}
+
+std::vector<ipc::Frame> SpectrumReporter::flush(std::uint32_t& seq, runtime::SimTime now) {
+  std::vector<ipc::Frame> frames;
+  if (pending_.empty()) return frames;
+
+  ipc::Frame frame;
+  frame.type = ipc::FrameType::kSpectrum;
+  frame.block_count = config_.block_count;
+  frame.time = now;
+  std::size_t used = 8;  // block_count + step_count header fields
+  for (ipc::SpectrumStep& step : pending_) {
+    const std::size_t need = step_wire_size(step);
+    if (!frame.spectra.empty() && used + need > config_.frame_budget) {
+      frame.seq = ++seq;
+      frames.push_back(std::move(frame));
+      frame = ipc::Frame{};
+      frame.type = ipc::FrameType::kSpectrum;
+      frame.block_count = config_.block_count;
+      frame.time = now;
+      used = 8;
+    }
+    used += need;
+    frame.spectra.push_back(std::move(step));
+  }
+  if (!frame.spectra.empty()) {
+    frame.seq = ++seq;
+    frames.push_back(std::move(frame));
+  }
+  pending_.clear();
+  frames_emitted_ += frames.size();
+  return frames;
+}
+
+}  // namespace trader::fleetdiag

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <iterator>
+#include <memory>
 #include <thread>
 
 #include "faults/injector.hpp"
+#include "fleetdiag/reporter.hpp"
 #include "ipc/transport.hpp"
 #include "ipc/wire.hpp"
 #include "runtime/event_bus.hpp"
@@ -50,6 +52,7 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
     if (out != nullptr) *out = stats;
     return 1;
   }
+  stats.negotiated_version = reply.version;
 
   // Host a private TV simulation; stream its bus traffic to the hub.
   runtime::Scheduler sched;
@@ -79,6 +82,37 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
     forward(ev, ipc::FrameType::kOutputEvent);
   });
 
+  // Spectrum streaming is gated on the *negotiated* version: against a
+  // hub that only speaks v1 the instrumented program never runs and no
+  // kSpectrum frame is ever sent (fail-closed on the sender side too).
+  const bool stream_spectra = config.diag.enabled &&
+                              stats.negotiated_version >= ipc::kSpectrumMinVersion;
+  std::unique_ptr<diagnosis::SyntheticProgram> program;
+  std::unique_ptr<fleetdiag::SpectrumReporter> reporter;
+  observation::BlockCoverageRecorder coverage(0);
+  if (stream_spectra) {
+    program = std::make_unique<diagnosis::SyntheticProgram>(config.diag.program);
+    if (config.diag.fault_feature != SIZE_MAX) {
+      program->set_fault_in_feature(config.diag.fault_feature, config.diag.fault_index);
+    }
+    fleetdiag::ReporterConfig rc_cfg;
+    rc_cfg.block_count = static_cast<std::uint32_t>(program->block_count());
+    rc_cfg.flush_steps = config.diag.flush_steps;
+    reporter = std::make_unique<fleetdiag::SpectrumReporter>(rc_cfg);
+    coverage = observation::BlockCoverageRecorder(program->block_count());
+  }
+  const auto ship_spectra = [&](bool force) {
+    if (reporter == nullptr || !link_ok) return;
+    if (!force && !reporter->flush_due()) return;
+    for (ipc::Frame& f : reporter->flush(seq, sched.now())) {
+      if (!sock.send(f)) {
+        link_ok = false;
+        return;
+      }
+      ++stats.spectrum_frames;
+    }
+  };
+
   tv.start();
   runtime::Rng keys(config.seed);
   runtime::SimTime next_key = config.key_period;
@@ -91,6 +125,18 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
       const auto pick = static_cast<std::size_t>(
           keys.uniform_int(0, static_cast<std::int64_t>(std::size(kViewerKeys)) - 1));
       tv.press(kViewerKeys[pick]);
+      if (reporter != nullptr) {
+        // One instrumented program step per key press: the pressed key
+        // activates one feature of the synthetic 60k-block program.
+        const std::size_t feature = pick % program->feature_count();
+        const bool err = program->run_step(feature, coverage);
+        reporter->end_step_from(coverage, err);
+        // Drop (not archive) the drained step: a long-running publisher
+        // must not grow a step matrix it never reads.
+        coverage.clear();
+        ++stats.spectrum_steps;
+        ship_spectra(false);
+      }
       next_key += config.key_period;
     }
     sched.run_until(target);  // bus callbacks stream events inline
@@ -132,6 +178,7 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
 
   bus.unsubscribe(in_sub);
   bus.unsubscribe(out_sub);
+  ship_spectra(true);  // drain the spectrum backlog before goodbye
   if (link_ok) {
     ipc::Frame bye;
     bye.type = ipc::FrameType::kShutdown;

@@ -16,10 +16,27 @@
 #include <cstdint>
 #include <string>
 
+#include "diagnosis/synthetic_program.hpp"
 #include "runtime/sim_time.hpp"
 #include "tv/tv_system.hpp"
 
 namespace trader::hub {
+
+/// Optional spectrum streaming (fleet-level online diagnosis). When
+/// enabled the publisher also hosts a SyntheticProgram: every synthetic
+/// key press runs one instrumented program step whose block coverage +
+/// error verdict is shipped to the hub as kSpectrum frames — but only
+/// when the negotiated protocol version carries them (a v1 hub simply
+/// never sees spectra; the event stream is unaffected).
+struct PublisherDiagConfig {
+  bool enabled = false;
+  diagnosis::SyntheticProgramConfig program;
+  /// Seed the program fault into this feature (SIZE_MAX = no fault).
+  std::size_t fault_feature = SIZE_MAX;
+  std::size_t fault_index = 0;
+  /// Ship pending spectra every N sealed steps.
+  std::size_t flush_steps = 8;
+};
 
 struct PublisherConfig {
   std::string hub_path;    ///< AF_UNIX path of the hub listener.
@@ -36,11 +53,15 @@ struct PublisherConfig {
   /// liveness probing has time to happen (0 = stream flat out).
   std::int64_t pace_us = 0;
   int connect_timeout_ms = 2000;
+  PublisherDiagConfig diag;
 };
 
 struct PublisherStats {
   std::uint64_t events_sent = 0;
   std::uint64_t probes_answered = 0;
+  std::uint64_t spectrum_steps = 0;   ///< Sealed instrumented steps.
+  std::uint64_t spectrum_frames = 0;  ///< kSpectrum frames shipped.
+  std::uint8_t negotiated_version = 0;  ///< From the kHelloAck.
   bool rejected = false;   ///< Hub refused the kHello.
   bool evicted = false;    ///< Hub closed the link before the horizon.
 };

@@ -26,9 +26,11 @@ std::string auto_path() {
 
 AwarenessHub::AwarenessHub(HubConfig config)
     : config_(std::move(config)),
-      fleet_(core::ShardedFleetConfig{config_.shards, config_.epoch, config_.seed}) {
+      fleet_(core::ShardedFleetConfig{config_.shards, config_.epoch, config_.seed}),
+      diag_(config_.diag, &metrics_) {
   if (config_.path.empty()) config_.path = auto_path();
   loop_.set_metrics(&metrics_);
+  spectra_frames_ = &metrics_.counter("hub.spectra_frames");
   conn_counters_.frames_in = &metrics_.counter("hub.frames_in");
   conn_counters_.frames_out = &metrics_.counter("hub.frames_out");
   conn_counters_.bytes_in = &metrics_.counter("hub.bytes_in");
@@ -200,6 +202,10 @@ void AwarenessHub::on_frame(Peer* peer, const ipc::Frame& f) {
       peer->orderly = true;
       peer->conn->close(CloseReason::kPeerClosed);
       break;
+    case ipc::FrameType::kSpectrum:
+      spectra_frames_->inc();
+      diag_.ingest(peer->slot->name, f);
+      break;
     default:
       // kHello after handshake, kControl/kControlAck toward the hub:
       // protocol violations on this link direction.
@@ -352,6 +358,10 @@ void AwarenessHub::slot_down(Slot& slot, bool orderly) {
   }
   slot.earliest_reconnect_ns =
       backoff_ms > 0 ? EventLoop::now_ns() + backoff_ms * 1'000'000 : 0;
+  // Diagnosis state persists across ordinary outages (the reconnecting
+  // SUO keeps accumulating into the same spectra), but a permanently
+  // failed slot will never report again — free its aggregator state.
+  if (slot.supervisor.exhausted()) diag_.retire_slot(slot.name);
   if (!was_up || orderly) return;
 
   // Exactly one outage report per up->down transition; while the link

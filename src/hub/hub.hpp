@@ -39,6 +39,7 @@
 #include "core/interfaces.hpp"
 #include "core/monitor_builder.hpp"
 #include "core/sharded_fleet.hpp"
+#include "fleetdiag/aggregator.hpp"
 #include "hub/connection.hpp"
 #include "hub/event_loop.hpp"
 #include "ipc/supervisor.hpp"
@@ -81,6 +82,10 @@ struct HubConfig {
   /// Accepted protocol range for handshakes.
   std::uint8_t min_version = ipc::kMinProtocolVersion;
   std::uint8_t max_version = ipc::kProtocolVersion;
+
+  /// Online diagnosis policy (top-k size, coefficient, refresh cadence)
+  /// for kSpectrum frames folded into the hub-side FleetAggregator.
+  fleetdiag::AggregatorConfig diag;
 };
 
 class AwarenessHub {
@@ -147,6 +152,12 @@ class AwarenessHub {
   runtime::MetricsSnapshot metrics() const;
   runtime::MetricsRegistry& hub_metrics() { return metrics_; }
 
+  /// Online diagnosis state fed by kSpectrum frames: per-slot and
+  /// fleet-wide top-k suspect rankings plus health rollups, persisted
+  /// across reconnects and freed when a slot is permanently failed.
+  fleetdiag::FleetAggregator& diagnosis() { return diag_; }
+  const fleetdiag::FleetAggregator& diagnosis() const { return diag_; }
+
   EventLoop& loop() { return loop_; }
 
  private:
@@ -191,6 +202,7 @@ class AwarenessHub {
   EventLoop loop_;
   core::ShardedFleet fleet_;
   runtime::MetricsRegistry metrics_;
+  fleetdiag::FleetAggregator diag_;
   int listen_fd_ = -1;
   EventLoop::TimerId probe_timer_ = 0;
   bool stopping_ = false;
@@ -208,6 +220,7 @@ class AwarenessHub {
 
   // hub.* instruments (shared across connections).
   ConnectionCounters conn_counters_;
+  runtime::Counter* spectra_frames_ = nullptr;
   runtime::Gauge* connections_gauge_ = nullptr;
   runtime::Counter* accepted_ = nullptr;
   runtime::Counter* rejected_ = nullptr;

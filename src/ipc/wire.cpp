@@ -163,7 +163,47 @@ bool read_event(Reader& r, runtime::Event& ev) {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         t <= static_cast<std::uint8_t>(FrameType::kSpectrum);
+}
+
+void put_spectra(std::vector<std::uint8_t>& out, const Frame& f) {
+  put_u32(out, f.block_count);
+  put_u32(out, static_cast<std::uint32_t>(f.spectra.size()));
+  for (const SpectrumStep& step : f.spectra) {
+    put_u8(out, step.error ? 1 : 0);
+    put_u32(out, static_cast<std::uint32_t>(step.blocks.size()));
+    for (const std::uint32_t b : step.blocks) put_u32(out, b);
+  }
+}
+
+/// Spectrum payloads are strict: the error byte is 0/1, ids are
+/// strictly ascending and inside the announced block universe — a
+/// corrupted spectrum must never feed a phantom block into a ranking.
+bool read_spectra(Reader& r, Frame& out) {
+  out.block_count = r.u32();
+  const std::uint32_t steps = r.u32();
+  if (r.fail || steps > kMaxFramePayload) return false;
+  out.spectra.reserve(steps);
+  for (std::uint32_t s = 0; s < steps && !r.fail; ++s) {
+    SpectrumStep step;
+    const std::uint8_t err = r.u8();
+    if (err > 1) return false;
+    step.error = err == 1;
+    const std::uint32_t executed = r.u32();
+    if (r.fail || executed > kMaxFramePayload) return false;
+    step.blocks.reserve(executed);
+    std::uint32_t prev = 0;
+    for (std::uint32_t i = 0; i < executed; ++i) {
+      const std::uint32_t b = r.u32();
+      if (r.fail) return false;
+      if (b >= out.block_count) return false;
+      if (i > 0 && b <= prev) return false;  // strictly ascending
+      prev = b;
+      step.blocks.push_back(b);
+    }
+    out.spectra.push_back(std::move(step));
+  }
+  return !r.fail;
 }
 
 /// Decode one payload; returns false on any structural violation
@@ -208,6 +248,9 @@ bool decode_payload(FrameType type, const std::uint8_t* p, std::size_t n, Frame&
     case FrameType::kShutdown:
       out.detail = r.str();
       break;
+    case FrameType::kSpectrum:
+      if (!read_spectra(r, out)) return false;
+      break;
   }
   return r.done();
 }
@@ -234,6 +277,8 @@ const char* to_string(FrameType t) {
       return "heartbeat-ack";
     case FrameType::kShutdown:
       return "shutdown";
+    case FrameType::kSpectrum:
+      return "spectrum";
   }
   return "?";
 }
@@ -303,6 +348,9 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
       break;
     case FrameType::kShutdown:
       put_str(payload, f.detail);
+      break;
+    case FrameType::kSpectrum:
+      put_spectra(payload, f);
       break;
   }
   if (payload.size() > kMaxFramePayload) return {};

@@ -17,7 +17,11 @@
 //   28     ...  payload
 //
 // Strings are u32 length + bytes; runtime::Value is a 1-byte tag (the
-// variant index) + payload. Decoding fails closed: any malformed
+// variant index) + payload. Protocol v2 adds the kSpectrum frame
+// (batched SFL spectra toward the hub, see SpectrumStep below); peers
+// negotiate the version through the kHello [min,max] range exchange and
+// only send spectra on links that negotiated >= kSpectrumMinVersion.
+// Decoding fails closed: any malformed
 // header or payload poisons the decoder until reset() — a frame is
 // either delivered whole and checksum-clean or not at all, so a
 // corrupted stream can never leak partial state into the monitor.
@@ -39,7 +43,11 @@ namespace trader::ipc {
 
 inline constexpr std::uint32_t kMagic = 0x54524452;  // "TRDR"
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// First protocol version that carries kSpectrum frames. A peer whose
+/// negotiated version is lower must not send them (and a v1 decoder
+/// would fail closed on the unknown type if it did).
+inline constexpr std::uint8_t kSpectrumMinVersion = 2;
 inline constexpr std::size_t kHeaderSize = 28;
 /// Upper bound on payload size; a header announcing more is rejected
 /// before any allocation happens (flood protection).
@@ -56,9 +64,29 @@ enum class FrameType : std::uint8_t {
   kHeartbeat,      ///< Liveness probe (client -> server).
   kHeartbeatAck,   ///< Liveness echo (server -> client).
   kShutdown,       ///< Orderly teardown or handshake rejection.
+  kSpectrum,       ///< SUO -> hub: batched SFL spectra (since v2).
 };
 
 const char* to_string(FrameType t);
+
+/// One program spectrum inside a kSpectrum frame: the sorted-unique ids
+/// of the blocks executed during one scenario step, plus whether the
+/// step showed an error (§4.4 Zoeteweij et al. — the error-vector bit).
+///
+/// Payload grammar (strict, fail-closed like every other frame):
+///   u32 block_count            id universe; every id must be < this
+///   u32 step_count
+///   per step: u8  error        0 or 1, anything else is malformed
+///             u32 executed     number of block ids
+///             u32[executed]    strictly ascending block ids
+struct SpectrumStep {
+  bool error = false;
+  std::vector<std::uint32_t> blocks;  ///< Strictly ascending, < block_count.
+
+  friend bool operator==(const SpectrumStep& a, const SpectrumStep& b) {
+    return a.error == b.error && a.blocks == b.blocks;
+  }
+};
 
 /// One decoded (or to-be-encoded) protocol frame. Only the fields of
 /// the frame's type are meaningful; the rest stay default.
@@ -76,6 +104,8 @@ struct Frame {
   std::uint8_t min_version = kMinProtocolVersion; ///< kHello / kHelloAck.
   std::uint8_t max_version = kProtocolVersion;    ///< kHello / kHelloAck.
   std::uint64_t nonce = 0;                        ///< kHeartbeat / kHeartbeatAck.
+  std::uint32_t block_count = 0;                  ///< kSpectrum id universe.
+  std::vector<SpectrumStep> spectra;              ///< kSpectrum batch.
 };
 
 /// Encode a frame. Returns an empty vector when the payload would

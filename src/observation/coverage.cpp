@@ -16,6 +16,7 @@ std::size_t BlockCoverageRecorder::blocks_touched() const {
 
 void BlockCoverageRecorder::clear() {
   std::fill(current_.begin(), current_.end(), false);
+  current_touched_.clear();
   hits_in_step_ = 0;
   steps_.clear();
   hits_per_step_.clear();

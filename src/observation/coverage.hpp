@@ -27,6 +27,7 @@ class BlockCoverageRecorder {
   void hit(std::size_t block) {
     if (block < block_count_ && !current_[block]) {
       current_[block] = true;
+      current_touched_.push_back(block);
       ++hits_in_step_;
     }
     ++raw_hits_;
@@ -37,8 +38,14 @@ class BlockCoverageRecorder {
     steps_.push_back(current_);
     hits_per_step_.push_back(hits_in_step_);
     std::fill(current_.begin(), current_.end(), false);
+    current_touched_.clear();
     hits_in_step_ = 0;
   }
+
+  /// Distinct blocks hit in the still-open step, in first-hit order —
+  /// lets a streaming consumer (fleetdiag::SpectrumReporter) read the
+  /// step in O(hits) instead of scanning all block_count() bits.
+  const std::vector<std::size_t>& current_touched() const { return current_touched_; }
 
   /// Number of completed steps.
   std::size_t step_count() const { return steps_.size(); }
@@ -65,6 +72,7 @@ class BlockCoverageRecorder {
  private:
   std::size_t block_count_;
   std::vector<bool> current_;
+  std::vector<std::size_t> current_touched_;
   std::size_t hits_in_step_ = 0;
   std::vector<std::vector<bool>> steps_;
   std::vector<std::size_t> hits_per_step_;

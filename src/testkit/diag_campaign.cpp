@@ -1,0 +1,478 @@
+#include "testkit/diag_campaign.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "diagnosis/component_ranker.hpp"
+#include "fleetdiag/reporter.hpp"
+#include "observation/coverage.hpp"
+
+namespace trader::testkit {
+
+namespace {
+
+// ------------------------------------------------------- minimal JSON
+// Just enough of a recursive-descent parser for the FUZZ_corpus.json
+// grammar (objects, arrays, strings without escapes beyond \" and \\,
+// numbers, true/false/null). Not a general-purpose JSON library.
+
+struct JsonValue {
+  enum Kind : std::uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(const std::string& key) const {
+    if (kind != kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    ok_ = true;
+    pos_ = 0;
+    out = value();
+    skip_ws();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    if (!ok_ || pos_ >= text_.size()) {
+      ok_ = false;
+      return v;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JsonValue::kString;
+      v.str = string();
+      return v;
+    }
+    if (c == 't') {
+      if (literal("true")) {
+        v.kind = JsonValue::kBool;
+        v.boolean = true;
+      }
+      return v;
+    }
+    if (c == 'f') {
+      if (literal("false")) v.kind = JsonValue::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return v;
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    consume('{');
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      std::string key = string();
+      if (!ok_ || !consume(':')) {
+        ok_ = false;
+        return v;
+      }
+      v.object.emplace_back(std::move(key), value());
+    } while (ok_ && consume(','));
+    if (!consume('}')) ok_ = false;
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    consume('[');
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (ok_ && consume(','));
+    if (!consume(']')) ok_ = false;
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      ok_ = false;
+      return out;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok_ = false;
+      return v;
+    }
+    v.kind = JsonValue::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool kind_from_string(const std::string& name, faults::FaultKind& out) {
+  static constexpr faults::FaultKind kAll[] = {
+      faults::FaultKind::kMessageLoss,    faults::FaultKind::kMessageCorruption,
+      faults::FaultKind::kStuckComponent, faults::FaultKind::kModeDesync,
+      faults::FaultKind::kTaskOverrun,    faults::FaultKind::kDeadlock,
+      faults::FaultKind::kBadSignal,      faults::FaultKind::kCodingDeviation,
+      faults::FaultKind::kCrash,          faults::FaultKind::kMemoryCorruption,
+      faults::FaultKind::kResourceEater,
+  };
+  for (const faults::FaultKind k : kAll) {
+    if (name == faults::to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Rebuild a ScenarioScript from one parsed "script" object. Returns
+/// false for structurally incomplete entries.
+bool script_from_value(const JsonValue& v, ScenarioScript& out) {
+  const JsonValue* name = v.find("name");
+  const JsonValue* aspects = v.find("aspects");
+  const JsonValue* horizon = v.find("horizon_us");
+  const JsonValue* commands = v.find("commands");
+  const JsonValue* faults = v.find("faults");
+  if (name == nullptr || aspects == nullptr || horizon == nullptr || commands == nullptr ||
+      faults == nullptr || commands->kind != JsonValue::kArray ||
+      faults->kind != JsonValue::kArray) {
+    return false;
+  }
+  out = ScenarioScript{};
+  out.name(name->str)
+      .aspects(static_cast<std::size_t>(aspects->number))
+      .horizon(static_cast<runtime::SimTime>(horizon->number));
+  const JsonValue* outage = v.find("outage_us");
+  if (outage != nullptr && outage->kind == JsonValue::kArray && outage->array.size() == 2) {
+    out.outage(static_cast<runtime::SimTime>(outage->array[0].number),
+               static_cast<runtime::SimTime>(outage->array[1].number));
+  }
+  std::vector<ScriptCommand> cmds;
+  for (const JsonValue& c : commands->array) {
+    if (c.kind != JsonValue::kArray || c.array.size() != 2) return false;
+    cmds.push_back({static_cast<runtime::SimTime>(c.array[0].number),
+                    static_cast<std::size_t>(c.array[1].number)});
+  }
+  out.commands(std::move(cmds));
+  std::vector<faults::FaultSpec> plan;
+  for (const JsonValue& f : faults->array) {
+    const JsonValue* kind = f.find("kind");
+    const JsonValue* target = f.find("target");
+    const JsonValue* at = f.find("at_us");
+    const JsonValue* duration = f.find("duration_us");
+    const JsonValue* intensity = f.find("intensity");
+    if (kind == nullptr || target == nullptr || at == nullptr || duration == nullptr) {
+      return false;
+    }
+    faults::FaultSpec spec;
+    if (!kind_from_string(kind->str, spec.kind)) return false;
+    spec.target = target->str;
+    spec.activate_at = static_cast<runtime::SimTime>(at->number);
+    spec.duration = static_cast<runtime::SimDuration>(duration->number);
+    spec.intensity = intensity != nullptr ? intensity->number : 1.0;
+    plan.push_back(std::move(spec));
+  }
+  out.faults(std::move(plan));
+  return true;
+}
+
+std::string fmt3(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<LabeledScenario> findings_from_json(const std::string& json_text) {
+  std::vector<LabeledScenario> out;
+  JsonValue root;
+  if (!JsonParser(json_text).parse(root)) return out;
+  const JsonValue* findings = root.find("findings");
+  if (findings == nullptr || findings->kind != JsonValue::kArray) return out;
+  for (const JsonValue& f : findings->array) {
+    const JsonValue* script = f.find("script");
+    if (script == nullptr) continue;
+    LabeledScenario labeled;
+    if (!script_from_value(*script, labeled.script)) continue;
+    const JsonValue* original = f.find("original");
+    const JsonValue* cov_key = f.find("cov_key");
+    if (original != nullptr) labeled.original = original->str;
+    if (cov_key != nullptr) labeled.cov_key = cov_key->str;
+    out.push_back(std::move(labeled));
+  }
+  return out;
+}
+
+std::vector<LabeledScenario> load_findings(const std::string& path) {
+  if (path.empty()) return {};
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return findings_from_json(buf.str());
+}
+
+DiagnosisCampaign::DiagnosisCampaign(DiagCampaignConfig config) : config_(std::move(config)) {
+  if (config_.top_k == 0) config_.top_k = 1;
+  if (config_.flush_steps == 0) config_.flush_steps = 1;
+}
+
+DiagnosisScore DiagnosisCampaign::run_scenario(const ScenarioScript& script,
+                                               fleetdiag::FleetAggregator* agg,
+                                               std::uint64_t* frames_out) {
+  DiagnosisScore score;
+  score.scenario = script.name();
+
+  // Ground truth: the first planned fault whose target is a scripted
+  // aspect. Its aspect index is the feature the fault block is seeded
+  // into — exactly what component-level diagnosis must recover.
+  const faults::FaultSpec* primary = nullptr;
+  std::size_t target_feature = SIZE_MAX;
+  for (const faults::FaultSpec& spec : script.fault_plan()) {
+    for (std::size_t k = 0; k < script.aspect_count(); ++k) {
+      if (spec.target == aspect_name(k)) {
+        primary = &spec;
+        target_feature = k;
+        break;
+      }
+    }
+    if (primary != nullptr) break;
+  }
+
+  diagnosis::SyntheticProgramConfig prog_cfg = config_.program;
+  prog_cfg.feature_count = std::max<std::size_t>(1, script.aspect_count());
+  prog_cfg.seed ^= std::hash<std::string>{}(script.name());
+  diagnosis::SyntheticProgram program(prog_cfg);
+  if (primary != nullptr) {
+    program.set_fault_in_feature(target_feature);
+    score.kind = faults::to_string(primary->kind);
+    score.target = primary->target;
+    score.fault_block = program.fault_block();
+  }
+
+  fleetdiag::FleetAggregator local(
+      fleetdiag::AggregatorConfig{config_.top_k, config_.coefficient, 1});
+  if (agg == nullptr) agg = &local;
+  const std::string& slot = script.name();
+
+  // The full online chain: instrumented step -> sealed spectrum ->
+  // kSpectrum frames -> aggregator ingest, exactly what a publisher and
+  // the hub do over the socket.
+  fleetdiag::ReporterConfig rep_cfg;
+  rep_cfg.block_count = static_cast<std::uint32_t>(program.block_count());
+  rep_cfg.flush_steps = config_.flush_steps;
+  fleetdiag::SpectrumReporter reporter(rep_cfg);
+  observation::BlockCoverageRecorder coverage(program.block_count());
+  std::uint32_t seq = 0;
+  std::uint64_t frames = 0;
+  const auto ship = [&](runtime::SimTime now) {
+    for (const ipc::Frame& f : reporter.flush(seq, now)) {
+      agg->ingest(slot, f);
+      ++frames;
+    }
+  };
+
+  for (const ScriptCommand& cmd : script.sorted_commands()) {
+    const std::size_t feature = cmd.aspect % program.feature_count();
+    const bool fault_fired = program.run_step(feature, coverage);
+    // The step errs only while the planned fault is live: the injected
+    // bug exists in the code the whole run, but only manifests inside
+    // its activation window (the intermittent-fault model of §4.4).
+    const bool err = primary != nullptr && fault_fired && primary->active_at(cmd.at);
+    reporter.end_step_from(coverage, err);
+    coverage.clear();
+    ++score.steps;
+    if (err) ++score.error_steps;
+    if (reporter.flush_due()) ship(cmd.at);
+  }
+  ship(script.horizon());
+  agg->refresh();
+  if (frames_out != nullptr) *frames_out += frames;
+
+  score.scored = primary != nullptr && score.error_steps > 0;
+  if (!score.scored) return score;
+
+  const diagnosis::DiagnosisReport report = agg->report(slot);
+  score.block_rank = report.rank_of(score.fault_block);
+  score.wasted_effort = report.wasted_effort(score.fault_block);
+  // acc@k with optimistic tie-breaking: minimized scenarios often carry a
+  // single error step, which ties every block of that step at the same
+  // similarity; the live cached list cuts such ties by block id, so
+  // membership there would measure id order, not localization.
+  score.in_top_k = score.block_rank <= config_.top_k;
+  const auto components = agg->component_ranking(slot, [&](std::size_t block) {
+    const std::size_t f = program.feature_of(block);
+    return f == SIZE_MAX ? std::string("infra") : aspect_name(f);
+  });
+  score.component_rank = diagnosis::ComponentRanker::rank_of(components, score.target);
+  return score;
+}
+
+DiagCampaignReport DiagnosisCampaign::run() {
+  std::vector<LabeledScenario> labeled;
+  runtime::Rng rng(config_.seed);
+  labeled.reserve(config_.scenarios);
+  for (std::size_t i = 0; i < config_.scenarios; ++i) {
+    labeled.push_back({draw_scenario(rng, i, config_.draw), "", ""});
+  }
+  return run(labeled);
+}
+
+DiagCampaignReport DiagnosisCampaign::run(const std::vector<LabeledScenario>& labeled) {
+  DiagCampaignReport report;
+  fleetdiag::FleetAggregator shared(
+      fleetdiag::AggregatorConfig{config_.top_k, config_.coefficient, 1});
+  for (const LabeledScenario& entry : labeled) {
+    DiagnosisScore score = run_scenario(entry.script, &shared, &report.spectrum_frames);
+    ++report.scenarios;
+    DiagKindStats& stats = report.by_kind[score.kind];
+    ++stats.scenarios;
+    if (score.kind == "none") {
+      ++report.clean;
+    } else if (!score.scored) {
+      ++report.silent;
+    }
+    if (score.scored) {
+      ++report.scored;
+      ++stats.scored;
+      stats.mean_block_rank += static_cast<double>(score.block_rank);
+      stats.mean_component_rank += static_cast<double>(score.component_rank);
+      stats.mean_wasted_effort += score.wasted_effort;
+      if (score.in_top_k) {
+        ++report.top_k_hits;
+        ++stats.top_k_hits;
+      }
+    }
+    report.scores.push_back(std::move(score));
+  }
+  for (auto& [kind, stats] : report.by_kind) {
+    if (stats.scored == 0) continue;
+    const double n = static_cast<double>(stats.scored);
+    stats.mean_block_rank /= n;
+    stats.mean_component_rank /= n;
+    stats.mean_wasted_effort /= n;
+  }
+  return report;
+}
+
+std::string DiagCampaignReport::to_json() const {
+  std::string out = "{";
+  out += "\"scenarios\": " + std::to_string(scenarios);
+  out += ", \"scored\": " + std::to_string(scored);
+  out += ", \"silent\": " + std::to_string(silent);
+  out += ", \"clean\": " + std::to_string(clean);
+  out += ", \"top_k_hits\": " + std::to_string(top_k_hits);
+  out += ", \"top_k_rate\": " + fmt3(top_k_rate());
+  out += ", \"spectrum_frames\": " + std::to_string(spectrum_frames);
+  out += ", \"by_kind\": {";
+  bool first = true;
+  for (const auto& [kind, stats] : by_kind) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + kind + "\": {";
+    out += "\"scenarios\": " + std::to_string(stats.scenarios);
+    out += ", \"scored\": " + std::to_string(stats.scored);
+    out += ", \"top_k_hits\": " + std::to_string(stats.top_k_hits);
+    out += ", \"mean_block_rank\": " + fmt3(stats.mean_block_rank);
+    out += ", \"mean_component_rank\": " + fmt3(stats.mean_component_rank);
+    out += ", \"mean_wasted_effort\": " + fmt3(stats.mean_wasted_effort) + "}";
+  }
+  out += "}, \"scores\": [";
+  first = true;
+  for (const DiagnosisScore& s : scores) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"scenario\": \"" + s.scenario + "\"";
+    out += ", \"kind\": \"" + s.kind + "\"";
+    out += ", \"scored\": " + std::string(s.scored ? "true" : "false");
+    out += ", \"steps\": " + std::to_string(s.steps);
+    out += ", \"error_steps\": " + std::to_string(s.error_steps);
+    if (s.scored) {
+      out += ", \"block_rank\": " + std::to_string(s.block_rank);
+      out += ", \"component_rank\": " + std::to_string(s.component_rank);
+      out += ", \"wasted_effort\": " + fmt3(s.wasted_effort);
+      out += ", \"in_top_k\": " + std::string(s.in_top_k ? "true" : "false");
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace trader::testkit

@@ -333,3 +333,154 @@ TEST(Sfl, LocalizesFaultyHandlerInTvControl) {
   const auto report = ranker.rank(cov, errors, diag::Coefficient::kOchiai);
   EXPECT_EQ(report.rank_of(tv::kBlkTtxEnter), 1u);
 }
+
+// ====================================================== incremental SFL
+
+#include "diagnosis/incremental.hpp"
+
+namespace {
+
+/// Random spectra: `steps` steps over `blocks` blocks, error bias ~30%.
+std::vector<std::pair<std::vector<std::uint32_t>, bool>> random_spectra(
+    rt::Rng& rng, std::size_t steps, std::uint32_t blocks) {
+  std::vector<std::pair<std::vector<std::uint32_t>, bool>> out;
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      if (rng.uniform(0.0, 1.0) < 0.35) ids.push_back(b);
+    }
+    out.emplace_back(std::move(ids), rng.uniform(0.0, 1.0) < 0.3);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Incremental, CountsMatchBatchRecorder) {
+  // Feed the identical spectra both ways: through a BlockCoverageRecorder
+  // + SflRanker::counts_for (the offline batch path) and through
+  // IncrementalSflCounts::add (the online path). Every per-block
+  // contingency table must agree exactly.
+  rt::Rng rng(71);
+  const std::uint32_t kBlocks = 24;
+  const auto spectra = random_spectra(rng, 40, kBlocks);
+
+  obs::BlockCoverageRecorder cov(kBlocks);
+  std::vector<bool> errors;
+  diag::IncrementalSflCounts acc;
+  for (const auto& [ids, err] : spectra) {
+    for (const auto b : ids) cov.hit(b);
+    cov.end_step();
+    errors.push_back(err);
+    acc.add(ids, err);
+  }
+
+  EXPECT_EQ(acc.steps(), spectra.size());
+  for (std::uint32_t b = 0; b < kBlocks; ++b) {
+    const auto batch = diag::SflRanker::counts_for(cov, errors, b);
+    const auto online = acc.counts(b);
+    EXPECT_EQ(online.a11, batch.a11) << "block " << b;
+    EXPECT_EQ(online.a10, batch.a10) << "block " << b;
+    EXPECT_EQ(online.a01, batch.a01) << "block " << b;
+    EXPECT_EQ(online.a00, batch.a00) << "block " << b;
+  }
+}
+
+TEST(Incremental, ReportBitIdenticalToBatchRanker) {
+  // The headline online/offline equivalence: after ANY prefix of the
+  // stream, IncrementalSflCounts::report() must equal SflRanker::rank()
+  // over the same prefix — same blocks, same (double) scores, same
+  // order. Checked across every coefficient.
+  rt::Rng rng(72);
+  const std::uint32_t kBlocks = 18;
+  const auto spectra = random_spectra(rng, 25, kBlocks);
+
+  for (const auto coefficient : diag::all_coefficients()) {
+    obs::BlockCoverageRecorder cov(kBlocks);
+    std::vector<bool> errors;
+    diag::IncrementalSflCounts acc;
+    for (const auto& [ids, err] : spectra) {
+      for (const auto b : ids) cov.hit(b);
+      cov.end_step();
+      errors.push_back(err);
+      acc.add(ids, err);
+
+      const auto offline = diag::SflRanker().rank(cov, errors, coefficient);
+      const auto online = acc.report(coefficient);
+      ASSERT_EQ(online.blocks_considered, offline.blocks_considered);
+      ASSERT_EQ(online.ranking.size(), offline.ranking.size());
+      for (std::size_t i = 0; i < online.ranking.size(); ++i) {
+        EXPECT_EQ(online.ranking[i].block, offline.ranking[i].block)
+            << "prefix " << errors.size() << " rank " << i;
+        EXPECT_EQ(online.ranking[i].score, offline.ranking[i].score)  // bit-identical
+            << "prefix " << errors.size() << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(Incremental, TopKMatchesFullReportPrefix) {
+  rt::Rng rng(73);
+  diag::IncrementalSflCounts acc;
+  for (const auto& [ids, err] : random_spectra(rng, 30, 40)) acc.add(ids, err);
+
+  const auto full = acc.report(diag::Coefficient::kOchiai);
+  for (const std::size_t k : {1u, 3u, 7u, 40u, 100u}) {
+    const auto top = acc.top_k(k, diag::Coefficient::kOchiai);
+    ASSERT_EQ(top.size(), std::min<std::size_t>(k, full.ranking.size()));
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].block, full.ranking[i].block) << "k=" << k << " i=" << i;
+      EXPECT_EQ(top[i].score, full.ranking[i].score) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(Incremental, RetireIsInverseOfAdd) {
+  rt::Rng rng(74);
+  const auto keep = random_spectra(rng, 20, 16);
+  const auto transient = random_spectra(rng, 10, 16);
+
+  diag::IncrementalSflCounts only_keep;
+  for (const auto& [ids, err] : keep) only_keep.add(ids, err);
+
+  diag::IncrementalSflCounts churned;
+  for (const auto& [ids, err] : keep) churned.add(ids, err);
+  for (const auto& [ids, err] : transient) churned.add(ids, err);
+  for (const auto& [ids, err] : transient) churned.retire(ids, err);
+
+  EXPECT_EQ(churned.steps(), only_keep.steps());
+  EXPECT_EQ(churned.error_steps(), only_keep.error_steps());
+  const auto a = churned.report(diag::Coefficient::kOchiai);
+  const auto b = only_keep.report(diag::Coefficient::kOchiai);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].block, b.ranking[i].block);
+    EXPECT_EQ(a.ranking[i].score, b.ranking[i].score);
+  }
+}
+
+TEST(Incremental, MergeEqualsConcatenatedStreams) {
+  rt::Rng rng(75);
+  const auto first = random_spectra(rng, 15, 20);
+  const auto second = random_spectra(rng, 15, 20);
+
+  diag::IncrementalSflCounts whole;
+  for (const auto& [ids, err] : first) whole.add(ids, err);
+  for (const auto& [ids, err] : second) whole.add(ids, err);
+
+  diag::IncrementalSflCounts a;
+  diag::IncrementalSflCounts b;
+  for (const auto& [ids, err] : first) a.add(ids, err);
+  for (const auto& [ids, err] : second) b.add(ids, err);
+  a.merge(b);
+
+  EXPECT_EQ(a.steps(), whole.steps());
+  EXPECT_EQ(a.touched_blocks(), whole.touched_blocks());
+  const auto ra = a.report(diag::Coefficient::kOchiai);
+  const auto rb = whole.report(diag::Coefficient::kOchiai);
+  ASSERT_EQ(ra.ranking.size(), rb.ranking.size());
+  for (std::size_t i = 0; i < ra.ranking.size(); ++i) {
+    EXPECT_EQ(ra.ranking[i].block, rb.ranking[i].block);
+    EXPECT_EQ(ra.ranking[i].score, rb.ranking[i].score);
+  }
+}

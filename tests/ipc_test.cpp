@@ -113,6 +113,16 @@ std::vector<ipc::Frame> sample_frames() {
   shutdown.detail = "bye";
   frames.push_back(shutdown);
 
+  ipc::Frame spectrum;
+  spectrum.type = ipc::FrameType::kSpectrum;
+  spectrum.seq = 10;
+  spectrum.time = rt::msec(120);
+  spectrum.block_count = 64;
+  spectrum.spectra.push_back({false, {0, 3, 17}});
+  spectrum.spectra.push_back({true, {0, 5, 17, 63}});
+  spectrum.spectra.push_back({false, {}});  // a step may touch nothing
+  frames.push_back(spectrum);
+
   return frames;
 }
 
@@ -131,6 +141,8 @@ void expect_frames_equal(const ipc::Frame& a, const ipc::Frame& b) {
   EXPECT_EQ(a.min_version, b.min_version);
   EXPECT_EQ(a.max_version, b.max_version);
   EXPECT_EQ(a.nonce, b.nonce);
+  EXPECT_EQ(a.block_count, b.block_count);
+  EXPECT_EQ(a.spectra, b.spectra);
 }
 
 // Run a SuoServer over one end of a socketpair on a background thread,
@@ -301,6 +313,68 @@ TEST(IpcWire, OversizedPayloadRejectedOnBothSides) {
   ipc::Frame out;
   EXPECT_EQ(decoder.next(out), ipc::DecodeStatus::kFrameTooLarge);
   EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(IpcWire, MalformedSpectrumPayloadFailsClosed) {
+  // The kSpectrum grammar is strict: error bytes are 0/1, ids strictly
+  // ascend, ids stay below block_count, step counts match the payload.
+  // Each violation must poison the decoder (checksum re-sealed so the
+  // *structural* validation is what trips, not the integrity check).
+  ipc::Frame f;
+  f.type = ipc::FrameType::kSpectrum;
+  f.block_count = 10;
+  f.spectra.push_back({true, {2, 5}});
+  const auto clean = ipc::encode_frame(f);
+  ASSERT_FALSE(clean.empty());
+  // Payload offsets: 0..3 block_count, 4..7 step_count, 8 error byte,
+  // 9..12 executed count, 13..16 id[0], 17..20 id[1].
+  const auto corrupt_at = [&](std::size_t payload_off, std::uint32_t value) {
+    auto bytes = clean;
+    for (int i = 0; i < 4 && ipc::kHeaderSize + payload_off + i < bytes.size(); ++i) {
+      bytes[ipc::kHeaderSize + payload_off + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    // Re-seal the payload checksum (FNV-1a 32) at header offset 24.
+    std::uint32_t h = 0x811c9dc5u;
+    for (std::size_t i = ipc::kHeaderSize; i < bytes.size(); ++i) {
+      h ^= bytes[i];
+      h *= 0x01000193u;
+    }
+    for (int i = 0; i < 4; ++i) bytes[24 + i] = static_cast<std::uint8_t>(h >> (8 * i));
+    return bytes;
+  };
+  const auto expect_malformed = [](const std::vector<std::uint8_t>& bytes, const char* what) {
+    ipc::FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    ipc::Frame out;
+    EXPECT_EQ(decoder.next(out), ipc::DecodeStatus::kMalformed) << what;
+    EXPECT_TRUE(decoder.poisoned()) << what;
+  };
+
+  {
+    auto bytes = clean;  // error byte 2 (single byte, not a u32 write)
+    bytes[ipc::kHeaderSize + 8] = 2;
+    std::uint32_t h = 0x811c9dc5u;
+    for (std::size_t i = ipc::kHeaderSize; i < bytes.size(); ++i) {
+      h ^= bytes[i];
+      h *= 0x01000193u;
+    }
+    for (int i = 0; i < 4; ++i) bytes[24 + i] = static_cast<std::uint8_t>(h >> (8 * i));
+    expect_malformed(bytes, "error byte > 1");
+  }
+  expect_malformed(corrupt_at(17, 2), "non-ascending block ids");
+  expect_malformed(corrupt_at(17, 10), "block id >= block_count");
+  expect_malformed(corrupt_at(4, 7), "step count beyond the payload");
+
+  // The untouched encoding still decodes (the corruptions above were
+  // the only problem, not the harness).
+  ipc::FrameDecoder decoder;
+  decoder.feed(clean.data(), clean.size());
+  ipc::Frame out;
+  ASSERT_EQ(decoder.next(out), ipc::DecodeStatus::kOk);
+  EXPECT_EQ(out.block_count, 10u);
+  ASSERT_EQ(out.spectra.size(), 1u);
+  EXPECT_TRUE(out.spectra[0].error);
 }
 
 TEST(IpcWire, VersionNegotiation) {
@@ -630,7 +704,7 @@ TEST(IpcLoop, HandshakeRejectsDisjointVersionRanges) {
   rt::Scheduler sched;
   rt::EventBus bus;
   ipc::RemoteSuoConfig config;
-  config.min_version = 200;  // the server only speaks [1, 1]
+  config.min_version = 200;  // the server only speaks [1, 2]
   config.max_version = 210;
   ipc::RemoteSuoClient client(sched, bus,
                               [fd = client_sock.release(), used = std::make_shared<bool>(false)]() {
