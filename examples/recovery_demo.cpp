@@ -1,0 +1,111 @@
+// The self-healing fleet, end to end: observe -> diagnose -> ACT.
+//
+// fleetdiag_demo stopped at "ready to recover"; this demo closes the
+// last arc of the §5 loop. A small fleet of SUO publishers streams
+// events and coverage spectra into one AwarenessHub; each SUO hosts an
+// instrumented SyntheticProgram with a fault seeded into a different
+// feature. The hub's RecoveryOrchestrator watches the per-slot SFL
+// rankings converge, then climbs the §5 escalation ladder over
+// kRecover/kRecoverAck frames (protocol v3): resync first, then
+// restart the suspect component — which actually clears the seeded
+// fault when the diagnosis pointed at the right feature. The demo
+// prints the hub's action log and each SUO's view of the repair.
+//
+//   build/examples/recovery_demo
+#include <cstdio>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/agent.hpp"
+#include "hub/hub.hpp"
+#include "recovery/escalation.hpp"
+
+namespace rt = trader::runtime;
+namespace hub = trader::hub;
+
+int main() {
+  constexpr std::size_t kFleet = 3;
+
+  std::printf("Step 1: start a hub with the recovery orchestrator armed.\n");
+  hub::HubConfig config;
+  config.probe_liveness = false;
+  config.auto_advance = true;  // follow the fleet's event watermarks
+  config.diag.top_k = 5;
+  config.diag.refresh_every = 1;
+  config.recovery.enabled = true;
+  config.recovery.stable_reports = 2;       // convergence gate
+  config.recovery.token_capacity = 4;       // storm budget
+  config.recovery.token_refill_every = rt::msec(100);
+  config.recovery.cooldown = rt::msec(100);
+  config.recovery.escalation.failures_per_level = 1;
+  hub::AwarenessHub awareness_hub(config);
+  std::vector<std::string> slots;
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    slots.push_back("tv" + std::to_string(k));
+    awareness_hub.add_slot(slots.back());
+  }
+  // Suspect blocks resolve to the component the SUO should act on.
+  awareness_hub.recovery().set_component_of(
+      [](std::size_t block) { return "feature" + std::to_string(block / 1000); });
+  if (!awareness_hub.start()) {
+    std::printf("cannot start hub listener\n");
+    return 1;
+  }
+
+  std::printf("Step 2: %zu SUOs stream events + spectra; each carries a seeded\n", kFleet);
+  std::printf("        fault in a different feature (the ground truth).\n");
+  std::vector<std::thread> suos;
+  std::vector<hub::PublisherStats> stats(kFleet);
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    hub::PublisherConfig pub;
+    pub.hub_path = awareness_hub.path();
+    pub.name = slots[k];
+    pub.seed = 100 + k;
+    pub.horizon = rt::msec(3000);
+    pub.key_period = rt::msec(10);
+    pub.pace_us = 2000;  // wall time for command round-trips
+    pub.diag.enabled = true;
+    pub.diag.program.total_blocks = 6000;
+    pub.diag.program.feature_count = 6;
+    pub.diag.fault_feature = k;  // a different buggy feature per SUO
+    pub.diag.flush_steps = 8;
+    suos.emplace_back([pub, &stats, k] { hub::run_hub_publisher(pub, &stats[k]); });
+  }
+  while (awareness_hub.connection_count() > 0 ||
+         awareness_hub.diagnosis().steps_ingested() == 0) {
+    if (awareness_hub.poll(10) < 0) break;
+  }
+  for (auto& t : suos) t.join();
+
+  std::printf("Step 3: the orchestrator acted on converged suspects only —\n");
+  std::printf("        its action log (virtual time, §5 ladder order):\n");
+  for (const auto& action : awareness_hub.recovery().actions()) {
+    std::printf("        t=%4lldms  %s: %s %s (block %u)%s\n",
+                static_cast<long long>(action.at / rt::msec(1)), action.slot.c_str(),
+                trader::recovery::to_string(action.action), action.unit.c_str(),
+                action.block, action.retry ? " [retry]" : "");
+  }
+
+  std::printf("Step 4: the SUOs' side of the loop:\n");
+  for (std::size_t k = 0; k < kFleet; ++k) {
+    std::printf("        %s: %llu commands executed, %llu repaired the fault\n",
+                slots[k].c_str(),
+                static_cast<unsigned long long>(stats[k].recover_commands),
+                static_cast<unsigned long long>(stats[k].recover_repairs));
+  }
+
+  const hub::RecoveryStats rs = awareness_hub.recovery().stats();
+  std::printf("Step 5: guard-rail accounting: %llu sent, %llu acked ok, "
+              "%llu suppressed while unconverged.\n",
+              static_cast<unsigned long long>(rs.sent),
+              static_cast<unsigned long long>(rs.acked_ok),
+              static_cast<unsigned long long>(rs.suppressed_unconverged));
+
+  awareness_hub.stop();
+  std::printf("\nThe loop is closed: spectra converged on each seeded fault, the\n");
+  std::printf("hub actuated the ladder over the wire, and the right component's\n");
+  std::printf("restart cleared the fault — while the rest of the fleet kept running.\n");
+  return 0;
+}

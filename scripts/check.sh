@@ -28,21 +28,28 @@
 #      (concurrent ingest vs ranking queries); then bench_diag_hub
 #      leaves BENCH_fleetdiag.json in the repo root (spectrum ingest
 #      sweep + per-fault-kind diagnosis accuracy)
-#   9. exec: executor-v2 equivalence — the three-kernel property suite
+#   9. recovery: the closed recovery loop under ASan (convergence gate,
+#      escalation ladder, storm budget, quarantine, the MTTR campaign
+#      vs the supervision-only baseline and the fuzz-findings repair
+#      replay) and TSan (concurrent ingest vs actuate vs ack vs query
+#      on one orchestrator); then bench_recovery_hub leaves
+#      BENCH_recovery.json in the repo root (live actuation RTT +
+#      storm-guard budget + MTTR/precision scores)
+#  10. exec: executor-v2 equivalence — the three-kernel property suite
 #      (interpreter vs compiled vs batched) plus arena growth/reuse
 #      under ASan, and the shared-program multi-thread test under TSan;
 #      then bench_exec leaves BENCH_exec.json in the repo root
 #      (steps/sec/core + bytes/monitor per kernel)
-#  10. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#  11. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#  11. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#  12. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
-#  12. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#  13. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
 #      repo root (frames/sec + ingest latency vs connection count)
-#  13. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
+#  14. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
 #      repo root (scenarios/sec + corpus growth and coverage curves)
 #
-# Each stage prints its wall time on completion. Stages 2-13 can be
+# Each stage prints its wall time on completion. Stages 2-14 can be
 # skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
 set -euo pipefail
@@ -148,6 +155,25 @@ cmake --build build -j "$JOBS" --target bench_diag_hub
 test -s BENCH_fleetdiag.json
 echo "BENCH_fleetdiag.json written:"
 head -12 BENCH_fleetdiag.json
+
+stage "recovery: closed loop under ASan and TSan -> BENCH_recovery.json"
+cmake --build build-asan -j "$JOBS" --target recovery_loop_test
+# The whole closed loop, leak-checked: convergence gate, §5 ladder +
+# quarantine, token-bucket storm budget, version gate for v2 peers,
+# ack idempotency, the MTTR campaign against the supervision-only
+# baseline (byte-reproducible, shard-invariant) and the fuzz-findings
+# repair replay with its precision floor.
+./build-asan/tests/recovery_loop_test
+# Hub loop ingest vs orchestrator ticks vs SUO acks vs operator stats
+# queries on one orchestrator must be race-free.
+cmake --build build-tsan -j "$JOBS" --target recovery_loop_test
+./build-tsan/tests/recovery_loop_test --gtest_filter='RecoveryConcurrency.*'
+cmake --build build -j "$JOBS" --target bench_recovery_hub
+./build/bench/bench_recovery_hub --benchmark_filter='BM_OrchestratorTickQuietFleet' \
+  --benchmark_min_time=0.05
+test -s BENCH_recovery.json
+echo "BENCH_recovery.json written:"
+head -12 BENCH_recovery.json
 
 stage "exec: executor-v2 equivalence under ASan + TSan -> BENCH_exec.json"
 cmake --build build-asan -j "$JOBS" --target exec_test

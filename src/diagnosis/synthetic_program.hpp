@@ -46,6 +46,11 @@ class SyntheticProgram {
   void set_fault_in_feature(std::size_t feature, std::size_t index = 0);
   /// Seed the fault into an absolute block id.
   void set_fault_block(std::size_t block);
+  /// Remove the seeded fault entirely — the effect of a successful
+  /// repair (e.g. a hub-commanded restart of the faulty component):
+  /// no step manifests an error afterwards.
+  void clear_fault() { fault_block_ = static_cast<std::size_t>(-1); }
+  bool has_fault() const { return fault_block_ != static_cast<std::size_t>(-1); }
   std::size_t fault_block() const { return fault_block_; }
   /// Feature owning a block (or SIZE_MAX for common/shared blocks).
   std::size_t feature_of(std::size_t block) const;

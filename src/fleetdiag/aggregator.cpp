@@ -81,7 +81,10 @@ bool FleetAggregator::refresh_slot_locked(const std::string& name, Slot& slot) {
   if (refreshes_ctr_ != nullptr) refreshes_ctr_->inc();
   const bool changed = !same_blocks(next, slot.top);
   slot.top = std::move(next);
-  if (changed && churn_ctr_ != nullptr) churn_ctr_->inc();
+  if (changed) {
+    ++slot.churn;
+    if (churn_ctr_ != nullptr) churn_ctr_->inc();
+  }
   export_health_locked(name, slot);
   return changed;
 }
@@ -204,6 +207,7 @@ SlotHealth FleetAggregator::health(const std::string& slot_name) const {
   h.error_rate = h.steps == 0 ? 0.0
                               : static_cast<double>(h.error_steps) / static_cast<double>(h.steps);
   h.touched_blocks = slot.counts.touched_blocks();
+  h.churn = slot.churn;
   if (!slot.top.empty()) {
     h.top_block = static_cast<std::int64_t>(slot.top[0].block);
     h.top_score = slot.top[0].score;

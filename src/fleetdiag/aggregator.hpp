@@ -61,6 +61,11 @@ struct SlotHealth {
   /// Most suspicious block id at the last refresh (-1 when no ranking).
   std::int64_t top_block = -1;
   double top_score = 0.0;
+  /// Refreshes of THIS slot's ranking that changed its top-k sequence.
+  /// A converged diagnosis stops churning; the RecoveryOrchestrator's
+  /// convergence gate reads this to decide the suspect is stable
+  /// enough to act on.
+  std::uint64_t churn = 0;
 };
 
 class FleetAggregator {
@@ -121,6 +126,7 @@ class FleetAggregator {
     diagnosis::IncrementalSflCounts counts;
     std::uint64_t reports = 0;
     std::uint64_t reports_at_refresh = 0;
+    std::uint64_t churn = 0;
     std::vector<diagnosis::BlockScore> top;
     runtime::Gauge* health_gauge = nullptr;
     runtime::Gauge* top_block_gauge = nullptr;

@@ -10,6 +10,7 @@
 #include "fleetdiag/reporter.hpp"
 #include "ipc/transport.hpp"
 #include "ipc/wire.hpp"
+#include "recovery/escalation.hpp"
 #include "runtime/event_bus.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/scheduler.hpp"
@@ -118,6 +119,81 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
   runtime::SimTime next_key = config.key_period;
   int rc = 0;
 
+  // Idempotent recovery actuation: the hub may resend a command whose
+  // ack was lost, so the last executed token's outcome is cached and
+  // replayed instead of acting twice (a double restart is exactly the
+  // storm the hub-side guards exist to prevent).
+  std::uint64_t last_recover_token = 0;
+  bool last_recover_ok = false;
+  std::string last_recover_detail;
+  const auto execute_recover = [&](const ipc::Frame& f, ipc::Frame& ack) {
+    ack.type = ipc::FrameType::kRecoverAck;
+    ack.seq = ++seq;
+    ack.time = sched.now();
+    ack.action = f.action;
+    ack.token = f.token;
+    ack.unit = f.unit;
+    if (f.token != 0 && f.token == last_recover_token) {
+      ack.ok = last_recover_ok;
+      ack.detail = last_recover_detail;
+      ++stats.recover_duplicates;
+      return;
+    }
+    bool ok = false;
+    std::string detail;
+    switch (static_cast<recovery::RecoveryAction>(f.action)) {
+      case recovery::RecoveryAction::kResync:
+        // Cheapest rung: re-announce believed state. Does not touch the
+        // program fault — a real defect survives a state resync.
+        tv.republish_outputs();
+        ok = true;
+        detail = "resynced";
+        break;
+      case recovery::RecoveryAction::kRestartUnit: {
+        if (program == nullptr) {
+          detail = "no instrumented program";
+          break;
+        }
+        // Restarting the unit repairs the fault only when the suspect
+        // block actually lives in the faulty feature — recovery
+        // precision is measurable against ground truth.
+        const std::size_t feature = program->feature_of(f.block);
+        const bool repairs = program->has_fault() && feature != SIZE_MAX &&
+                             program->feature_of(program->fault_block()) == feature;
+        if (repairs) {
+          program->clear_fault();
+          ++stats.recover_repairs;
+          detail = "repaired " + f.unit;
+        } else {
+          detail = "restarted " + f.unit;
+        }
+        ok = true;
+        break;
+      }
+      case recovery::RecoveryAction::kRestartDependents:
+      case recovery::RecoveryAction::kFullRestart:
+        // Brute force: restarting the dependency closure (or everything)
+        // repairs regardless of where the fault lives.
+        if (program != nullptr && program->has_fault()) {
+          program->clear_fault();
+          ++stats.recover_repairs;
+        }
+        tv.republish_outputs();
+        ok = true;
+        detail = "restarted all";
+        break;
+      default:
+        detail = "unsupported action";
+        break;
+    }
+    ack.ok = ok;
+    ack.detail = detail;
+    last_recover_token = f.token;
+    last_recover_ok = ok;
+    last_recover_detail = detail;
+    ++stats.recover_commands;
+  };
+
   while (link_ok && sched.now() < config.horizon) {
     const runtime::SimTime target =
         std::min(config.horizon, sched.now() + config.step);
@@ -163,6 +239,16 @@ int run_hub_publisher(const PublisherConfig& config, PublisherStats* out) {
           break;
         }
         ++stats.probes_answered;
+      } else if (f.type == ipc::FrameType::kRecover) {
+        // Hub-commanded recovery (v3 links only — the hub version-gates
+        // its side, so a v2 publisher never reaches this branch).
+        ipc::Frame ack;
+        execute_recover(f, ack);
+        if (!sock.send(ack)) {
+          link_ok = false;
+          rc = 2;
+          break;
+        }
       } else if (f.type == ipc::FrameType::kShutdown) {
         stats.evicted = true;
         link_ok = false;

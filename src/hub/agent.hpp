@@ -61,6 +61,9 @@ struct PublisherStats {
   std::uint64_t probes_answered = 0;
   std::uint64_t spectrum_steps = 0;   ///< Sealed instrumented steps.
   std::uint64_t spectrum_frames = 0;  ///< kSpectrum frames shipped.
+  std::uint64_t recover_commands = 0;    ///< kRecover frames executed.
+  std::uint64_t recover_repairs = 0;     ///< Executions that cleared the fault.
+  std::uint64_t recover_duplicates = 0;  ///< Replayed cached acks (hub retries).
   std::uint8_t negotiated_version = 0;  ///< From the kHelloAck.
   bool rejected = false;   ///< Hub refused the kHello.
   bool evicted = false;    ///< Hub closed the link before the horizon.

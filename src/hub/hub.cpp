@@ -27,8 +27,16 @@ std::string auto_path() {
 AwarenessHub::AwarenessHub(HubConfig config)
     : config_(std::move(config)),
       fleet_(core::ShardedFleetConfig{config_.shards, config_.epoch, config_.seed}),
-      diag_(config_.diag, &metrics_) {
+      diag_(config_.diag, &metrics_),
+      recovery_(config_.recovery, diag_, &metrics_) {
   if (config_.path.empty()) config_.path = auto_path();
+  recovery_.set_send([this](const std::string& name, const ipc::Frame& f) {
+    auto it = slots_.find(name);
+    if (it == slots_.end() || it->second->conn == nullptr) return false;
+    ipc::Frame out = f;
+    out.seq = ++it->second->seq;
+    return it->second->conn->send(out);
+  });
   loop_.set_metrics(&metrics_);
   spectra_frames_ = &metrics_.counter("hub.spectra_frames");
   conn_counters_.frames_in = &metrics_.counter("hub.frames_in");
@@ -124,6 +132,10 @@ int AwarenessHub::poll(int timeout_ms) {
   const int n = loop_.poll(timeout_ms);
   reap();
   if (config_.auto_advance) auto_advance();
+  // Actuate after advancing: decisions are keyed on the fleet's virtual
+  // clock, so a lockstep driver sees the same action sequence at any
+  // shard count or poll cadence.
+  if (config_.recovery.enabled) recovery_.tick(fleet_.now());
   return n;
 }
 
@@ -206,6 +218,9 @@ void AwarenessHub::on_frame(Peer* peer, const ipc::Frame& f) {
       spectra_frames_->inc();
       diag_.ingest(peer->slot->name, f);
       break;
+    case ipc::FrameType::kRecoverAck:
+      recovery_.on_ack(peer->slot->name, f);
+      break;
     default:
       // kHello after handshake, kControl/kControlAck toward the hub:
       // protocol violations on this link direction.
@@ -260,8 +275,10 @@ void AwarenessHub::handle_hello(Peer* peer, const ipc::Frame& f) {
   slot.probe_outstanding = false;
   slot.acked_since_probe = true;
   slot.up_since_ns = EventLoop::now_ns();
+  slot.negotiated_version = version;
   slot.supervisor.on_connected();
   slot.gate->store(true, std::memory_order_relaxed);
+  recovery_.slot_up(slot.name, version);
   accepted_->inc();
   trace(runtime::TraceLevel::kInfo, "slot up: " + slot.name);
 }
@@ -358,10 +375,16 @@ void AwarenessHub::slot_down(Slot& slot, bool orderly) {
   }
   slot.earliest_reconnect_ns =
       backoff_ms > 0 ? EventLoop::now_ns() + backoff_ms * 1'000'000 : 0;
+  slot.negotiated_version = 0;
+  recovery_.slot_down(slot.name);
   // Diagnosis state persists across ordinary outages (the reconnecting
   // SUO keeps accumulating into the same spectra), but a permanently
-  // failed slot will never report again — free its aggregator state.
-  if (slot.supervisor.exhausted()) diag_.retire_slot(slot.name);
+  // failed slot will never report again — free its aggregator state
+  // and its escalation-ladder state with it.
+  if (slot.supervisor.exhausted()) {
+    diag_.retire_slot(slot.name);
+    recovery_.retire_slot(slot.name);
+  }
   if (!was_up || orderly) return;
 
   // Exactly one outage report per up->down transition; while the link

@@ -42,6 +42,7 @@
 #include "fleetdiag/aggregator.hpp"
 #include "hub/connection.hpp"
 #include "hub/event_loop.hpp"
+#include "hub/recovery.hpp"
 #include "ipc/supervisor.hpp"
 #include "ipc/wire.hpp"
 #include "runtime/metrics.hpp"
@@ -86,6 +87,10 @@ struct HubConfig {
   /// Online diagnosis policy (top-k size, coefficient, refresh cadence)
   /// for kSpectrum frames folded into the hub-side FleetAggregator.
   fleetdiag::AggregatorConfig diag;
+
+  /// Closed-loop recovery actuation policy (off by default: an
+  /// observing hub stays byte-identical to pre-v3 deployments).
+  RecoveryConfig recovery;
 };
 
 class AwarenessHub {
@@ -158,6 +163,13 @@ class AwarenessHub {
   fleetdiag::FleetAggregator& diagnosis() { return diag_; }
   const fleetdiag::FleetAggregator& diagnosis() const { return diag_; }
 
+  /// Closed-loop recovery actuation driven by the diagnosis above:
+  /// converged per-slot suspects climb the §5 escalation ladder over
+  /// kRecover/kRecoverAck (v3 links only). Ticked from poll() when
+  /// enabled; tests may tick it directly at a chosen virtual time.
+  RecoveryOrchestrator& recovery() { return recovery_; }
+  const RecoveryOrchestrator& recovery() const { return recovery_; }
+
   EventLoop& loop() { return loop_; }
 
  private:
@@ -177,6 +189,10 @@ class AwarenessHub {
     bool acked_since_probe = true;  ///< No miss on the first probe.
     runtime::SimTime watermark = 0;
     std::uint32_t seq = 0;  ///< Outbound sequence toward this slot.
+    /// Version the live connection negotiated (0 while down). The
+    /// orchestrator reads this through its own slot state to keep
+    /// kRecover off links that negotiated < kRecoverMinVersion.
+    std::uint8_t negotiated_version = 0;
   };
 
   /// One accepted connection and its hub-side protocol state.
@@ -203,6 +219,7 @@ class AwarenessHub {
   core::ShardedFleet fleet_;
   runtime::MetricsRegistry metrics_;
   fleetdiag::FleetAggregator diag_;
+  RecoveryOrchestrator recovery_;
   int listen_fd_ = -1;
   EventLoop::TimerId probe_timer_ = 0;
   bool stopping_ = false;

@@ -1,0 +1,345 @@
+#include "hub/recovery.hpp"
+
+#include <algorithm>
+
+namespace trader::hub {
+
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64) for the per-slot cooldown
+/// jitter: same binary + same seed + same slot name -> same jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void bump(runtime::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+
+}  // namespace
+
+RecoveryOrchestrator::RecoveryOrchestrator(RecoveryConfig config,
+                                           fleetdiag::FleetAggregator& diag,
+                                           runtime::MetricsRegistry* metrics)
+    : config_(config), diag_(diag), escalator_(config.escalation) {
+  if (config_.token_capacity < 1) config_.token_capacity = 1;
+  if (config_.stable_reports == 0) config_.stable_reports = 1;
+  tokens_ = config_.token_capacity;  // full bucket at start
+  if (metrics != nullptr) {
+    sent_ctr_ = &metrics->counter("hub.recovery.sent");
+    retries_ctr_ = &metrics->counter("hub.recovery.retries");
+    timeouts_ctr_ = &metrics->counter("hub.recovery.timeouts");
+    acked_ok_ctr_ = &metrics->counter("hub.recovery.acked_ok");
+    acked_fail_ctr_ = &metrics->counter("hub.recovery.acked_fail");
+    duplicate_acks_ctr_ = &metrics->counter("hub.recovery.duplicate_acks");
+    suppressed_ctr_ = &metrics->counter("hub.recovery.suppressed");
+    quarantined_ctr_ = &metrics->counter("hub.recovery.quarantined");
+    give_ups_ctr_ = &metrics->counter("hub.recovery.give_ups");
+    recovered_ctr_ = &metrics->counter("hub.recovery.recovered");
+    quarantined_gauge_ = &metrics->gauge("hub.recovery.quarantined_slots");
+  }
+}
+
+void RecoveryOrchestrator::set_send(SendFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_ = std::move(fn);
+}
+
+void RecoveryOrchestrator::set_component_of(ComponentOf fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  component_of_ = std::move(fn);
+}
+
+void RecoveryOrchestrator::slot_up(const std::string& slot, std::uint8_t negotiated_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SlotState& st = slots_[slot];
+  st.up = true;
+  st.negotiated_version = negotiated_version;
+  // A fresh link invalidates any in-flight command (the old socket is
+  // gone; a late ack for it would be dropped by the token check).
+  st.outstanding = false;
+  st.jitter = config_.cooldown_jitter <= 0
+                  ? 0
+                  : static_cast<runtime::SimDuration>(
+                        mix64(config_.seed ^ std::hash<std::string>{}(slot)) %
+                        static_cast<std::uint64_t>(config_.cooldown_jitter + 1));
+}
+
+void RecoveryOrchestrator::slot_down(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  SlotState& st = it->second;
+  st.up = false;
+  if (st.outstanding) {
+    // The command went down with the link; whether the SUO executed it
+    // is unknowable, which is exactly what the idempotency token is
+    // for — a post-reconnect duplicate execution is a no-op SUO-side.
+    st.outstanding = false;
+    ++stats_.lost;
+  }
+}
+
+void RecoveryOrchestrator::retire_slot(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  for (const std::string& key : it->second.ladder_keys) escalator_.forget(key);
+  slots_.erase(it);
+  if (quarantined_gauge_ != nullptr) {
+    std::size_t q = 0;
+    for (const auto& [name, st] : slots_) q += st.quarantined ? 1 : 0;
+    quarantined_gauge_->set(static_cast<double>(q));
+  }
+}
+
+void RecoveryOrchestrator::quarantine_locked(SlotState& st, const std::string& slot) {
+  if (st.quarantined) return;
+  st.quarantined = true;
+  st.outstanding = false;
+  ++stats_.quarantined;
+  bump(quarantined_ctr_);
+  if (quarantined_gauge_ != nullptr) {
+    std::size_t q = 0;
+    for (const auto& [name, s] : slots_) q += s.quarantined ? 1 : 0;
+    quarantined_gauge_->set(static_cast<double>(q));
+  }
+  (void)slot;
+}
+
+void RecoveryOrchestrator::fail_outstanding_locked(SlotState& st, const std::string& slot) {
+  st.outstanding = false;
+  ++st.flaps;
+  if (st.flaps >= config_.flap_threshold) quarantine_locked(st, slot);
+}
+
+void RecoveryOrchestrator::record_action_locked(const RecoveryActionRecord& rec) {
+  if (actions_.size() >= config_.action_log_limit) return;  // bounded
+  actions_.push_back(rec);
+}
+
+bool RecoveryOrchestrator::send_locked(const std::string& slot, SlotState& st,
+                                       runtime::SimTime now, bool retry) {
+  ipc::Frame f;
+  f.type = ipc::FrameType::kRecover;
+  f.time = now;
+  f.action = st.action;
+  f.token = st.token;
+  f.block = st.block;
+  f.unit = st.unit;
+  if (!send_ || !send_(slot, f)) {
+    ++stats_.send_failures;
+    return false;
+  }
+  st.outstanding = true;
+  st.sent_at = now;
+  RecoveryActionRecord rec;
+  rec.at = now;
+  rec.slot = slot;
+  rec.action = static_cast<recovery::RecoveryAction>(st.action);
+  rec.unit = st.unit;
+  rec.block = st.block;
+  rec.token = st.token;
+  rec.retry = retry;
+  record_action_locked(rec);
+  return true;
+}
+
+void RecoveryOrchestrator::refill_tokens_locked(runtime::SimTime now) {
+  if (config_.token_refill_every <= 0) {
+    tokens_ = config_.token_capacity;
+    return;
+  }
+  if (now <= last_refill_) return;
+  const std::int64_t n = (now - last_refill_) / config_.token_refill_every;
+  if (n <= 0) return;
+  tokens_ = std::min<std::int64_t>(config_.token_capacity, tokens_ + n);
+  last_refill_ += n * config_.token_refill_every;
+  // A full bucket does not bank refill progress (classic token bucket).
+  if (tokens_ == config_.token_capacity) last_refill_ = now;
+}
+
+std::size_t RecoveryOrchestrator::tick(runtime::SimTime now) {
+  if (!config_.enabled) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  refill_tokens_locked(now);
+  std::size_t frames = 0;
+
+  // std::map order makes the walk deterministic: same diagnosis state +
+  // same virtual time -> same action sequence at any shard count.
+  for (auto& [name, st] : slots_) {
+    if (!st.up || st.quarantined) continue;
+
+    if (st.outstanding) {
+      if (now - st.sent_at >= config_.ack_timeout) {
+        ++stats_.timeouts;
+        bump(timeouts_ctr_);
+        if (st.retries < config_.max_retries) {
+          // Resend the SAME token: if the SUO executed the lost
+          // command, it replays its cached ack instead of acting twice.
+          if (tokens_ >= 1 && send_locked(name, st, now, /*retry=*/true)) {
+            --tokens_;
+            ++st.retries;
+            ++stats_.retries;
+            bump(retries_ctr_);
+            ++frames;
+          }
+          // No token / send failure: stay outstanding, retry next tick.
+        } else {
+          fail_outstanding_locked(st, name);
+        }
+      }
+      continue;  // pending (or just failed) — never two in flight
+    }
+
+    const fleetdiag::SlotHealth h = diag_.health(name);
+
+    if (st.acted && h.error_steps <= st.error_steps_at_action &&
+        h.reports - st.reports_at_action >= config_.success_reports) {
+      // Quiet since the last action: the repair worked. Decay the
+      // ladder — but keep the error watermark, so the historical
+      // (cumulative) error count can never justify another action.
+      escalator_.report_success(name + "/" + st.acted_unit);
+      st.acted = false;
+      st.flaps = 0;
+      st.has_candidate = false;
+      ++stats_.recovered;
+      bump(recovered_ctr_);
+    }
+    // Act only on error evidence no previous action has answered —
+    // otherwise a successful repair would be "rewarded" with another
+    // restart forever.
+    if (h.error_steps <= st.error_steps_at_action) continue;
+
+    const std::vector<diagnosis::BlockScore> suspects = diag_.top_suspects(name);
+    if (suspects.empty() || suspects.front().score <= 0.0) continue;
+    const std::string comp = component_of_
+                                 ? component_of_(suspects.front().block)
+                                 : "block" + std::to_string(suspects.front().block);
+
+    // Convergence gate: (re)baseline whenever the top suspect or the
+    // slot's churn counter moved, then require stable_reports further
+    // reports of agreement before acting.
+    if (!st.has_candidate || comp != st.candidate || h.churn != st.candidate_churn) {
+      st.has_candidate = true;
+      st.candidate = comp;
+      st.candidate_block = static_cast<std::uint32_t>(suspects.front().block);
+      st.candidate_reports = h.reports;
+      st.candidate_churn = h.churn;
+    }
+    if (h.reports - st.candidate_reports < config_.stable_reports) {
+      ++stats_.suppressed_unconverged;
+      bump(suppressed_ctr_);
+      continue;
+    }
+
+    if (now < st.cooldown_until) {
+      ++stats_.suppressed_cooldown;
+      bump(suppressed_ctr_);
+      continue;
+    }
+    if (st.negotiated_version < ipc::kRecoverMinVersion) {
+      // Observed, never actuated: a v2 peer must see zero kRecover
+      // frames (its fail-closed decoder would poison the link).
+      ++stats_.suppressed_version;
+      bump(suppressed_ctr_);
+      continue;
+    }
+    if (tokens_ < 1) {
+      ++stats_.suppressed_tokens;
+      bump(suppressed_ctr_);
+      continue;
+    }
+
+    const std::string key = name + "/" + st.candidate;
+    const recovery::RecoveryAction action = escalator_.next_action(key, now);
+    st.ladder_keys.insert(key);
+    if (action == recovery::RecoveryAction::kGiveUp) {
+      // Give-up is hub-local: quarantine instead of yet another
+      // full restart (the §5 "needs service" verdict, fleet-grade).
+      ++stats_.give_ups;
+      bump(give_ups_ctr_);
+      quarantine_locked(st, name);
+      continue;
+    }
+
+    --tokens_;
+    st.token = ++token_counter_;
+    st.action = static_cast<std::uint8_t>(action);
+    st.unit = st.candidate;
+    st.block = st.candidate_block;
+    st.retries = 0;
+    if (!send_locked(name, st, now, /*retry=*/false)) continue;
+    ++frames;
+    ++stats_.sent;
+    bump(sent_ctr_);
+    st.acted = true;
+    st.acted_unit = st.candidate;
+    st.error_steps_at_action = h.error_steps;
+    st.reports_at_action = h.reports;
+    st.cooldown_until = now + config_.cooldown + st.jitter;
+  }
+  return frames;
+}
+
+void RecoveryOrchestrator::on_ack(const std::string& slot, const ipc::Frame& frame) {
+  if (frame.type != ipc::FrameType::kRecoverAck) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    ++stats_.duplicate_acks;
+    bump(duplicate_acks_ctr_);
+    return;
+  }
+  SlotState& st = it->second;
+  if (!st.outstanding || frame.token != st.token) {
+    // Stale or duplicate: the retry path can produce two executions of
+    // one token SUO-side, hence two acks — drop the echo.
+    ++stats_.duplicate_acks;
+    bump(duplicate_acks_ctr_);
+    return;
+  }
+  st.outstanding = false;
+  if (frame.ok) {
+    ++stats_.acked_ok;
+    bump(acked_ok_ctr_);
+  } else {
+    ++stats_.acked_fail;
+    bump(acked_fail_ctr_);
+    fail_outstanding_locked(st, slot);
+  }
+}
+
+bool RecoveryOrchestrator::quarantined(const std::string& slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(slot);
+  return it != slots_.end() && it->second.quarantined;
+}
+
+std::size_t RecoveryOrchestrator::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t q = 0;
+  for (const auto& [name, st] : slots_) q += st.quarantined ? 1 : 0;
+  return q;
+}
+
+bool RecoveryOrchestrator::has_outstanding(const std::string& slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(slot);
+  return it != slots_.end() && it->second.outstanding;
+}
+
+RecoveryStats RecoveryOrchestrator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<RecoveryActionRecord> RecoveryOrchestrator::actions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return actions_;
+}
+
+}  // namespace trader::hub

@@ -163,8 +163,13 @@ bool read_event(Reader& r, runtime::Event& ev) {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kSpectrum);
+         t <= static_cast<std::uint8_t>(FrameType::kRecoverAck);
 }
+
+/// Recovery actions are strict: give-up (4) is a hub-local verdict and
+/// never crosses the wire, so the on-wire action space is exactly the
+/// four actuatable rungs of the §5 ladder.
+constexpr std::uint8_t kMaxWireRecoveryAction = 3;
 
 void put_spectra(std::vector<std::uint8_t>& out, const Frame& f) {
   put_u32(out, f.block_count);
@@ -221,6 +226,10 @@ bool decode_payload(FrameType type, const std::uint8_t* p, std::size_t n, Frame&
     case FrameType::kInputEvent:
     case FrameType::kOutputEvent:
       if (!read_event(r, out.event)) return false;
+      // The timestamp rides in the frame header (senders set f.time from
+      // ev.timestamp), not the payload — restore it so consumers see the
+      // publisher's virtual clock (watermarks, auto-advance).
+      out.event.timestamp = out.time;
       break;
     case FrameType::kControl: {
       out.command = r.str();
@@ -251,6 +260,24 @@ bool decode_payload(FrameType type, const std::uint8_t* p, std::size_t n, Frame&
     case FrameType::kSpectrum:
       if (!read_spectra(r, out)) return false;
       break;
+    case FrameType::kRecover:
+      out.action = r.u8();
+      if (out.action > kMaxWireRecoveryAction) return false;
+      out.token = r.u64();
+      out.block = r.u32();
+      out.unit = r.str();
+      break;
+    case FrameType::kRecoverAck: {
+      out.action = r.u8();
+      if (out.action > kMaxWireRecoveryAction) return false;
+      out.token = r.u64();
+      const std::uint8_t ok = r.u8();
+      if (ok > 1) return false;
+      out.ok = ok == 1;
+      out.unit = r.str();
+      out.detail = r.str();
+      break;
+    }
   }
   return r.done();
 }
@@ -279,6 +306,10 @@ const char* to_string(FrameType t) {
       return "shutdown";
     case FrameType::kSpectrum:
       return "spectrum";
+    case FrameType::kRecover:
+      return "recover";
+    case FrameType::kRecoverAck:
+      return "recover-ack";
   }
   return "?";
 }
@@ -351,6 +382,19 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
       break;
     case FrameType::kSpectrum:
       put_spectra(payload, f);
+      break;
+    case FrameType::kRecover:
+      put_u8(payload, f.action);
+      put_u64(payload, f.token);
+      put_u32(payload, f.block);
+      put_str(payload, f.unit);
+      break;
+    case FrameType::kRecoverAck:
+      put_u8(payload, f.action);
+      put_u64(payload, f.token);
+      put_u8(payload, f.ok ? 1 : 0);
+      put_str(payload, f.unit);
+      put_str(payload, f.detail);
       break;
   }
   if (payload.size() > kMaxFramePayload) return {};

@@ -18,9 +18,12 @@
 //
 // Strings are u32 length + bytes; runtime::Value is a 1-byte tag (the
 // variant index) + payload. Protocol v2 adds the kSpectrum frame
-// (batched SFL spectra toward the hub, see SpectrumStep below); peers
-// negotiate the version through the kHello [min,max] range exchange and
-// only send spectra on links that negotiated >= kSpectrumMinVersion.
+// (batched SFL spectra toward the hub, see SpectrumStep below);
+// protocol v3 adds the kRecover / kRecoverAck pair (hub-commanded
+// recovery actuation on a remote SUO). Peers negotiate the version
+// through the kHello [min,max] range exchange and only send feature
+// frames on links that negotiated the matching minimum
+// (kSpectrumMinVersion / kRecoverMinVersion).
 // Decoding fails closed: any malformed
 // header or payload poisons the decoder until reset() — a frame is
 // either delivered whole and checksum-clean or not at all, so a
@@ -43,11 +46,15 @@ namespace trader::ipc {
 
 inline constexpr std::uint32_t kMagic = 0x54524452;  // "TRDR"
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// First protocol version that carries kSpectrum frames. A peer whose
 /// negotiated version is lower must not send them (and a v1 decoder
 /// would fail closed on the unknown type if it did).
 inline constexpr std::uint8_t kSpectrumMinVersion = 2;
+/// First protocol version that carries kRecover / kRecoverAck frames.
+/// The hub must never send a recovery command to a peer that
+/// negotiated lower — a v2 decoder fails closed on the unknown type.
+inline constexpr std::uint8_t kRecoverMinVersion = 3;
 inline constexpr std::size_t kHeaderSize = 28;
 /// Upper bound on payload size; a header announcing more is rejected
 /// before any allocation happens (flood protection).
@@ -65,6 +72,8 @@ enum class FrameType : std::uint8_t {
   kHeartbeatAck,   ///< Liveness echo (server -> client).
   kShutdown,       ///< Orderly teardown or handshake rejection.
   kSpectrum,       ///< SUO -> hub: batched SFL spectra (since v2).
+  kRecover,        ///< Hub -> SUO: targeted recovery command (since v3).
+  kRecoverAck,     ///< SUO -> hub: recovery outcome (since v3).
 };
 
 const char* to_string(FrameType t);
@@ -88,6 +97,21 @@ struct SpectrumStep {
   }
 };
 
+/// kRecover payload grammar (strict, fail-closed):
+///   u8  action         recovery::RecoveryAction ordinal; give-up (4)
+///                      never crosses the wire — the hub quarantines
+///                      locally — so any value >= 4 is malformed
+///   u64 token          idempotency token; the ack must echo it
+///   u32 block          top suspect block id (SUO resolves component)
+///   str unit           hub's belief of the suspect component name
+///
+/// kRecoverAck payload grammar:
+///   u8  action         echoed command action, same < 4 bound
+///   u64 token          echoed idempotency token
+///   u8  ok             0 or 1, anything else is malformed
+///   str unit           echoed unit
+///   str detail         free-form outcome note
+///
 /// One decoded (or to-be-encoded) protocol frame. Only the fields of
 /// the frame's type are meaningful; the rest stay default.
 struct Frame {
@@ -106,6 +130,10 @@ struct Frame {
   std::uint64_t nonce = 0;                        ///< kHeartbeat / kHeartbeatAck.
   std::uint32_t block_count = 0;                  ///< kSpectrum id universe.
   std::vector<SpectrumStep> spectra;              ///< kSpectrum batch.
+  std::uint8_t action = 0;                        ///< kRecover / kRecoverAck ladder rung.
+  std::uint64_t token = 0;                        ///< kRecover / kRecoverAck idempotency.
+  std::uint32_t block = 0;                        ///< kRecover suspect block id.
+  std::string unit;                               ///< kRecover / kRecoverAck component.
 };
 
 /// Encode a frame. Returns an empty vector when the payload would

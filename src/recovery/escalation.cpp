@@ -33,12 +33,20 @@ int RecoveryEscalator::level(const std::string& unit, runtime::SimTime now) cons
 }
 
 RecoveryAction RecoveryEscalator::next_action(const std::string& unit, runtime::SimTime now) {
-  auto& history = failures_[unit];
-  // Prune outside the window to bound memory.
+  // Prune the whole map, not just the requested unit: a long campaign
+  // with recurring distinct unit names would otherwise grow failures_
+  // forever (count_recent filters expired stamps but never erases).
   const runtime::SimTime cutoff = now - config_.window;
-  history.erase(std::remove_if(history.begin(), history.end(),
-                               [&](runtime::SimTime t) { return t < cutoff; }),
-                history.end());
+  const auto expired = [&](runtime::SimTime t) { return t < cutoff; };
+  for (auto it = failures_.begin(); it != failures_.end();) {
+    auto& stamps = it->second;
+    stamps.erase(std::remove_if(stamps.begin(), stamps.end(), expired), stamps.end());
+    if (stamps.empty())
+      it = failures_.erase(it);
+    else
+      ++it;
+  }
+  auto& history = failures_[unit];
   history.push_back(now);
   const int lvl = (static_cast<int>(history.size()) - 1) / std::max(config_.failures_per_level, 1);
   switch (lvl) {
@@ -57,5 +65,7 @@ RecoveryAction RecoveryEscalator::next_action(const std::string& unit, runtime::
 }
 
 void RecoveryEscalator::report_success(const std::string& unit) { failures_.erase(unit); }
+
+void RecoveryEscalator::forget(const std::string& unit) { failures_.erase(unit); }
 
 }  // namespace trader::recovery

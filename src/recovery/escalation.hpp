@@ -47,10 +47,20 @@ class RecoveryEscalator {
   /// explicit success resets the unit immediately.
   void report_success(const std::string& unit);
 
+  /// Drop all escalation state for `unit` — used when a hub slot is
+  /// retired (mirrors FleetAggregator::retire_slot) so dead slots
+  /// don't pin memory. Unlike report_success this is also semantically
+  /// a discard, not a recovery: the unit is gone, not healthy.
+  void forget(const std::string& unit);
+
   /// Current level for a unit (0 = resync).
   int level(const std::string& unit, runtime::SimTime now) const;
 
   std::uint64_t give_ups() const { return give_ups_; }
+
+  /// Units with at least one recorded failure (bounded: fully expired
+  /// units are dropped by the periodic prune in next_action).
+  std::size_t tracked_units() const { return failures_.size(); }
 
  private:
   int count_recent(const std::string& unit, runtime::SimTime now) const;

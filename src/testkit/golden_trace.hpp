@@ -18,7 +18,12 @@
 // reconnects, RTT): they depend on transport framing, retry timing and
 // the kernel scheduler, so a campaign over AF_UNIX must fingerprint
 // identically to its in-process twin — capture_metrics callers filter
-// to the deterministic prefixes (comparator.*, model.*) only.
+// to the deterministic prefixes (comparator.*, model.*) only. The
+// hub.recovery.* counters are likewise excluded by that filter: ack
+// round-trips, retries and token-bucket refills ride wall-clock
+// timers, so recovery accounting would diverge between transports even
+// when the repaired behaviour is identical (pinned by
+// RecoveryLoop.GoldenTraceFingerprintsExcludeRecoveryMetrics).
 #pragma once
 
 #include <cstdint>

@@ -146,6 +146,107 @@ TEST(NVersion, EmptyVoterIsBenign) {
   EXPECT_FALSE(verdict.agreed);
 }
 
+TEST(Fallback, RepeatedExhaustionCountsEveryOutageAndHealsDeepestFirst) {
+  // Level exhaustion under a progressing outage: levels fail top-down,
+  // the chain serves the deepest survivor, and once everything is gone
+  // every get() is a counted outage — then service heals bottom-up.
+  rec::FallbackChain chain;
+  bool hd = true, sd = true, audio = true;
+  chain.add_level("hd", [&]() -> std::optional<rt::Value> {
+    if (hd) return rt::Value{std::int64_t{1080}};
+    return std::nullopt;
+  });
+  chain.add_level("sd", [&]() -> std::optional<rt::Value> {
+    if (sd) return rt::Value{std::int64_t{576}};
+    return std::nullopt;
+  });
+  chain.add_level("audio-only", [&]() -> std::optional<rt::Value> {
+    if (audio) return rt::Value{std::int64_t{0}};
+    return std::nullopt;
+  });
+
+  hd = false;
+  chain.get();
+  EXPECT_EQ(chain.last_level(), 1);
+  sd = false;
+  chain.get();
+  EXPECT_EQ(chain.last_level(), 2);
+  EXPECT_EQ(chain.level_name(2), "audio-only");
+  EXPECT_EQ(chain.degradations(), 2u);
+
+  audio = false;  // full exhaustion: every level dark
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(chain.get().has_value()) << "outage get " << i;
+    EXPECT_EQ(chain.last_level(), -1);
+  }
+  EXPECT_EQ(chain.outages(), 3u) << "every exhausted query is an outage";
+
+  // Partial heal: the deepest level returning is enough to end the
+  // outage (still a degradation, not primary service).
+  audio = true;
+  auto v = chain.get();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(chain.last_level(), 2);
+  EXPECT_EQ(chain.degradations(), 3u);
+  EXPECT_EQ(chain.outages(), 3u);
+
+  hd = true;  // full heal: straight back to primary, no extra counts
+  chain.get();
+  EXPECT_EQ(chain.last_level(), 0);
+  EXPECT_EQ(chain.degradations(), 3u);
+}
+
+TEST(SafeGuard, ReentryAfterFailedRecoveryKeepsLastGoodUntilAValidWrite) {
+  // A failed recovery is exactly a re-entrant corrupt writer: the
+  // restarted component comes back wrong and keeps writing garbage.
+  // The guard must hold the last-good value through the whole failed
+  // episode and accept the first valid write of the successful retry.
+  rec::SafeStateGuard guard(rt::Value{std::int64_t{12}}, [](const rt::Value& v) {
+    const auto* i = std::get_if<std::int64_t>(&v);
+    return i != nullptr && *i >= 0 && *i <= 100;
+  });
+  ASSERT_TRUE(guard.update(rt::Value{std::int64_t{40}}));
+
+  // First recovery attempt fails: the component re-enters with corrupt
+  // state and hammers the guard.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(guard.update(rt::Value{std::int64_t{1000 + i}}));
+    EXPECT_EQ(std::get<std::int64_t>(guard.value()), 40) << "last good held";
+  }
+  EXPECT_EQ(guard.rejected(), 5u);
+
+  // Second recovery succeeds: the first valid write re-enters service.
+  EXPECT_TRUE(guard.update(rt::Value{std::int64_t{41}}));
+  EXPECT_EQ(std::get<std::int64_t>(guard.value()), 41);
+  EXPECT_EQ(guard.accepted(), 2u);
+  EXPECT_EQ(guard.rejected(), 5u) << "history survives the recovery";
+}
+
+TEST(NVersion, EvenSplitTieIsNotAMajority) {
+  // 2-2 tie: no strict majority. The verdict must say so, expose the
+  // first-seen camp's value (a deterministic, not a correct, choice)
+  // and name the other camp as dissenters.
+  rec::NVersionVoter voter;
+  voter.add_variant("a1", [] { return rt::Value{std::int64_t{7}}; });
+  voter.add_variant("b1", [] { return rt::Value{std::int64_t{9}}; });
+  voter.add_variant("a2", [] { return rt::Value{std::int64_t{7}}; });
+  voter.add_variant("b2", [] { return rt::Value{std::int64_t{9}}; });
+  const auto verdict = voter.vote();
+  EXPECT_FALSE(verdict.agreed);
+  EXPECT_EQ(std::get<std::int64_t>(verdict.value), 7);  // first seen, flagged unagreed
+  ASSERT_EQ(verdict.dissenters.size(), 2u);
+  EXPECT_EQ(verdict.dissenters[0], "b1");
+  EXPECT_EQ(verdict.dissenters[1], "b2");
+  EXPECT_EQ(voter.disagreements(), 1u);
+
+  // A tie among agreeing duplicates is still unanimous: two variants,
+  // same value -> 2 of 2 IS a strict majority.
+  rec::NVersionVoter pair;
+  pair.add_variant("x", [] { return rt::Value{std::int64_t{5}}; });
+  pair.add_variant("y", [] { return rt::Value{std::int64_t{5}}; });
+  EXPECT_TRUE(pair.vote().agreed);
+}
+
 // ----------------------------------------------------- Teletext page content
 
 TEST(TeletextContent, CarouselFillsCacheFromTunedChannel) {

@@ -123,6 +123,27 @@ std::vector<ipc::Frame> sample_frames() {
   spectrum.spectra.push_back({false, {}});  // a step may touch nothing
   frames.push_back(spectrum);
 
+  ipc::Frame recover;
+  recover.type = ipc::FrameType::kRecover;
+  recover.seq = 11;
+  recover.time = rt::msec(130);
+  recover.action = 1;  // restart-unit
+  recover.token = 0xfeedfacecafeULL;
+  recover.block = 4711;
+  recover.unit = "aspect2";
+  frames.push_back(recover);
+
+  ipc::Frame recover_ack;
+  recover_ack.type = ipc::FrameType::kRecoverAck;
+  recover_ack.seq = 12;
+  recover_ack.time = rt::msec(131);
+  recover_ack.action = 1;
+  recover_ack.token = 0xfeedfacecafeULL;
+  recover_ack.ok = true;
+  recover_ack.unit = "aspect2";
+  recover_ack.detail = "repaired aspect2";
+  frames.push_back(recover_ack);
+
   return frames;
 }
 
@@ -143,6 +164,10 @@ void expect_frames_equal(const ipc::Frame& a, const ipc::Frame& b) {
   EXPECT_EQ(a.nonce, b.nonce);
   EXPECT_EQ(a.block_count, b.block_count);
   EXPECT_EQ(a.spectra, b.spectra);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.token, b.token);
+  EXPECT_EQ(a.block, b.block);
+  EXPECT_EQ(a.unit, b.unit);
 }
 
 // Run a SuoServer over one end of a socketpair on a background thread,
@@ -244,9 +269,12 @@ TEST(IpcWire, BitFlipCorruptionFailsClosed) {
   //   * payload flips (offset >= 28) are always caught by the checksum;
   //   * header flips are caught field-by-field, except the documented
   //     unprotected window — seq/time at offsets [8, 20) decode to a
-  //     different-but-valid frame, and a type-byte flip (offset 5) may
+  //     different-but-valid frame, a type-byte flip (offset 5) may
   //     land on another known type whose payload grammar coincidentally
-  //     accepts the bytes; in both cases the frame visibly differs.
+  //     accepts the bytes, and a version-byte flip (offset 4) may land
+  //     on another version inside the accepted [min, max] range (three
+  //     live versions since kRecover arrived, so low-bit flips of 3
+  //     stay in-range); in every case the frame visibly differs.
   for (const auto& original : sample_frames()) {
     const auto clean = ipc::encode_frame(original);
     for (std::size_t i = 0; i < clean.size(); ++i) {
@@ -264,12 +292,7 @@ TEST(IpcWire, BitFlipCorruptionFailsClosed) {
               << ipc::to_string(original.type) << " payload byte " << i << " bit " << bit;
           EXPECT_TRUE(decoder.poisoned());
         } else if (status == ipc::DecodeStatus::kOk) {
-          // Hello/HelloAck are exempt from the header version-range
-          // check (negotiation must survive a version skew), so their
-          // version byte joins the unprotected window.
-          const bool hello = original.type == ipc::FrameType::kHello ||
-                             original.type == ipc::FrameType::kHelloAck;
-          const bool unprotected_header = (i >= 8 && i < 20) || i == 5 || (i == 4 && hello);
+          const bool unprotected_header = (i >= 8 && i < 20) || i == 5 || i == 4;
           EXPECT_TRUE(unprotected_header)
               << ipc::to_string(original.type) << " header byte " << i << " bit " << bit
               << " decoded despite corruption";
@@ -375,6 +398,87 @@ TEST(IpcWire, MalformedSpectrumPayloadFailsClosed) {
   EXPECT_EQ(out.block_count, 10u);
   ASSERT_EQ(out.spectra.size(), 1u);
   EXPECT_TRUE(out.spectra[0].error);
+}
+
+TEST(IpcWire, MalformedRecoverPayloadFailsClosed) {
+  // The v3 recovery grammar is strict: wire actions are the four
+  // actuatable ladder rungs (give-up is hub-local, never on wire), ack
+  // ok bytes are 0/1, and both frames must consume the payload exactly.
+  // A hostile or corrupted peer poisons its decoder, never actuates.
+  const auto reseal = [](std::vector<std::uint8_t> bytes) {
+    std::uint32_t h = 0x811c9dc5u;  // FNV-1a 32 over the payload
+    for (std::size_t i = ipc::kHeaderSize; i < bytes.size(); ++i) {
+      h ^= bytes[i];
+      h *= 0x01000193u;
+    }
+    for (int i = 0; i < 4; ++i) bytes[24 + i] = static_cast<std::uint8_t>(h >> (8 * i));
+    // Fix the payload length the header announces (trailing-byte cases).
+    const auto len = static_cast<std::uint32_t>(bytes.size() - ipc::kHeaderSize);
+    for (int i = 0; i < 4; ++i) bytes[20 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+    return bytes;
+  };
+  const auto expect_malformed = [](const std::vector<std::uint8_t>& bytes, const char* what) {
+    ipc::FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    ipc::Frame out;
+    EXPECT_EQ(decoder.next(out), ipc::DecodeStatus::kMalformed) << what;
+    EXPECT_TRUE(decoder.poisoned()) << what;
+  };
+
+  ipc::Frame cmd;
+  cmd.type = ipc::FrameType::kRecover;
+  cmd.action = 3;
+  cmd.token = 42;
+  cmd.block = 7;
+  cmd.unit = "u";
+  const auto cmd_clean = ipc::encode_frame(cmd);
+  ASSERT_FALSE(cmd_clean.empty());
+  for (std::uint8_t action : {std::uint8_t{4}, std::uint8_t{0xff}}) {
+    auto bytes = cmd_clean;  // payload offset 0 = action byte
+    bytes[ipc::kHeaderSize] = action;
+    expect_malformed(reseal(std::move(bytes)),
+                     "kRecover action beyond the wire ladder");
+  }
+  {
+    auto bytes = cmd_clean;  // exact-consumption check (r.done())
+    bytes.push_back(0);
+    expect_malformed(reseal(std::move(bytes)), "kRecover trailing byte");
+  }
+
+  ipc::Frame ack;
+  ack.type = ipc::FrameType::kRecoverAck;
+  ack.action = 1;
+  ack.token = 42;
+  ack.ok = true;
+  ack.unit = "u";
+  ack.detail = "d";
+  const auto ack_clean = ipc::encode_frame(ack);
+  ASSERT_FALSE(ack_clean.empty());
+  {
+    auto bytes = ack_clean;
+    bytes[ipc::kHeaderSize] = 4;  // action byte
+    expect_malformed(reseal(std::move(bytes)), "kRecoverAck action beyond the ladder");
+  }
+  {
+    auto bytes = ack_clean;  // ok byte sits after action(1) + token(8)
+    bytes[ipc::kHeaderSize + 9] = 2;
+    expect_malformed(reseal(std::move(bytes)), "kRecoverAck ok byte not 0/1");
+  }
+  {
+    auto bytes = ack_clean;
+    bytes.push_back(7);
+    expect_malformed(reseal(std::move(bytes)), "kRecoverAck trailing byte");
+  }
+
+  // The untouched encodings still decode — the corruptions were the
+  // only problem, not the harness.
+  for (const auto* clean : {&cmd_clean, &ack_clean}) {
+    ipc::FrameDecoder decoder;
+    decoder.feed(clean->data(), clean->size());
+    ipc::Frame out;
+    ASSERT_EQ(decoder.next(out), ipc::DecodeStatus::kOk);
+    EXPECT_EQ(out.token, 42u);
+  }
 }
 
 TEST(IpcWire, VersionNegotiation) {

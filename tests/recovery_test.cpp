@@ -460,3 +460,44 @@ TEST(Escalation, EveryLevelFailingEndsInPersistentGiveUp) {
   // ...and the give-up tally stays cumulative for the service report.
   EXPECT_EQ(esc.give_ups(), 5u);
 }
+
+TEST(Escalation, FailureMapStaysBoundedAsUnitsChurn) {
+  // A hub orchestrating a fleet routes thousands of distinct
+  // (slot, component) keys through one escalator over its lifetime; a
+  // unit whose failures have all aged out of the window must cost
+  // nothing, or the map grows without bound.
+  rec::EscalationConfig cfg;
+  cfg.window = rt::msec(100);
+  rec::RecoveryEscalator esc(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    // Each unit fails once, 1 ms apart: by the time unit N fails, every
+    // unit older than the 100 ms window is fully expired.
+    esc.next_action("unit" + std::to_string(i), rt::msec(i));
+    EXPECT_LE(esc.tracked_units(), 101u) << "at unit " << i;
+  }
+  // Long after the window, the next failure prunes everything else.
+  esc.next_action("fresh", rt::sec(100));
+  EXPECT_EQ(esc.tracked_units(), 1u);
+}
+
+TEST(Escalation, ForgetDropsAUnitWithoutTouchingOthers) {
+  rec::EscalationConfig cfg;
+  cfg.failures_per_level = 1;
+  cfg.window = rt::sec(1000);
+  rec::RecoveryEscalator esc(cfg);
+  esc.next_action("gone", rt::sec(1));
+  esc.next_action("gone", rt::sec(2));
+  esc.next_action("kept", rt::sec(3));
+  EXPECT_EQ(esc.tracked_units(), 2u);
+
+  // Retiring a hub slot forgets its ladder state entirely: if the same
+  // name ever comes back it starts from resync, not mid-climb...
+  esc.forget("gone");
+  EXPECT_EQ(esc.tracked_units(), 1u);
+  EXPECT_EQ(esc.next_action("gone", rt::sec(4)), rec::RecoveryAction::kResync);
+
+  // ...while an unrelated unit's history is untouched (one prior
+  // failure -> its next action continues the climb).
+  EXPECT_EQ(esc.next_action("kept", rt::sec(5)), rec::RecoveryAction::kRestartUnit);
+  EXPECT_EQ(esc.level("kept", rt::sec(5)), 2);  // two failures on record
+}
