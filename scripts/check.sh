@@ -35,23 +35,32 @@
 #      on one orchestrator); then bench_recovery_hub leaves
 #      BENCH_recovery.json in the repo root (live actuation RTT +
 #      storm-guard budget + MTTR/precision scores)
-#  10. exec: executor-v2 equivalence — the three-kernel property suite
+#  10. journal: the durable hub under ASan — WAL corruption sweeps
+#      (torn tail vs mid-log fail-closed), checkpoint fallback, the
+#      fork+SIGKILL fsync smoke and the crash-restart byte-identity
+#      campaign — plus the journal_demo kill/restart drill and
+#      bench_journal leaving BENCH_journal.json in the repo root
+#      (append throughput per fsync policy + recovery time vs WAL
+#      length + checkpoint cost)
+#  11. exec: executor-v2 equivalence — the three-kernel property suite
 #      (interpreter vs compiled vs batched) plus arena growth/reuse
 #      under ASan, and the shared-program multi-thread test under TSan;
 #      then bench_exec leaves BENCH_exec.json in the repo root
 #      (steps/sec/core + bytes/monitor per kernel)
-#  11. bench_scale scaling experiment, leaving BENCH_scale.json in the
+#  12. bench_scale scaling experiment, leaving BENCH_scale.json in the
 #      repo root (per-shard-count throughput + merged metrics snapshot)
-#  12. bench_ipc transport experiment, leaving BENCH_ipc.json in the
+#  13. bench_ipc transport experiment, leaving BENCH_ipc.json in the
 #      repo root (frames/sec + RTT percentiles per transport)
-#  13. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
+#  14. bench_hub fleet-ingest experiment, leaving BENCH_hub.json in the
 #      repo root (frames/sec + ingest latency vs connection count)
-#  14. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
+#  15. bench_fuzz fuzzing experiment, leaving BENCH_fuzz.json in the
 #      repo root (scenarios/sec + corpus growth and coverage curves)
 #
-# Each stage prints its wall time on completion. Stages 2-14 can be
+# Each stage prints its wall time on completion. Stages 2-15 can be
 # skipped for a quick tier-1-only run:
 #   scripts/check.sh --tier1-only
+# The fuzz stage's iteration budget is tunable: CHECK_FUZZ_ITERS=400
+# buys a deeper corpus sweep, the default 120 keeps CI fast.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -109,10 +118,11 @@ cmake --build build-asan -j "$JOBS" --target fuzz_test fuzz_demo
 # minimizer and the 20-script cross-backend corpus differential, with
 # leak checking on.
 ./build-asan/tests/fuzz_test
-# Seed-pinned smoke campaign with a bounded iteration budget: the demo
-# runs the same campaign twice and exits nonzero unless the reruns are
+# Seed-pinned smoke campaign with a bounded iteration budget (override
+# with CHECK_FUZZ_ITERS for a deeper sweep): the demo runs the same
+# campaign twice and exits nonzero unless the reruns are
 # byte-identical; it leaves the corpus + findings JSON in the repo root.
-./build-asan/examples/fuzz_demo 2026 120 > FUZZ_report.txt
+./build-asan/examples/fuzz_demo 2026 "${CHECK_FUZZ_ITERS:-120}" > FUZZ_report.txt
 grep -q 'byte-identical: yes' FUZZ_report.txt
 test -s FUZZ_corpus.json
 echo "fuzz headline:"
@@ -174,6 +184,26 @@ cmake --build build -j "$JOBS" --target bench_recovery_hub
 test -s BENCH_recovery.json
 echo "BENCH_recovery.json written:"
 head -12 BENCH_recovery.json
+
+stage "journal: durable hub under ASan -> BENCH_journal.json"
+cmake --build build-asan -j "$JOBS" --target journal_test journal_demo
+# The WAL corruption contract (byte-flip + truncation sweeps over every
+# offset), checkpoint fallback/retention, every Checkpointable's
+# save/load round trip, the fork+SIGKILL every-record fsync smoke and
+# the crash-restart campaign that must score byte-identically to an
+# uninterrupted golden run — leak-checked.
+./build-asan/tests/journal_test
+# Kill/restart drill over real sockets: journal on, hub killed cold at
+# two different command boundaries, both runs must match the golden
+# JSON byte for byte.
+./build-asan/examples/journal_demo 2026 > JOURNAL_report.txt
+grep -q 'crash-restart matches golden: yes' JOURNAL_report.txt
+cmake --build build -j "$JOBS" --target bench_journal
+./build/bench/bench_journal --benchmark_filter='BM_WalAppend' \
+  --benchmark_min_time=0.05
+test -s BENCH_journal.json
+echo "BENCH_journal.json written:"
+head -12 BENCH_journal.json
 
 stage "exec: executor-v2 equivalence under ASan + TSan -> BENCH_exec.json"
 cmake --build build-asan -j "$JOBS" --target exec_test

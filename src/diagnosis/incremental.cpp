@@ -112,4 +112,38 @@ void IncrementalSflCounts::clear() {
   touched_ = 0;
 }
 
+void IncrementalSflCounts::save(journal::Encoder& out) const {
+  out.u32(static_cast<std::uint32_t>(a11_.size()));
+  for (const std::uint32_t v : a11_) out.u32(v);
+  for (const std::uint32_t v : a10_) out.u32(v);
+  out.u64(error_steps_);
+  out.u64(pass_steps_);
+}
+
+bool IncrementalSflCounts::load(journal::Decoder& in) {
+  clear();
+  const std::uint32_t span = in.u32();
+  // The span is checksum-protected upstream, but bound it anyway so a
+  // logic bug can never turn into a multi-gigabyte allocation.
+  if (!in.ok() || in.remaining() < static_cast<std::size_t>(span) * 8) {
+    in.fail();
+    return false;
+  }
+  a11_.resize(span, 0);
+  a10_.resize(span, 0);
+  for (std::uint32_t b = 0; b < span; ++b) a11_[b] = in.u32();
+  for (std::uint32_t b = 0; b < span; ++b) a10_[b] = in.u32();
+  error_steps_ = in.u64();
+  pass_steps_ = in.u64();
+  if (!in.ok()) {
+    clear();
+    return false;
+  }
+  touched_ = 0;
+  for (std::size_t b = 0; b < a11_.size(); ++b) {
+    if (a11_[b] + a10_[b] > 0) ++touched_;
+  }
+  return true;
+}
+
 }  // namespace trader::diagnosis

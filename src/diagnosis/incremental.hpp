@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "diagnosis/spectrum.hpp"
+#include "journal/codec.hpp"
 
 namespace trader::diagnosis {
 
@@ -71,6 +72,13 @@ class IncrementalSflCounts {
   void merge(const IncrementalSflCounts& other);
 
   void clear();
+
+  /// Serialize the full accumulator for the hub's checkpoint files.
+  /// load() fully overwrites current state and fails closed (false,
+  /// counts cleared) on any malformed input; `touched_` is recomputed
+  /// rather than trusted from disk.
+  void save(journal::Encoder& out) const;
+  bool load(journal::Decoder& in);
 
  private:
   void ensure_span(std::uint32_t max_block);

@@ -238,4 +238,61 @@ std::uint64_t FleetAggregator::ranking_churn() const {
   return churn_;
 }
 
+void FleetAggregator::save_state(journal::Encoder& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.u64(reports_);
+  out.u64(steps_);
+  out.u64(churn_);
+  fleet_.save(out);
+  out.u64(fleet_reports_);
+  out.u64(fleet_reports_at_refresh_);
+  out.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [name, slot] : slots_) {
+    out.str(name);
+    slot.counts.save(out);
+    out.u64(slot.reports);
+    out.u64(slot.reports_at_refresh);
+    out.u64(slot.churn);
+  }
+}
+
+bool FleetAggregator::load_state(journal::Decoder& in, std::uint32_t version) {
+  if (version != 1) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  fleet_.clear();
+  fleet_top_.clear();
+  reports_ = in.u64();
+  steps_ = in.u64();
+  churn_ = in.u64();
+  if (!fleet_.load(in)) return false;
+  fleet_reports_ = in.u64();
+  fleet_reports_at_refresh_ = in.u64();
+  const std::uint32_t slot_count = in.u32();
+  for (std::uint32_t i = 0; i < slot_count && in.ok(); ++i) {
+    const std::string name = in.str();
+    Slot& slot = slots_[name];
+    if (!slot.counts.load(in)) return false;
+    slot.reports = in.u64();
+    slot.reports_at_refresh = in.u64();
+    slot.churn = in.u64();
+  }
+  if (!in.done()) {
+    slots_.clear();
+    fleet_.clear();
+    return false;
+  }
+  // Re-derive the cached rankings from the restored counters. This is
+  // a reconstruction, not a refresh: churn counters and refresh stamps
+  // keep their checkpointed values so the convergence gate sees the
+  // same history the live run saw.
+  for (auto& [name, slot] : slots_) {
+    slot.top = slot.counts.top_k(config_.top_k, config_.coefficient);
+    export_health_locked(name, slot);
+  }
+  fleet_top_ = fleet_.top_k(config_.top_k, config_.coefficient);
+  if (slots_gauge_ != nullptr) slots_gauge_->set(static_cast<double>(slots_.size()));
+  return true;
+}
+
 }  // namespace trader::fleetdiag

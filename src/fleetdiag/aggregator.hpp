@@ -37,6 +37,7 @@
 #include "diagnosis/component_ranker.hpp"
 #include "diagnosis/incremental.hpp"
 #include "ipc/wire.hpp"
+#include "journal/checkpoint.hpp"
 #include "runtime/metrics.hpp"
 
 namespace trader::fleetdiag {
@@ -68,7 +69,7 @@ struct SlotHealth {
   std::uint64_t churn = 0;
 };
 
-class FleetAggregator {
+class FleetAggregator : public journal::Checkpointable {
  public:
   explicit FleetAggregator(AggregatorConfig config = {},
                            runtime::MetricsRegistry* metrics = nullptr);
@@ -120,6 +121,15 @@ class FleetAggregator {
   std::uint64_t ranking_churn() const;
 
   const AggregatorConfig& config() const { return config_; }
+
+  // Checkpointable (the durable hub snapshots the whole aggregator:
+  // every slot's counters + the fleet accumulator + churn/lifetime
+  // stats; cached top-k rankings are re-derived on load without
+  // counting as churn). Config is not persisted.
+  std::string checkpoint_name() const override { return "fleetdiag"; }
+  std::uint32_t checkpoint_version() const override { return 1; }
+  void save_state(journal::Encoder& out) const override;
+  bool load_state(journal::Decoder& in, std::uint32_t version) override;
 
  private:
   struct Slot {

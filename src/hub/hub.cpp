@@ -30,13 +30,11 @@ AwarenessHub::AwarenessHub(HubConfig config)
       diag_(config_.diag, &metrics_),
       recovery_(config_.recovery, diag_, &metrics_) {
   if (config_.path.empty()) config_.path = auto_path();
-  recovery_.set_send([this](const std::string& name, const ipc::Frame& f) {
-    auto it = slots_.find(name);
-    if (it == slots_.end() || it->second->conn == nullptr) return false;
-    ipc::Frame out = f;
-    out.seq = ++it->second->seq;
-    return it->second->conn->send(out);
-  });
+  install_live_send();
+  if (config_.journal.enabled) {
+    journal_ = std::make_unique<journal::HubJournal>(config_.journal, &metrics_);
+  }
+  journal_parts_ = {&diag_, &recovery_, this};
   loop_.set_metrics(&metrics_);
   spectra_frames_ = &metrics_.counter("hub.spectra_frames");
   conn_counters_.frames_in = &metrics_.counter("hub.frames_in");
@@ -84,9 +82,22 @@ core::AwarenessMonitor& AwarenessHub::add_monitor(const std::string& slot,
   return fleet_.add_monitor(aspect, std::move(builder));
 }
 
+void AwarenessHub::install_live_send() {
+  recovery_.set_send([this](const std::string& name, const ipc::Frame& f) {
+    auto it = slots_.find(name);
+    if (it == slots_.end() || it->second->conn == nullptr) return false;
+    ipc::Frame out = f;
+    out.seq = ++it->second->seq;
+    return it->second->conn->send(out);
+  });
+}
+
 bool AwarenessHub::start() {
   if (listen_fd_ >= 0) return true;
   if (!loop_.valid()) return false;
+  if (journal_ != nullptr && !journal_->active() && !recover_from_journal()) {
+    return false;  // fail closed: a damaged journal must not serve guessed state
+  }
   listen_fd_ = ipc::listen_unix(config_.path, config_.listen_backlog);
   if (listen_fd_ < 0) return false;
   ipc::set_nonblocking(listen_fd_, true);
@@ -125,6 +136,32 @@ void AwarenessHub::stop() {
     listen_fd_ = -1;
   }
   fleet_.stop();
+  // Clean shutdown = checkpoint: the next start() restores from the
+  // snapshot alone instead of replaying the whole tail.
+  if (journal_ != nullptr && journal_->active()) {
+    journal_->checkpoint_now(journal_parts_);
+  }
+  stopping_ = false;
+}
+
+void AwarenessHub::simulate_crash() {
+  if (journal_ != nullptr) journal_->abandon();
+  stopping_ = true;  // a crash reports no outages: the hub died, not the links
+  std::vector<Peer*> peers;
+  peers.reserve(connections_.size());
+  for (auto& [raw, owned] : connections_) peers.push_back(raw);
+  for (Peer* p : peers) p->conn->close(CloseReason::kEvicted);
+  reap();
+  if (probe_timer_ != 0) {
+    loop_.cancel_timer(probe_timer_);
+    probe_timer_ = 0;
+  }
+  if (listen_fd_ >= 0) {
+    loop_.defer_close(listen_fd_);
+    ipc::unlink_unix(config_.path);
+    listen_fd_ = -1;
+  }
+  fleet_.stop();
   stopping_ = false;
 }
 
@@ -135,7 +172,14 @@ int AwarenessHub::poll(int timeout_ms) {
   // Actuate after advancing: decisions are keyed on the fleet's virtual
   // clock, so a lockstep driver sees the same action sequence at any
   // shard count or poll cadence.
-  if (config_.recovery.enabled) recovery_.tick(fleet_.now());
+  if (config_.recovery.enabled) {
+    // The tick itself is journaled — actuation decisions are pure
+    // functions of (state, virtual time), so replaying the tick times
+    // re-makes the same decisions.
+    if (journal_ != nullptr) journal_->append_tick(fleet_.now());
+    recovery_.tick(fleet_.now());
+  }
+  if (journal_ != nullptr) journal_->on_batch_end(journal_parts_);
   return n;
 }
 
@@ -189,7 +233,13 @@ void AwarenessHub::on_frame(Peer* peer, const ipc::Frame& f) {
   switch (f.type) {
     case ipc::FrameType::kInputEvent:
     case ipc::FrameType::kOutputEvent:
-      ingest(peer, f);
+    case ipc::FrameType::kSpectrum:
+    case ipc::FrameType::kRecoverAck:
+      // Write-ahead: the journal holds the frame before the hub's state
+      // reflects it, so a crash between the two replays the mutation
+      // instead of losing it.
+      if (journal_ != nullptr) journal_->append_frame(peer->slot->name, f);
+      apply_frame(*peer->slot, f);
       break;
     case ipc::FrameType::kHeartbeatAck: {
       Slot& slot = *peer->slot;
@@ -213,13 +263,6 @@ void AwarenessHub::on_frame(Peer* peer, const ipc::Frame& f) {
     case ipc::FrameType::kShutdown:
       peer->orderly = true;
       peer->conn->close(CloseReason::kPeerClosed);
-      break;
-    case ipc::FrameType::kSpectrum:
-      spectra_frames_->inc();
-      diag_.ingest(peer->slot->name, f);
-      break;
-    case ipc::FrameType::kRecoverAck:
-      recovery_.on_ack(peer->slot->name, f);
       break;
     default:
       // kHello after handshake, kControl/kControlAck toward the hub:
@@ -270,6 +313,7 @@ void AwarenessHub::handle_hello(Peer* peer, const ipc::Frame& f) {
   ack.max_version = config_.max_version;
   if (!peer->conn->send(ack)) return;
 
+  if (journal_ != nullptr) journal_->append_slot_up(slot.name, version, fleet_.now());
   peer->slot = &slot;
   slot.conn = peer->conn.get();
   slot.probe_outstanding = false;
@@ -294,10 +338,28 @@ void AwarenessHub::reject(Peer* peer, const std::string& why) {
   peer->conn->close(CloseReason::kEvicted);
 }
 
-void AwarenessHub::ingest(Peer* peer, const ipc::Frame& f) {
+void AwarenessHub::apply_frame(Slot& slot, const ipc::Frame& f) {
+  switch (f.type) {
+    case ipc::FrameType::kInputEvent:
+    case ipc::FrameType::kOutputEvent:
+      ingest(slot, f);
+      break;
+    case ipc::FrameType::kSpectrum:
+      spectra_frames_->inc();
+      diag_.ingest(slot.name, f);
+      break;
+    case ipc::FrameType::kRecoverAck:
+      recovery_.on_ack(slot.name, f);
+      break;
+    default:
+      break;  // non-state-bearing types are never journaled or replayed
+  }
+}
+
+void AwarenessHub::ingest(Slot& slot, const ipc::Frame& f) {
   runtime::Event ev = f.event;
-  if (config_.namespace_topics) ev.topic = peer->slot->name + "/" + ev.topic;
-  if (ev.timestamp > peer->slot->watermark) peer->slot->watermark = ev.timestamp;
+  if (config_.namespace_topics) ev.topic = slot.name + "/" + ev.topic;
+  if (ev.timestamp > slot.watermark) slot.watermark = ev.timestamp;
   fleet_.publish(ev);
   ++events_ingested_;
   if (ingest_tap_) ingest_tap_(ev);
@@ -351,6 +413,7 @@ void AwarenessHub::on_close(Peer* peer, CloseReason reason) {
 }
 
 void AwarenessHub::slot_down(Slot& slot, bool orderly) {
+  if (journal_ != nullptr) journal_->append_slot_down(slot.name, orderly, fleet_.now());
   const bool was_up = slot.gate->exchange(false, std::memory_order_relaxed);
   slot.supervisor.on_disconnected();
   // Crash-loop accounting. The supervisor resets its attempt counter on
@@ -400,6 +463,122 @@ void AwarenessHub::slot_down(Slot& slot, bool orderly) {
   report.first_deviation_at = fleet_.now();
   link_errors_.push_back(report);
   if (notify_ != nullptr) notify_->on_error(report);
+}
+
+bool AwarenessHub::recover_from_journal() {
+  replaying_ = true;
+  // Replay must not actuate sockets that no longer exist: the journaled
+  // ticks already made these send decisions once, and their observable
+  // effects (the acks) are further down the WAL. A phantom send that
+  // reports success re-walks the same state machine without I/O.
+  recovery_.set_send([](const std::string&, const ipc::Frame&) { return true; });
+  recovery_info_ = journal_->recover(journal_parts_, *this);
+  install_live_send();
+  replaying_ = false;
+  if (!recovery_info_.ok) {
+    trace(runtime::TraceLevel::kError, "journal recovery failed: " + recovery_info_.error);
+    return false;
+  }
+  // Replayed slots may be logically up, but no socket survived the
+  // restart: force every slot down so gates quiesce and reconnects are
+  // accepted immediately. The restart is the hub's fault, not the
+  // slots' — no backoff charge, no crash-loop accounting, no outage
+  // report (link_errors_ is process-scoped by design).
+  for (auto& [name, slot] : slots_) {
+    slot->gate->store(false, std::memory_order_relaxed);
+    slot->conn = nullptr;
+    slot->negotiated_version = 0;
+    slot->earliest_reconnect_ns = 0;
+    slot->up_since_ns = 0;
+    slot->unstable_downs = 0;
+    slot->probe_outstanding = false;
+    slot->acked_since_probe = true;
+    if (slot->supervisor.up()) slot->supervisor.on_disconnected();
+    recovery_.slot_down(name);
+  }
+  if (recovery_info_.from_checkpoint || recovery_info_.replayed_records > 0) {
+    trace(runtime::TraceLevel::kInfo,
+          "journal recovery: checkpoint seq " + std::to_string(recovery_info_.checkpoint_seq) +
+              ", replayed " + std::to_string(recovery_info_.replayed_records) + " records");
+  }
+  return true;
+}
+
+void AwarenessHub::replay_frame(const std::string& slot_name, const ipc::Frame& f) {
+  add_slot(slot_name);
+  apply_frame(*slots_.find(slot_name)->second, f);
+}
+
+void AwarenessHub::replay_slot_up(const std::string& slot_name, std::uint8_t version) {
+  add_slot(slot_name);
+  Slot& slot = *slots_.find(slot_name)->second;
+  slot.negotiated_version = version;
+  slot.gate->store(true, std::memory_order_relaxed);
+  slot.supervisor.on_connected();
+  recovery_.slot_up(slot_name, version);
+}
+
+void AwarenessHub::replay_slot_down(const std::string& slot_name, bool /*orderly*/) {
+  const auto it = slots_.find(slot_name);
+  if (it == slots_.end()) return;
+  Slot& slot = *it->second;
+  slot.gate->store(false, std::memory_order_relaxed);
+  slot.negotiated_version = 0;
+  if (slot.supervisor.up()) slot.supervisor.on_disconnected();
+  recovery_.slot_down(slot_name);
+  // Backoff windows, crash-loop charges and outage reports are
+  // wall-clock scoped and deliberately NOT part of the replayed state;
+  // the permanent-failure retirement is.
+  if (slot.supervisor.exhausted()) {
+    diag_.retire_slot(slot_name);
+    recovery_.retire_slot(slot_name);
+  }
+}
+
+void AwarenessHub::replay_tick(runtime::SimTime now) { recovery_.tick(now); }
+
+void AwarenessHub::save_state(journal::Encoder& out) const {
+  out.u64(events_ingested_);
+  out.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [name, slot] : slots_) {
+    out.str(name);
+    out.i64(slot->watermark);
+    out.u32(slot->seq);
+    const ipc::SupervisorSnapshot snap = slot->supervisor.snapshot();
+    out.u8(snap.link_state);
+    out.u32(static_cast<std::uint32_t>(snap.attempts));
+    out.u32(static_cast<std::uint32_t>(snap.misses));
+    out.boolean(snap.was_up);
+    out.u64(snap.outages);
+    out.u64(snap.reconnects);
+    out.u64(snap.jitter_rng);
+  }
+}
+
+bool AwarenessHub::load_state(journal::Decoder& in, std::uint32_t version) {
+  if (version != 1) return false;
+  events_ingested_ = in.u64();
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count && in.ok(); ++i) {
+    const std::string name = in.str();
+    if (!in.ok()) break;
+    // Merge by name: the embedding app may have pre-registered slots
+    // (gates are already handed out), so restore into them in place.
+    add_slot(name);
+    Slot& slot = *slots_.find(name)->second;
+    slot.watermark = in.i64();
+    slot.seq = in.u32();
+    ipc::SupervisorSnapshot snap;
+    snap.link_state = in.u8();
+    snap.attempts = static_cast<std::int32_t>(in.u32());
+    snap.misses = static_cast<std::int32_t>(in.u32());
+    snap.was_up = in.boolean();
+    snap.outages = in.u64();
+    snap.reconnects = in.u64();
+    snap.jitter_rng = in.u64();
+    slot.supervisor.restore(snap);
+  }
+  return in.done();
 }
 
 void AwarenessHub::auto_advance() {

@@ -45,6 +45,7 @@
 #include "hub/recovery.hpp"
 #include "ipc/supervisor.hpp"
 #include "ipc/wire.hpp"
+#include "journal/replay.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace_log.hpp"
 
@@ -91,9 +92,23 @@ struct HubConfig {
   /// Closed-loop recovery actuation policy (off by default: an
   /// observing hub stays byte-identical to pre-v3 deployments).
   RecoveryConfig recovery;
+
+  /// Durability policy (off by default). When enabled the hub journals
+  /// every state-changing input (frames, slot transitions, actuation
+  /// ticks) to a write-ahead log in `journal.dir` and checkpoints the
+  /// diagnosis/recovery/slot state on a record cadence; a restarted hub
+  /// pointed at the same directory replays back to the exact pre-crash
+  /// state before accepting new connections.
+  journal::JournalConfig journal;
 };
 
-class AwarenessHub {
+// Private ReplaySink: recovery replays journaled inputs through the
+// same ingest/diagnosis/actuation members a live connection feeds, so
+// the replayed hub is the live hub minus the sockets. Private
+// Checkpointable: the hub snapshots its own slot table (watermarks,
+// sequence numbers, supervisor state) alongside the diagnosis and
+// recovery parts it owns.
+class AwarenessHub : private journal::ReplaySink, private journal::Checkpointable {
  public:
   explicit AwarenessHub(HubConfig config = {});
   ~AwarenessHub();
@@ -172,6 +187,19 @@ class AwarenessHub {
 
   EventLoop& loop() { return loop_; }
 
+  // -- durability ----------------------------------------------------------
+  /// Crash simulation for restart testing: abandon the journal without
+  /// syncing or checkpointing, hard-drop every connection without
+  /// goodbye frames, and release the listener. The process survives;
+  /// the hub object is dead. A fresh hub on the same journal dir must
+  /// recover to the pre-crash state.
+  void simulate_crash();
+  /// How the last start() recovered (attempted=false when the journal
+  /// is disabled or was already recovered).
+  const journal::JournalRecoveryInfo& journal_recovery() const { return recovery_info_; }
+  /// The live journal, or null when disabled.
+  journal::HubJournal* journal() { return journal_.get(); }
+
  private:
   struct Slot {
     std::string name;
@@ -209,10 +237,32 @@ class AwarenessHub {
   void reject(Peer* peer, const std::string& why);
   void probe_tick();
   void slot_down(Slot& slot, bool orderly);
-  void ingest(Peer* peer, const ipc::Frame& f);
+  /// Fold one post-handshake state-bearing frame into the hub. Shared
+  /// between the live path (after journaling) and replay.
+  void apply_frame(Slot& slot, const ipc::Frame& f);
+  void ingest(Slot& slot, const ipc::Frame& f);
   void auto_advance();
   void reap();
   void trace(runtime::TraceLevel level, const std::string& msg);
+
+  // journal::ReplaySink — re-fold journaled inputs through the same
+  // members the live path mutates.
+  void replay_frame(const std::string& slot, const ipc::Frame& f) override;
+  void replay_slot_up(const std::string& slot, std::uint8_t version) override;
+  void replay_slot_down(const std::string& slot, bool orderly) override;
+  void replay_tick(runtime::SimTime now) override;
+
+  // journal::Checkpointable — the hub's own slot table.
+  std::string checkpoint_name() const override { return "hub.slots"; }
+  std::uint32_t checkpoint_version() const override { return 1; }
+  void save_state(journal::Encoder& out) const override;
+  bool load_state(journal::Decoder& in, std::uint32_t version) override;
+
+  /// Load the latest checkpoint + replay the WAL tail, fail-closed.
+  bool recover_from_journal();
+  /// (Re)install the orchestrator send that targets live connections
+  /// (replay swaps it for a phantom, then restores through this).
+  void install_live_send();
 
   HubConfig config_;
   EventLoop loop_;
@@ -220,6 +270,12 @@ class AwarenessHub {
   runtime::MetricsRegistry metrics_;
   fleetdiag::FleetAggregator diag_;
   RecoveryOrchestrator recovery_;
+  std::unique_ptr<journal::HubJournal> journal_;
+  journal::JournalRecoveryInfo recovery_info_;
+  /// Checkpoint participants in load order: diagnosis before recovery
+  /// (the orchestrator reads the aggregator), the hub's slots last.
+  std::vector<journal::Checkpointable*> journal_parts_;
+  bool replaying_ = false;
   int listen_fd_ = -1;
   EventLoop::TimerId probe_timer_ = 0;
   bool stopping_ = false;

@@ -21,6 +21,17 @@ void bump(runtime::Counter* c, std::uint64_t n = 1) {
 
 }  // namespace
 
+bool RecoveryPolicy::allows(recovery::RecoveryAction action) const {
+  switch (action) {
+    case recovery::RecoveryAction::kResync: return allow_resync;
+    case recovery::RecoveryAction::kRestartUnit: return allow_restart_unit;
+    case recovery::RecoveryAction::kRestartDependents: return allow_restart_dependents;
+    case recovery::RecoveryAction::kFullRestart: return allow_full_restart;
+    case recovery::RecoveryAction::kGiveUp: return true;  // hub-local, never masked
+  }
+  return false;
+}
+
 RecoveryOrchestrator::RecoveryOrchestrator(RecoveryConfig config,
                                            fleetdiag::FleetAggregator& diag,
                                            runtime::MetricsRegistry* metrics)
@@ -39,6 +50,7 @@ RecoveryOrchestrator::RecoveryOrchestrator(RecoveryConfig config,
     quarantined_ctr_ = &metrics->counter("hub.recovery.quarantined");
     give_ups_ctr_ = &metrics->counter("hub.recovery.give_ups");
     recovered_ctr_ = &metrics->counter("hub.recovery.recovered");
+    policy_denied_ctr_ = &metrics->counter("hub.recovery.policy_denied");
     quarantined_gauge_ = &metrics->gauge("hub.recovery.quarantined_slots");
   }
 }
@@ -255,8 +267,17 @@ std::size_t RecoveryOrchestrator::tick(runtime::SimTime now) {
     }
 
     const std::string key = name + "/" + st.candidate;
-    const recovery::RecoveryAction action = escalator_.next_action(key, now);
+    recovery::RecoveryAction action = escalator_.next_action(key, now);
     st.ladder_keys.insert(key);
+    // Operator policy mask: a denied rung is skipped upward to the next
+    // allowed one; denying everything climbs straight to give-up below.
+    while (action != recovery::RecoveryAction::kGiveUp &&
+           !config_.policy.allows(action)) {
+      ++stats_.policy_denied;
+      bump(policy_denied_ctr_);
+      action = static_cast<recovery::RecoveryAction>(
+          static_cast<std::uint8_t>(action) + 1);
+    }
     if (action == recovery::RecoveryAction::kGiveUp) {
       // Give-up is hub-local: quarantine instead of yet another
       // full restart (the §5 "needs service" verdict, fleet-grade).
@@ -340,6 +361,152 @@ RecoveryStats RecoveryOrchestrator::stats() const {
 std::vector<RecoveryActionRecord> RecoveryOrchestrator::actions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return actions_;
+}
+
+void RecoveryOrchestrator::save_state(journal::Encoder& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.u64(stats_.sent);
+  out.u64(stats_.retries);
+  out.u64(stats_.timeouts);
+  out.u64(stats_.lost);
+  out.u64(stats_.acked_ok);
+  out.u64(stats_.acked_fail);
+  out.u64(stats_.duplicate_acks);
+  out.u64(stats_.suppressed_unconverged);
+  out.u64(stats_.suppressed_cooldown);
+  out.u64(stats_.suppressed_tokens);
+  out.u64(stats_.suppressed_version);
+  out.u64(stats_.quarantined);
+  out.u64(stats_.give_ups);
+  out.u64(stats_.recovered);
+  out.u64(stats_.send_failures);
+  out.u64(stats_.policy_denied);
+  out.u64(token_counter_);
+  out.i64(tokens_);
+  out.i64(last_refill_);
+  escalator_.save(out);
+  out.u32(static_cast<std::uint32_t>(actions_.size()));
+  for (const RecoveryActionRecord& rec : actions_) {
+    out.i64(rec.at);
+    out.str(rec.slot);
+    out.u8(static_cast<std::uint8_t>(rec.action));
+    out.str(rec.unit);
+    out.u32(rec.block);
+    out.u64(rec.token);
+    out.boolean(rec.retry);
+  }
+  out.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [name, st] : slots_) {
+    out.str(name);
+    out.u8(st.negotiated_version);
+    out.boolean(st.up);
+    out.boolean(st.quarantined);
+    out.u32(static_cast<std::uint32_t>(st.flaps));
+    out.i64(st.jitter);
+    out.i64(st.cooldown_until);
+    out.boolean(st.has_candidate);
+    out.str(st.candidate);
+    out.u32(st.candidate_block);
+    out.u64(st.candidate_reports);
+    out.u64(st.candidate_churn);
+    out.boolean(st.outstanding);
+    out.u64(st.token);
+    out.u8(st.action);
+    out.str(st.unit);
+    out.u32(st.block);
+    out.i64(st.sent_at);
+    out.u32(static_cast<std::uint32_t>(st.retries));
+    out.boolean(st.acted);
+    out.str(st.acted_unit);
+    out.u64(st.error_steps_at_action);
+    out.u64(st.reports_at_action);
+    out.u32(static_cast<std::uint32_t>(st.ladder_keys.size()));
+    for (const std::string& key : st.ladder_keys) out.str(key);
+  }
+}
+
+bool RecoveryOrchestrator::load_state(journal::Decoder& in, std::uint32_t version) {
+  if (version != 1) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  actions_.clear();
+  stats_ = RecoveryStats{};
+  stats_.sent = in.u64();
+  stats_.retries = in.u64();
+  stats_.timeouts = in.u64();
+  stats_.lost = in.u64();
+  stats_.acked_ok = in.u64();
+  stats_.acked_fail = in.u64();
+  stats_.duplicate_acks = in.u64();
+  stats_.suppressed_unconverged = in.u64();
+  stats_.suppressed_cooldown = in.u64();
+  stats_.suppressed_tokens = in.u64();
+  stats_.suppressed_version = in.u64();
+  stats_.quarantined = in.u64();
+  stats_.give_ups = in.u64();
+  stats_.recovered = in.u64();
+  stats_.send_failures = in.u64();
+  stats_.policy_denied = in.u64();
+  token_counter_ = in.u64();
+  tokens_ = in.i64();
+  last_refill_ = in.i64();
+  if (!escalator_.load(in)) return false;
+  const std::uint32_t action_count = in.u32();
+  actions_.reserve(std::min<std::size_t>(action_count, config_.action_log_limit));
+  for (std::uint32_t i = 0; i < action_count && in.ok(); ++i) {
+    RecoveryActionRecord rec;
+    rec.at = in.i64();
+    rec.slot = in.str();
+    rec.action = static_cast<recovery::RecoveryAction>(in.u8());
+    rec.unit = in.str();
+    rec.block = in.u32();
+    rec.token = in.u64();
+    rec.retry = in.boolean();
+    actions_.push_back(rec);
+  }
+  const std::uint32_t slot_count = in.u32();
+  for (std::uint32_t i = 0; i < slot_count && in.ok(); ++i) {
+    const std::string name = in.str();
+    SlotState& st = slots_[name];
+    st.negotiated_version = in.u8();
+    st.up = in.boolean();
+    st.quarantined = in.boolean();
+    st.flaps = static_cast<int>(in.u32());
+    st.jitter = in.i64();
+    st.cooldown_until = in.i64();
+    st.has_candidate = in.boolean();
+    st.candidate = in.str();
+    st.candidate_block = in.u32();
+    st.candidate_reports = in.u64();
+    st.candidate_churn = in.u64();
+    st.outstanding = in.boolean();
+    st.token = in.u64();
+    st.action = in.u8();
+    st.unit = in.str();
+    st.block = in.u32();
+    st.sent_at = in.i64();
+    st.retries = static_cast<int>(in.u32());
+    st.acted = in.boolean();
+    st.acted_unit = in.str();
+    st.error_steps_at_action = in.u64();
+    st.reports_at_action = in.u64();
+    const std::uint32_t keys = in.u32();
+    for (std::uint32_t k = 0; k < keys && in.ok(); ++k) {
+      st.ladder_keys.insert(in.str());
+    }
+  }
+  if (!in.done()) {
+    slots_.clear();
+    actions_.clear();
+    stats_ = RecoveryStats{};
+    return false;
+  }
+  if (quarantined_gauge_ != nullptr) {
+    std::size_t q = 0;
+    for (const auto& [name, st] : slots_) q += st.quarantined ? 1 : 0;
+    quarantined_gauge_->set(static_cast<double>(q));
+  }
+  return true;
 }
 
 }  // namespace trader::hub

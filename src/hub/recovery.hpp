@@ -53,11 +53,29 @@
 
 #include "fleetdiag/aggregator.hpp"
 #include "ipc/wire.hpp"
+#include "journal/checkpoint.hpp"
 #include "recovery/escalation.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_time.hpp"
 
 namespace trader::hub {
+
+/// Operator allow/deny mask over the §5 ladder rungs (the ROADMAP
+/// "operator policy hooks" follow-up). Enforced at actuation time: a
+/// denied rung is skipped upward to the next allowed one (each skip
+/// counts in stats.policy_denied / hub.recovery.policy_denied), and
+/// when nothing at or above the escalator's choice is allowed the slot
+/// is treated as ladder-exhausted — give-up and quarantine. An
+/// operator that denies everything has asked for an observe-only hub
+/// that flags sick slots for service instead of silently spinning.
+struct RecoveryPolicy {
+  bool allow_resync = true;
+  bool allow_restart_unit = true;
+  bool allow_restart_dependents = true;
+  bool allow_full_restart = true;
+
+  bool allows(recovery::RecoveryAction action) const;
+};
 
 struct RecoveryConfig {
   /// Master switch; disabled orchestrators ignore ticks entirely (the
@@ -99,6 +117,9 @@ struct RecoveryConfig {
   /// Ladder policy per (slot, suspect-component).
   recovery::EscalationConfig escalation;
 
+  /// Operator mask over which rungs may actually be actuated.
+  RecoveryPolicy policy;
+
   /// Bound on the retained action log (oldest kept; campaigns read it).
   std::size_t action_log_limit = 8192;
 };
@@ -132,9 +153,10 @@ struct RecoveryStats {
   std::uint64_t give_ups = 0;         ///< Ladder exhausted.
   std::uint64_t recovered = 0;        ///< Quiet periods that decayed the ladder.
   std::uint64_t send_failures = 0;
+  std::uint64_t policy_denied = 0;    ///< Ladder rungs skipped by RecoveryPolicy.
 };
 
-class RecoveryOrchestrator {
+class RecoveryOrchestrator : public journal::Checkpointable {
  public:
   /// Deliver one frame toward a slot's live connection; false when the
   /// link is gone (the command is then dropped, not queued — the next
@@ -177,6 +199,15 @@ class RecoveryOrchestrator {
   RecoveryStats stats() const;
   std::vector<RecoveryActionRecord> actions() const;
   const RecoveryConfig& config() const { return config_; }
+
+  // Checkpointable (the durable hub snapshots ladder positions, token
+  // bucket, cooldowns, quarantine set, outstanding commands and the
+  // action log; config and the send/component_of hooks are process
+  // wiring and must match across the restart).
+  std::string checkpoint_name() const override { return "hub.recovery"; }
+  std::uint32_t checkpoint_version() const override { return 1; }
+  void save_state(journal::Encoder& out) const override;
+  bool load_state(journal::Decoder& in, std::uint32_t version) override;
 
  private:
   struct SlotState {
@@ -245,6 +276,7 @@ class RecoveryOrchestrator {
   runtime::Counter* quarantined_ctr_ = nullptr;
   runtime::Counter* give_ups_ctr_ = nullptr;
   runtime::Counter* recovered_ctr_ = nullptr;
+  runtime::Counter* policy_denied_ctr_ = nullptr;
   runtime::Gauge* quarantined_gauge_ = nullptr;
 };
 

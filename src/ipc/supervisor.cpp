@@ -89,6 +89,30 @@ std::int64_t ProcessSupervisor::next_backoff_ms() {
   return std::min(delay, config_.backoff_max_ms * 2);
 }
 
+SupervisorSnapshot ProcessSupervisor::snapshot() const {
+  SupervisorSnapshot s;
+  s.link_state = static_cast<std::uint8_t>(state_);
+  s.attempts = attempts_;
+  s.misses = misses_;
+  s.was_up = was_up_;
+  s.outages = outages_;
+  s.reconnects = reconnects_;
+  s.jitter_rng = jitter_.state();
+  return s;
+}
+
+void ProcessSupervisor::restore(const SupervisorSnapshot& s) {
+  state_ = s.link_state <= static_cast<std::uint8_t>(LinkState::kFailed)
+               ? static_cast<LinkState>(s.link_state)
+               : LinkState::kDown;
+  attempts_ = s.attempts;
+  misses_ = s.misses;
+  was_up_ = s.was_up;
+  outages_ = s.outages;
+  reconnects_ = s.reconnects;
+  jitter_.set_state(s.jitter_rng);
+}
+
 void ProcessSupervisor::set_metrics(runtime::MetricsRegistry* m) {
   if (m == nullptr) {
     outages_metric_ = reconnects_metric_ = misses_metric_ = nullptr;

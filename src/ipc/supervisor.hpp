@@ -47,6 +47,18 @@ enum class LinkState : std::uint8_t { kDown, kConnecting, kUp, kDegraded, kFaile
 
 const char* to_string(LinkState s);
 
+/// Copyable snapshot of a supervisor's dynamic state (see
+/// ProcessSupervisor::snapshot / restore).
+struct SupervisorSnapshot {
+  std::uint8_t link_state = 0;
+  std::int32_t attempts = 0;
+  std::int32_t misses = 0;
+  bool was_up = false;
+  std::uint64_t outages = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t jitter_rng = 0;  ///< Position in the jitter stream.
+};
+
 class ProcessSupervisor {
  public:
   explicit ProcessSupervisor(SupervisorConfig config = {});
@@ -84,6 +96,13 @@ class ProcessSupervisor {
 
   /// Mirror outage/reconnect/miss counts into "ipc.*" counters.
   void set_metrics(runtime::MetricsRegistry* m);
+
+  /// Full dynamic state as a plain snapshot, so the durable hub can
+  /// checkpoint supervisors without this module knowing about the
+  /// journal's encoding. Config and metrics wiring are not part of the
+  /// snapshot — they belong to the process, not the history.
+  SupervisorSnapshot snapshot() const;
+  void restore(const SupervisorSnapshot& s);
 
  private:
   SupervisorConfig config_;

@@ -129,6 +129,9 @@ struct Reader {
   bool done() const { return !fail && pos == n; }
 };
 
+}  // namespace
+
+// Non-static: the journal reuses the wire checksum (see wire.hpp).
 std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
   std::uint32_t h = 0x811c9dc5u;
   for (std::size_t i = 0; i < n; ++i) {
@@ -137,6 +140,8 @@ std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
   }
   return h;
 }
+
+namespace {
 
 void put_event(std::vector<std::uint8_t>& out, const runtime::Event& ev) {
   put_str(out, ev.topic);

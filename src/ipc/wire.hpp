@@ -136,6 +136,12 @@ struct Frame {
   std::string unit;                               ///< kRecover / kRecoverAck component.
 };
 
+/// FNV-1a 32-bit over a byte range — the checksum every frame payload
+/// carries. Exposed because the hub's WAL and checkpoint files reuse
+/// the same integrity primitive: one discipline on the wire and on
+/// disk, one set of tests pinning it.
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t n);
+
 /// Encode a frame. Returns an empty vector when the payload would
 /// exceed kMaxFramePayload (the caller counts an encode error — an
 /// oversized observable must not tear the stream mid-frame).

@@ -68,4 +68,37 @@ void RecoveryEscalator::report_success(const std::string& unit) { failures_.eras
 
 void RecoveryEscalator::forget(const std::string& unit) { failures_.erase(unit); }
 
+void RecoveryEscalator::save(journal::Encoder& out) const {
+  out.u64(give_ups_);
+  out.u32(static_cast<std::uint32_t>(failures_.size()));
+  for (const auto& [unit, stamps] : failures_) {
+    out.str(unit);
+    out.u32(static_cast<std::uint32_t>(stamps.size()));
+    for (const runtime::SimTime t : stamps) out.i64(t);
+  }
+}
+
+bool RecoveryEscalator::load(journal::Decoder& in) {
+  failures_.clear();
+  give_ups_ = in.u64();
+  const std::uint32_t units = in.u32();
+  for (std::uint32_t i = 0; i < units && in.ok(); ++i) {
+    const std::string unit = in.str();
+    const std::uint32_t count = in.u32();
+    if (in.remaining() < static_cast<std::size_t>(count) * 8) {
+      in.fail();
+      break;
+    }
+    std::vector<runtime::SimTime>& stamps = failures_[unit];
+    stamps.reserve(count);
+    for (std::uint32_t j = 0; j < count; ++j) stamps.push_back(in.i64());
+  }
+  if (!in.ok()) {
+    failures_.clear();
+    give_ups_ = 0;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace trader::recovery

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "journal/codec.hpp"
 #include "runtime/sim_time.hpp"
 
 namespace trader::recovery {
@@ -61,6 +62,13 @@ class RecoveryEscalator {
   /// Units with at least one recorded failure (bounded: fully expired
   /// units are dropped by the periodic prune in next_action).
   std::size_t tracked_units() const { return failures_.size(); }
+
+  /// Serialize the failure history + give-up count for the hub's
+  /// checkpoint files (config is not persisted — a restarted hub runs
+  /// whatever ladder its config says). load() overwrites and fails
+  /// closed on malformed input.
+  void save(journal::Encoder& out) const;
+  bool load(journal::Decoder& in);
 
  private:
   int count_recent(const std::string& unit, runtime::SimTime now) const;

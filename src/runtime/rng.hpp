@@ -60,6 +60,11 @@ class Rng {
   /// consumer does not perturb the draws seen by existing consumers.
   Rng fork() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
 
+  /// The raw generator state — the whole PRNG is this one word, so a
+  /// checkpointed consumer can persist and resume its stream exactly.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

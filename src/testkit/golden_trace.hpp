@@ -23,7 +23,10 @@
 // round-trips, retries and token-bucket refills ride wall-clock
 // timers, so recovery accounting would diverge between transports even
 // when the repaired behaviour is identical (pinned by
-// RecoveryLoop.GoldenTraceFingerprintsExcludeRecoveryMetrics).
+// RecoveryLoop.GoldenTraceFingerprintsExcludeRecoveryMetrics). So are
+// the hub.journal.* counters: append/checkpoint/fsync tallies track
+// durability plumbing, and a journaled run must fingerprint
+// identically to an unjournaled one.
 #pragma once
 
 #include <cstdint>

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "fleetdiag/reporter.hpp"
 #include "hub/hub.hpp"
 #include "ipc/transport.hpp"
+#include "journal/wal.hpp"
 #include "observation/coverage.hpp"
 #include "recovery/escalation.hpp"
 
@@ -96,7 +98,9 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
   }
 
   // One hub per scenario, lockstep-driven: liveness probing off, virtual
-  // time advanced by this thread, recovery ticked from poll().
+  // time advanced by this thread, recovery ticked from poll(). The hub
+  // lives on the heap so the crash drill can destroy and rebuild it
+  // mid-scenario against the same journal directory.
   hub::HubConfig hub_cfg;
   hub_cfg.shards = config_.shards;
   hub_cfg.probe_liveness = false;
@@ -104,14 +108,28 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
   hub_cfg.diag.refresh_every = 1;
   hub_cfg.recovery = config_.recovery;
   hub_cfg.recovery.enabled = config_.orchestrate;
-  hub::AwarenessHub awareness_hub(hub_cfg);
+  hub_cfg.journal = config_.journal;
+  if (hub_cfg.journal.enabled) {
+    const std::string root = config_.journal_root.empty() ? std::string(".") : config_.journal_root;
+    hub_cfg.journal.dir = root + "/" + script.name();
+    journal::ensure_dir(hub_cfg.journal.dir);
+    journal::purge_journal_dir(hub_cfg.journal.dir);
+  }
+
   const std::string& slot = script.name();
-  awareness_hub.add_slot(slot);
-  awareness_hub.recovery().set_component_of([&program](std::size_t block) {
-    const std::size_t f = program.feature_of(block);
-    return f == SIZE_MAX ? std::string("infra") : aspect_name(f);
-  });
-  if (!awareness_hub.start()) return score;
+  std::unique_ptr<hub::AwarenessHub> awareness_hub;
+  const auto make_hub = [&] {
+    awareness_hub = std::make_unique<hub::AwarenessHub>(hub_cfg);
+    awareness_hub->add_slot(slot);
+    // component_of is process wiring, installed before start(): journal
+    // replay re-runs actuation decisions and needs the same mapping.
+    awareness_hub->recovery().set_component_of([&program](std::size_t block) {
+      const std::size_t f = program.feature_of(block);
+      return f == SIZE_MAX ? std::string("infra") : aspect_name(f);
+    });
+    return awareness_hub->start();
+  };
+  if (!make_hub()) return score;
 
   const auto wall_deadline = [&] {
     return std::chrono::steady_clock::now() + std::chrono::milliseconds(config_.pump_budget_ms);
@@ -120,35 +138,34 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
     const auto deadline = wall_deadline();
     while (!done()) {
       if (std::chrono::steady_clock::now() > deadline) return false;
-      if (awareness_hub.poll(10) < 0) return false;
+      if (awareness_hub->poll(10) < 0) return false;
     }
     return true;
   };
 
   // Handshake: the campaign itself plays the SUO end of the socket.
   ipc::FramedSocket sock;
-  {
-    const int fd = ipc::connect_unix_retry(awareness_hub.path(), 2000);
-    if (fd < 0) return score;
+  const auto connect = [&] {
+    const int fd = ipc::connect_unix_retry(awareness_hub->path(), 2000);
+    if (fd < 0) return false;
     sock = ipc::FramedSocket(fd);
     ipc::Frame hello;
     hello.type = ipc::FrameType::kHello;
     hello.detail = slot;
-    if (!sock.send(hello)) return score;
+    if (!sock.send(hello)) return false;
     ipc::Frame ack;
-    bool up = false;
     const auto deadline = wall_deadline();
     while (std::chrono::steady_clock::now() <= deadline) {
       const auto st = sock.recv(ack, 0);
       if (st == ipc::FramedSocket::RecvStatus::kFrame) {
-        up = ack.type == ipc::FrameType::kHelloAck;
-        break;
+        return ack.type == ipc::FrameType::kHelloAck;
       }
-      if (st != ipc::FramedSocket::RecvStatus::kTimeout) break;
-      if (awareness_hub.poll(10) < 0) break;
+      if (st != ipc::FramedSocket::RecvStatus::kTimeout) return false;
+      if (awareness_hub->poll(10) < 0) return false;
     }
-    if (!up) return score;
-  }
+    return false;
+  };
+  if (!connect()) return score;
 
   fleetdiag::ReporterConfig rep_cfg;
   rep_cfg.block_count = static_cast<std::uint32_t>(program.block_count());
@@ -167,7 +184,7 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
       ++frames_shipped;
     }
     return pump_until(
-        [&] { return awareness_hub.diagnosis().health(slot).reports >= frames_shipped; });
+        [&] { return awareness_hub->diagnosis().health(slot).reports >= frames_shipped; });
   };
 
   // SUO-side actuation, same semantics as run_hub_publisher(): resync
@@ -244,7 +261,7 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
   const auto drain = [&] {
     if (!hub_cfg.recovery.enabled) return true;
     const auto deadline = wall_deadline();
-    while (awareness_hub.recovery().has_outstanding(slot)) {
+    while (awareness_hub->recovery().has_outstanding(slot)) {
       if (std::chrono::steady_clock::now() > deadline) return false;
       ipc::Frame f;
       const auto st = sock.recv(f, 0);
@@ -255,7 +272,7 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
         continue;
       }
       if (st != ipc::FramedSocket::RecvStatus::kTimeout) return false;
-      if (awareness_hub.poll(10) < 0) return false;
+      if (awareness_hub->poll(10) < 0) return false;
     }
     return true;
   };
@@ -263,6 +280,7 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
   // The lockstep loop: step the instrumented program, ship spectra,
   // advance the hub's virtual clock, let the orchestrator tick, then
   // execute whatever it commanded — all before the next command.
+  std::size_t cmd_index = 0;
   for (const ScriptCommand& cmd : script.sorted_commands()) {
     const std::size_t feature = cmd.aspect % program.feature_count();
     const bool fault_fired = program.run_step(feature, coverage);
@@ -279,15 +297,26 @@ RecoveryScore RecoveryCampaign::run_scenario(const ScenarioScript& script) {
       ++score.error_steps;
     }
     if (reporter.flush_due() && !ship(cmd.at)) return score;
-    awareness_hub.run_until(cmd.at);
-    if (awareness_hub.poll(0) < 0) return score;  // recovery tick at cmd.at
+    awareness_hub->run_until(cmd.at);
+    if (awareness_hub->poll(0) < 0) return score;  // recovery tick at cmd.at
     if (!drain()) return score;
+    // Crash drill: at the configured boundary (commands drained, clock
+    // frozen) drop the hub cold — no sync, no checkpoint, no goodbye —
+    // and bring a fresh instance up on the same journal. The rest of
+    // the scenario continues against the recovered state.
+    if (hub_cfg.journal.enabled && cmd_index == config_.crash_at_command) {
+      awareness_hub->simulate_crash();
+      awareness_hub.reset();
+      sock = ipc::FramedSocket();
+      if (!make_hub() || !connect()) return score;
+    }
+    ++cmd_index;
   }
   if (!ship(script.horizon())) return score;
-  awareness_hub.run_until(script.horizon());
-  if (awareness_hub.poll(0) >= 0) drain();  // last chance at the horizon
+  awareness_hub->run_until(script.horizon());
+  if (awareness_hub->poll(0) >= 0) drain();  // last chance at the horizon
 
-  score.quarantined = awareness_hub.recovery().quarantined(slot);
+  score.quarantined = awareness_hub->recovery().quarantined(slot);
   score.scored = primary != nullptr && score.error_steps > 0;
   if (score.scored) {
     const runtime::SimTime end = score.repaired ? score.repaired_at : script.horizon();

@@ -35,6 +35,7 @@
 
 #include "diagnosis/synthetic_program.hpp"
 #include "hub/recovery.hpp"
+#include "journal/replay.hpp"
 #include "testkit/diag_campaign.hpp"
 #include "testkit/scenario.hpp"
 
@@ -64,6 +65,18 @@ struct RecoveryCampaignConfig {
   hub::RecoveryConfig recovery = default_recovery();
   /// Wall-clock budget per pump loop (lockstep progress guard).
   int pump_budget_ms = 5000;
+
+  /// Durability drill. When `journal.enabled`, every scenario's hub
+  /// journals to `journal_root`/<scenario-name> (created and purged at
+  /// scenario start), and when `crash_at_command` lands inside the
+  /// script the campaign SIGKILLs the hub at that command boundary
+  /// (commands drained, clock frozen), restarts a fresh hub on the
+  /// same journal directory, reconnects and finishes the scenario.
+  /// A crash-restart run must score byte-identically to an
+  /// uninterrupted one — the surface journal_test pins.
+  journal::JournalConfig journal;
+  std::string journal_root;
+  std::size_t crash_at_command = SIZE_MAX;
 };
 
 /// Ground-truth scoring of one closed-loop scenario.

@@ -232,6 +232,48 @@ TEST(RecoveryOrchestrator, LadderClimbsPerActionAndGiveUpQuarantines) {
   EXPECT_EQ(rig.sent.size(), 4u);
 }
 
+TEST(RecoveryOrchestrator, PolicyMaskSkipsDeniedRungUpward) {
+  // Operator policy: resync is denied fleet-wide, so the FIRST action
+  // lands one rung up the ladder — and the skip is counted, not silent.
+  hub::RecoveryConfig cfg = fast_config();
+  cfg.policy.allow_resync = false;
+  Rig rig(cfg);
+  rig.orch.slot_up("s0", ipc::kProtocolVersion);
+  feed_error(rig.agg, "s0", 5);
+  rig.orch.tick(rt::msec(1));  // baseline the candidate
+  feed_error(rig.agg, "s0", 5, 2);
+  rig.orch.tick(rt::msec(10));
+
+  ASSERT_EQ(rig.sent.size(), 1u);
+  EXPECT_EQ(rig.sent[0].frame.action,
+            static_cast<std::uint8_t>(rec::RecoveryAction::kRestartUnit));
+  EXPECT_EQ(rig.orch.stats().policy_denied, 1u);
+  EXPECT_EQ(rig.orch.stats().sent, 1u);
+}
+
+TEST(RecoveryOrchestrator, PolicyDenyAllQuarantinesWithoutActuating) {
+  // Every rung denied: the mask climbs straight through the ladder to
+  // give-up. Nothing crosses the wire — the slot is parked as "needs
+  // service" on the first eligible pass.
+  hub::RecoveryConfig cfg = fast_config();
+  cfg.policy.allow_resync = false;
+  cfg.policy.allow_restart_unit = false;
+  cfg.policy.allow_restart_dependents = false;
+  cfg.policy.allow_full_restart = false;
+  Rig rig(cfg);
+  rig.orch.slot_up("s0", ipc::kProtocolVersion);
+  feed_error(rig.agg, "s0", 5);
+  rig.orch.tick(rt::msec(1));  // baseline the candidate
+  feed_error(rig.agg, "s0", 5, 2);
+  rig.orch.tick(rt::msec(10));
+
+  EXPECT_TRUE(rig.sent.empty());
+  EXPECT_EQ(rig.orch.stats().policy_denied, 4u) << "one skip per masked rung";
+  EXPECT_EQ(rig.orch.stats().give_ups, 1u);
+  EXPECT_TRUE(rig.orch.quarantined("s0"));
+  EXPECT_EQ(rig.orch.stats().sent, 0u);
+}
+
 TEST(RecoveryOrchestrator, QuietSuccessDecaysLadderWithoutRestartLoop) {
   Rig rig;
   rig.orch.slot_up("s0", ipc::kProtocolVersion);
